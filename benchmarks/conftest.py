@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Each harness collects result rows into the session-wide sink; the tables
+are printed in the terminal summary (after pytest-benchmark's own
+timings), reproducing the paper's tables/figures as text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.table import render_table
+
+_SINK: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """``sink(title, headers)`` returns a list to append rows to."""
+
+    def get(title: str, headers):
+        entry = _SINK.setdefault(title, {"headers": list(headers), "rows": []})
+        return entry["rows"]
+
+    return get
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, entry in _SINK.items():
+        if not entry["rows"]:
+            continue
+        terminalreporter.write_sep("=", title)
+        table = render_table(entry["headers"], entry["rows"])
+        terminalreporter.write_line(table)
+    _SINK.clear()

@@ -1,0 +1,63 @@
+"""Experiment E5 — Figure 4: deciding FCR via PSA loop analysis.
+
+The paper determines FCR for the Fig. 1 and Fig. 2 programs by building
+each thread's ``post*(Q×Σ≤1)`` store automaton and checking for loops:
+the Fig. 1 automata are loop-free (FCR holds), the Fig. 2 automata have
+self-loops (FCR fails).  This harness reproduces those verdicts and
+times the analysis, including the per-thread PSA sizes.
+"""
+
+import pytest
+
+from repro.cuba import check_fcr, thread_shallow_psa
+from repro.models import TABLE2, fig1_cpds, fig2_cpds
+
+
+@pytest.mark.parametrize(
+    "name, build, expect_fcr",
+    [("Fig. 1", fig1_cpds, True), ("Fig. 2", fig2_cpds, False)],
+    ids=["fig1", "fig2"],
+)
+def test_fig4_verdict(name, build, expect_fcr, benchmark, report_sink):
+    rows = report_sink(
+        "Figure 4 — FCR determination",
+        ["program", "thread", "PSA states", "PSA transitions", "loops?", "R(Q×Σ≤1) finite?"],
+    )
+    cpds = build()
+    report = benchmark(lambda: check_fcr(cpds))
+    assert report.holds == expect_fcr
+    for index, pds in enumerate(cpds.threads):
+        psa = thread_shallow_psa(pds)
+        rows.append(
+            [
+                name,
+                f"P{index + 1}",
+                len(psa.automaton),
+                psa.automaton.num_transitions(),
+                "yes" if psa.has_loop() else "no",
+                "yes" if psa.language_is_finite() else "no",
+            ]
+        )
+
+
+def test_fcr_across_suite(report_sink):
+    """FCR verdicts for every benchmark program (Table 2's FCR column)."""
+    rows = report_sink(
+        "FCR across the benchmark suite", ["program", "threads", "FCR", "paper"]
+    )
+    seen = set()
+    for bench in TABLE2:
+        if bench.skip_run or bench.row in seen:
+            continue
+        seen.add(bench.row)
+        cpds, _prop = bench.build()
+        report = check_fcr(cpds)
+        assert report.holds == bench.fcr
+        rows.append(
+            [
+                bench.row,
+                bench.config,
+                "●" if report.holds else "○",
+                "●" if bench.fcr else "○",
+            ]
+        )

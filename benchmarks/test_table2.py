@@ -1,0 +1,76 @@
+"""Experiment E1 — Table 2, the paper's main results table.
+
+For every benchmark row: FCR status, verdict, the collapse bounds of
+``(Rk)`` and ``(T(Rk))``, runtime and peak memory, printed side by side
+with the paper's reported numbers.  The qualitative agreement asserted
+here (verdicts, FCR, small kmax) is the reproduction target; absolute
+times differ (Python explicit/symbolic engines vs the authors' C++
+tool on a Xeon server).
+"""
+
+import pytest
+
+from repro.core import Verdict
+from repro.cuba import Cuba, check_fcr
+from repro.models import TABLE2, runnable_benchmarks
+from repro.util import measure
+
+ROWS = runnable_benchmarks()
+
+
+@pytest.mark.parametrize("bench", ROWS, ids=lambda b: b.name)
+def test_table2_row(bench, benchmark, report_sink):
+    rows = report_sink(
+        "Table 2 — measured vs paper",
+        [
+            "program", "threads", "FCR?", "Safe?",
+            "k(Rk)", "k(TRk)", "time(s)", "mem(MB)",
+            "paper:k(Rk)", "paper:k(TRk)", "paper:t(s)", "paper:mem",
+        ],
+    )
+    cpds, prop = bench.build()
+    fcr = check_fcr(cpds)
+    assert fcr.holds == bench.fcr
+
+    def run():
+        return measure(lambda: Cuba(cpds, prop).verify(max_rounds=bench.max_rounds))
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = outcome.value
+
+    expected = Verdict.SAFE if bench.safe else Verdict.UNSAFE
+    assert report.verdict is expected
+
+    if report.verdict is Verdict.UNSAFE:
+        k_rk = k_trk = f"({report.result.bound})"
+    else:
+        k_rk = report.bound_text("rk")
+        k_trk = report.bound_text("trk")
+    rows.append(
+        [
+            bench.row, bench.config,
+            "●" if fcr.holds else "○",
+            "✓" if report.verdict is Verdict.SAFE else "✗",
+            k_rk, k_trk,
+            f"{outcome.seconds:.2f}", f"{outcome.peak_mb:.1f}",
+            bench.paper_k_rk, bench.paper_k_trk,
+            bench.paper_time, bench.paper_mem,
+        ]
+    )
+
+
+def test_table2_oom_rows(report_sink):
+    """Rows the paper (and we) cannot complete: listed, not run."""
+    rows = report_sink(
+        "Table 2 — measured vs paper",
+        ["program", "threads", "FCR?", "Safe?", "k(Rk)", "k(TRk)",
+         "time(s)", "mem(MB)", "paper:k(Rk)", "paper:k(TRk)",
+         "paper:t(s)", "paper:mem"],
+    )
+    skipped = [b for b in TABLE2 if b.skip_run]
+    assert len(skipped) == 1
+    for bench in skipped:
+        rows.append(
+            [bench.row, bench.config, "○", "—", "≥8", "≥8",
+             "—", "OOM", bench.paper_k_rk, bench.paper_k_trk, "—", "OOM"]
+        )

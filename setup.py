@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where pip's PEP-517 path is unavailable (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""CUBA: interprocedural context-unbounded analysis of concurrent programs.
+
+A from-scratch reproduction of Liu & Wahl, PLDI 2018.  The public API:
+
+>>> from repro import Cuba, AlwaysSafe
+>>> from repro.models import fig1_cpds
+>>> report = Cuba(fig1_cpds(), AlwaysSafe()).verify()
+>>> report.verdict.value
+'safe'
+
+Key entry points:
+
+* :class:`~repro.cuba.verifier.Cuba` — the Sec. 6 verification front-end;
+* :func:`~repro.cuba.scheme1.scheme1_rk`,
+  :func:`~repro.cuba.algorithm3.algorithm3` — the individual algorithms;
+* :func:`~repro.bp.translate.compile_source` — concurrent Boolean
+  programs (App. B) to CPDS;
+* :func:`~repro.cpds.format.parse_cpds` — the textual CPDS format;
+* :mod:`repro.models` — the paper's benchmark suite.
+"""
+
+from repro.bp import compile_source
+from repro.core import (
+    AlwaysSafe,
+    MutualExclusion,
+    Property,
+    SharedStateReachability,
+    Verdict,
+    VerificationResult,
+    VisiblePredicate,
+)
+from repro.cpds import CPDS, GlobalState, VisibleState, format_cpds, parse_cpds
+from repro.cuba import (
+    Cuba,
+    CubaReport,
+    algorithm3,
+    check_fcr,
+    context_bounded_analysis,
+    quick_check,
+    scheme1_rk,
+    scheme1_sk,
+)
+from repro.pds import PDS, Action, PDSState
+from repro.reach import ExplicitReach, SymbolicReach
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "AlwaysSafe",
+    "CPDS",
+    "Cuba",
+    "CubaReport",
+    "ExplicitReach",
+    "GlobalState",
+    "MutualExclusion",
+    "PDS",
+    "PDSState",
+    "Property",
+    "SharedStateReachability",
+    "SymbolicReach",
+    "Verdict",
+    "VerificationResult",
+    "VisiblePredicate",
+    "VisibleState",
+    "algorithm3",
+    "check_fcr",
+    "context_bounded_analysis",
+    "quick_check",
+    "compile_source",
+    "format_cpds",
+    "parse_cpds",
+    "scheme1_rk",
+    "scheme1_sk",
+]

@@ -1,0 +1,103 @@
+"""Canonical, hashable signatures for automata languages.
+
+The symbolic engine (paper Sec. 6, approach 3) must decide whether a
+freshly computed symbolic state ``⟨q|A1..An⟩`` was already seen.  Automata
+are only meaningful up to language equality, so we canonicalize: minimize
+to the unique minimal complete DFA and number its states by a breadth-first
+traversal that visits alphabet symbols in a fixed order.  Two automata get
+the same signature exactly if they accept the same language over the given
+alphabet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.automata.nfa import NFA
+from repro.automata.ops import _sort_key, minimize
+
+Symbol = Hashable
+
+#: Signature type: (accepting-bitmap, transition table) over BFS-numbered
+#: states.  ``None`` entries mark transitions into unreachable territory
+#: (cannot occur for complete DFAs but kept for robustness).
+Signature = tuple
+
+
+def _bfs_numbering(dfa: NFA, symbols: list) -> tuple[dict, list]:
+    """Canonical state numbering by BFS in fixed symbol order."""
+    start = next(iter(dfa.initial))
+    numbering = {start: 0}
+    order = [start]
+    work = deque([start])
+    while work:
+        state = work.popleft()
+        for symbol in symbols:
+            targets = dfa.targets(state, symbol)
+            if not targets:
+                continue
+            target = next(iter(targets))
+            if target not in numbering:
+                numbering[target] = len(numbering)
+                order.append(target)
+                work.append(target)
+    return numbering, order
+
+
+def canonical_signature(
+    nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
+) -> Signature:
+    """Return a hashable value identifying ``L(nfa)`` over ``alphabet``.
+
+    ``initial`` overrides the automaton's entry states (forwarded to
+    :func:`~repro.automata.ops.minimize`)."""
+    symbols = sorted(set(alphabet), key=_sort_key)
+    dfa = minimize(nfa, symbols, initial=initial)
+    numbering, order = _bfs_numbering(dfa, symbols)
+    accepting = tuple(state in dfa.accepting for state in order)
+    table = tuple(
+        tuple(
+            numbering[next(iter(dfa.targets(state, symbol)))]
+            if dfa.targets(state, symbol)
+            else None
+            for symbol in symbols
+        )
+        for state in order
+    )
+    return (tuple(symbols), accepting, table)
+
+
+def canonical_nfa(
+    nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
+) -> tuple[NFA, Signature]:
+    """Minimal complete DFA with integer states in canonical BFS order.
+
+    Returns the rebuilt automaton together with its signature.  Two
+    automata with equal languages yield structurally identical results,
+    which keeps long-running symbolic exploration from accumulating
+    ever-deeper nested state names.
+    """
+    symbols = sorted(set(alphabet), key=_sort_key)
+    dfa = minimize(nfa, symbols, initial=initial)
+    numbering, order = _bfs_numbering(dfa, symbols)
+    rebuilt = NFA(initial=[0])
+    accepting_bits = []
+    table = []
+    for state in order:
+        number = numbering[state]
+        accepting_bits.append(state in dfa.accepting)
+        if state in dfa.accepting:
+            rebuilt.add_accepting(number)
+        row = []
+        for symbol in symbols:
+            targets = dfa.targets(state, symbol)
+            if targets:
+                target_number = numbering[next(iter(targets))]
+                rebuilt.add_transition(number, symbol, target_number)
+                row.append(target_number)
+            else:
+                row.append(None)
+        table.append(tuple(row))
+    signature = (tuple(symbols), tuple(accepting_bits), tuple(table))
+    return rebuilt, signature

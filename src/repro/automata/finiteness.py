@@ -1,0 +1,131 @@
+"""Language finiteness and loop analysis.
+
+The FCR check of the paper (Sec. 5, Fig. 4) decides whether the language
+of a pushdown store automaton is finite: "every path from an initial state
+to an accepting state is simple".  Equivalently, the language is infinite
+exactly if some *useful* state (reachable from an initial state and
+co-reachable to an accepting state) lies on a cycle that can pump at least
+one real symbol.  ε-only cycles do not lengthen accepted words, so they
+are ignored by :func:`language_is_finite` (but reported by
+:func:`has_graph_cycle`, which mirrors the paper's cruder "no loops"
+statement on trimmed automata).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from repro.automata.nfa import EPSILON, NFA
+
+Symbol = Hashable
+
+
+def _strongly_connected_components(nfa: NFA, restrict: frozenset) -> list[set]:
+    """Iterative Tarjan over the transition graph restricted to ``restrict``."""
+    index_of: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list[set] = []
+    counter = 0
+
+    adjacency: dict = {state: set() for state in restrict}
+    for src, _label, dst in nfa.transitions():
+        if src in restrict and dst in restrict:
+            adjacency[src].add(dst)
+
+    for root in restrict:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in index_of:
+                    index_of[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adjacency[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: set = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def language_is_finite(nfa: NFA) -> bool:
+    """True iff the automaton accepts finitely many words.
+
+    Infinite exactly if a useful SCC contains an internal edge labeled
+    with a real (non-ε) symbol: that edge can be pumped on an accepting
+    path arbitrarily often.
+    """
+    useful = nfa.useful_states()
+    if not useful:
+        return True
+    for component in _strongly_connected_components(nfa, useful):
+        for src, label, dst in nfa.transitions():
+            # An edge with both endpoints in one SCC lies on a cycle
+            # (singleton SCCs only qualify via self-loops, src == dst).
+            if src in component and dst in component and label is not EPSILON:
+                return False
+    return True
+
+
+def has_graph_cycle(nfa: NFA, useful_only: bool = True) -> bool:
+    """True iff the transition graph contains a cycle (any labels).
+
+    With ``useful_only`` (the default) only states on initial→accepting
+    paths are considered, matching the paper's reading of PSA loops.
+    """
+    restrict = nfa.useful_states() if useful_only else nfa.states
+    for component in _strongly_connected_components(nfa, restrict):
+        if len(component) > 1:
+            return True
+        member = next(iter(component))
+        for label in nfa.labels_from(member):
+            if member in nfa.targets(member, label):
+                return True
+    return False
+
+
+def enumerate_words(nfa: NFA, max_length: int) -> Iterator[tuple]:
+    """Yield every accepted word of length ≤ ``max_length`` (as tuples).
+
+    Used by tests to compare automata against explicitly enumerated
+    languages; exponential, keep ``max_length`` small.
+    """
+    symbols = sorted(nfa.alphabet(), key=lambda s: (type(s).__qualname__, repr(s)))
+    start = nfa.epsilon_closure(nfa.initial)
+    frontier: list[tuple[tuple, frozenset]] = [((), start)]
+    while frontier:
+        word, states = frontier.pop(0)
+        if states & nfa.accepting:
+            yield word
+        if len(word) == max_length:
+            continue
+        for symbol in symbols:
+            nxt = nfa.step(states, symbol)
+            if nxt:
+                frontier.append((word + (symbol,), nxt))

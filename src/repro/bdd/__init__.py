@@ -1,0 +1,15 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+The paper proposes representing the finite sets ``Rk`` / ``T(Rk)``
+"using compact data structures for finite sets, such as BDDs or even
+extensional lists or sets" (Secs. 1, 5) — JMoped, the comparison tool,
+is BDD-based throughout.  This package provides a self-contained ROBDD
+implementation and an encoder from visible states to Boolean vectors,
+giving the library the paper's alternative set representation
+(benchmarked against extensional sets in ``benchmarks/test_ablation``).
+"""
+
+from repro.bdd.bdd import FALSE, TRUE, BDDManager
+from repro.bdd.encode import TupleEncoder, VisibleSetBDD
+
+__all__ = ["BDDManager", "FALSE", "TRUE", "TupleEncoder", "VisibleSetBDD"]

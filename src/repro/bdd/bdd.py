@@ -1,0 +1,226 @@
+"""A reduced ordered binary decision diagram (ROBDD) manager.
+
+Nodes are integers; 0 and 1 are the terminals.  Internal nodes live in a
+unique table keyed by ``(var, low, high)``, so structural equality *is*
+functional equality: two formulas are equivalent exactly if they share a
+root.  All Boolean connectives are reduced to the classical Shannon
+``ite`` (if-then-else) with memoization (Brace/Rudell/Bryant).
+
+Variables are identified by their index in the fixed global order:
+smaller index = closer to the root.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+FALSE = 0
+TRUE = 1
+
+
+class BDDManager:
+    """Shared unique-table manager for one variable order."""
+
+    def __init__(self) -> None:
+        # node id -> (var, low, high); terminals handled separately.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low  # redundant test eliminated (reduction rule)
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD of the single variable ``index``."""
+        if index < 0:
+            raise ValueError("variable indices are non-negative")
+        return self._mk(index, FALSE, TRUE)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def _var_of(self, node: int) -> int:
+        """Variable of a node; terminals sort after every variable."""
+        if node <= TRUE:
+            return 1 << 30
+        return self._nodes[node][0]
+
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
+        """(low, high) cofactors of ``node`` with respect to ``var``."""
+        if node <= TRUE or self._nodes[node][0] != var:
+            return (node, node)
+        _v, low, high = self._nodes[node]
+        return (low, high)
+
+    # ------------------------------------------------------------------
+    # Core operation
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """Shannon if-then-else: ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var_of(f), self._var_of(g), self._var_of(h))
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def land(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def lor(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def lnot(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def lxor(self, f: int, g: int) -> int:
+        return self.ite(f, self.lnot(g), g)
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def equiv(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.lnot(g))
+
+    def conjoin(self, terms: Iterable[int]) -> int:
+        result = TRUE
+        for term in terms:
+            result = self.land(result, term)
+        return result
+
+    def disjoin(self, terms: Iterable[int]) -> int:
+        result = FALSE
+        for term in terms:
+            result = self.lor(result, term)
+        return result
+
+    def cube(self, assignment: dict[int, bool]) -> int:
+        """Conjunction of literals: ``{var: polarity}``."""
+        result = TRUE
+        for index in sorted(assignment, reverse=True):
+            literal = self.var(index)
+            if not assignment[index]:
+                literal = self.lnot(literal)
+            result = self.land(literal, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries and transformations
+    # ------------------------------------------------------------------
+    def restrict(self, node: int, var: int, value: bool) -> int:
+        """Cofactor: fix ``var`` to ``value``."""
+        if node <= TRUE:
+            return node
+        v, low, high = self._nodes[node]
+        if v > var:
+            return node
+        if v == var:
+            return high if value else low
+        return self._mk(
+            v, self.restrict(low, var, value), self.restrict(high, var, value)
+        )
+
+    def exists(self, node: int, var: int) -> int:
+        """Existential quantification over one variable."""
+        return self.lor(
+            self.restrict(node, var, False), self.restrict(node, var, True)
+        )
+
+    def exists_many(self, node: int, variables: Iterable[int]) -> int:
+        for var in sorted(variables, reverse=True):
+            node = self.exists(node, var)
+        return node
+
+    def support(self, node: int) -> frozenset[int]:
+        """Variables the function actually depends on."""
+        seen: set[int] = set()
+        found: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= TRUE or current in seen:
+                continue
+            seen.add(current)
+            var, low, high = self._nodes[current]
+            found.add(var)
+            stack.append(low)
+            stack.append(high)
+        return frozenset(found)
+
+    def evaluate(self, node: int, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a (total enough) assignment."""
+        while node > TRUE:
+            var, low, high = self._nodes[node]
+            node = high if assignment.get(var, False) else low
+        return node == TRUE
+
+    def satcount(self, node: int, n_vars: int) -> int:
+        """Number of satisfying assignments over variables ``0..n_vars-1``.
+
+        The function's support must lie within that range.  Skipped
+        levels are weighted by powers of two (each skipped variable is a
+        free choice).
+        """
+        if any(var >= n_vars for var in self.support(node)):
+            raise ValueError(f"support exceeds the {n_vars}-variable range")
+        if node == FALSE:
+            return 0
+        if node == TRUE:
+            return 1 << n_vars
+
+        cache: dict[int, int] = {}
+
+        def level(current: int) -> int:
+            return n_vars if current <= TRUE else self._nodes[current][0]
+
+        def count(current: int) -> int:
+            """Models over variables ``level(current)..n_vars-1``."""
+            if current == FALSE:
+                return 0
+            if current == TRUE:
+                return 1
+            if current in cache:
+                return cache[current]
+            var, low, high = self._nodes[current]
+            result = count(low) * (1 << (level(low) - var - 1)) + count(high) * (
+                1 << (level(high) - var - 1)
+            )
+            cache[current] = result
+            return result
+
+        return count(node) * (1 << self._nodes[node][0])
+
+    def iter_models(self, node: int, n_vars: int) -> Iterator[tuple[bool, ...]]:
+        """Enumerate satisfying assignments as bit tuples (tests only)."""
+        import itertools
+
+        for bits in itertools.product((False, True), repeat=n_vars):
+            if self.evaluate(node, dict(enumerate(bits))):
+                yield bits

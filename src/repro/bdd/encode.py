@@ -1,0 +1,166 @@
+"""Encoding finite tuples (visible states) as BDDs.
+
+A :class:`TupleEncoder` maps fixed-arity tuples over finite component
+domains to Boolean vectors: each component gets ``ceil(log2(|domain|))``
+variables holding the binary code of the value's index.  Domains grow
+on demand — adding a value that needs one more bit re-encodes nothing
+because codes are assigned within a pre-reserved bit budget.
+
+:class:`VisibleSetBDD` uses the encoder to store a *set* of tuples as a
+single BDD: membership is evaluation, union is disjunction, and equality
+is root-pointer comparison (the ROBDD canonicity argument) — the set
+representation the paper suggests for the finite ``T(Rk)`` (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.bdd.bdd import FALSE, BDDManager
+
+#: Bits reserved per tuple component; domains up to 2^RESERVED values.
+RESERVED_BITS = 10
+
+
+class TupleEncoder:
+    """Bijection between tuples of hashable values and variable cubes."""
+
+    def __init__(self, arity: int, manager: BDDManager | None = None) -> None:
+        if arity <= 0:
+            raise ValueError("arity must be positive")
+        self.arity = arity
+        self.manager = manager if manager is not None else BDDManager()
+        self._codes: list[dict[Hashable, int]] = [{} for _ in range(arity)]
+        self._values: list[list[Hashable]] = [[] for _ in range(arity)]
+
+    @property
+    def n_vars(self) -> int:
+        return self.arity * RESERVED_BITS
+
+    def _code(self, position: int, value: Hashable, register: bool) -> int | None:
+        codes = self._codes[position]
+        code = codes.get(value)
+        if code is None:
+            if not register:
+                return None
+            code = len(codes)
+            if code >= (1 << RESERVED_BITS):
+                raise OverflowError(
+                    f"component {position} exceeds {1 << RESERVED_BITS} values"
+                )
+            codes[value] = code
+            self._values[position].append(value)
+        return code
+
+    def assignment(self, values: tuple, register: bool = True) -> dict[int, bool] | None:
+        """Variable assignment encoding ``values`` (None if unknown and
+        ``register`` is off)."""
+        if len(values) != self.arity:
+            raise ValueError(f"expected arity {self.arity}, got {len(values)}")
+        assignment: dict[int, bool] = {}
+        for position, value in enumerate(values):
+            code = self._code(position, value, register)
+            if code is None:
+                return None
+            base = position * RESERVED_BITS
+            for bit in range(RESERVED_BITS):
+                assignment[base + bit] = bool((code >> bit) & 1)
+        return assignment
+
+    def cube(self, values: tuple) -> int:
+        """The BDD (a cube) of exactly one tuple."""
+        return self.manager.cube(self.assignment(values))
+
+    def decode(self, bits: tuple[bool, ...]) -> tuple | None:
+        """Tuple encoded by a full model, or None for an unused code."""
+        values = []
+        for position in range(self.arity):
+            base = position * RESERVED_BITS
+            code = 0
+            for bit in range(RESERVED_BITS):
+                if bits[base + bit]:
+                    code |= 1 << bit
+            if code >= len(self._values[position]):
+                return None
+            values.append(self._values[position][code])
+        return tuple(values)
+
+
+class VisibleSetBDD:
+    """A set of fixed-arity tuples stored as one BDD.
+
+    Supports the operations the CUBA algorithms need from ``T(Rk)``:
+    insertion, membership, size, subset and equality tests — the last
+    two in O(1) by ROBDD canonicity.
+    """
+
+    def __init__(self, encoder: TupleEncoder) -> None:
+        self.encoder = encoder
+        self.root = FALSE
+        self._size = 0
+
+    @classmethod
+    def for_arity(cls, arity: int) -> "VisibleSetBDD":
+        return cls(TupleEncoder(arity))
+
+    def add(self, values: tuple) -> bool:
+        """Insert; True iff the tuple is new."""
+        cube = self.encoder.cube(tuple(values))
+        manager = self.encoder.manager
+        new_root = manager.lor(self.root, cube)
+        if new_root == self.root:
+            return False
+        self.root = new_root
+        self._size += 1
+        return True
+
+    def update(self, tuples: Iterable[tuple]) -> int:
+        added = 0
+        for values in tuples:
+            added += self.add(tuple(values))
+        return added
+
+    def __contains__(self, values) -> bool:
+        assignment = self.encoder.assignment(tuple(values), register=False)
+        if assignment is None:
+            return False
+        return self.encoder.manager.evaluate(self.root, assignment)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def satcount(self) -> int:
+        """Size recomputed from the BDD itself (cross-check for tests)."""
+        return self.encoder.manager.satcount(self.root, self.encoder.n_vars)
+
+    def issubset(self, other: "VisibleSetBDD") -> bool:
+        self._check_shared(other)
+        manager = self.encoder.manager
+        return manager.implies(self.root, other.root) == 1
+
+    def equals(self, other: "VisibleSetBDD") -> bool:
+        self._check_shared(other)
+        return self.root == other.root  # canonicity
+
+    def union(self, other: "VisibleSetBDD") -> "VisibleSetBDD":
+        self._check_shared(other)
+        result = VisibleSetBDD(self.encoder)
+        result.root = self.encoder.manager.lor(self.root, other.root)
+        result._size = result.satcount()
+        return result
+
+    def __iter__(self) -> Iterator[tuple]:
+        # Enumerate the product of registered domains and filter by
+        # membership; members can only use registered values.
+        import itertools
+
+        domains = self.encoder._values
+        if any(not domain for domain in domains):
+            return
+        for values in itertools.product(*domains):
+            if values in self:
+                yield values
+
+    def _check_shared(self, other: "VisibleSetBDD") -> None:
+        if other.encoder is not self.encoder:
+            raise ValueError("sets must share one encoder/manager")

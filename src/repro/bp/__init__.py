@@ -1,0 +1,41 @@
+"""Concurrent Boolean programs (paper App. B).
+
+Boolean programs are the abstract, finite-data programs that predicate
+abstraction produces from C/Java sources; the paper's benchmarks are
+Boolean programs translated to CPDS.  This package implements the App. B
+language end to end:
+
+* :mod:`~repro.bp.lexer` / :mod:`~repro.bp.parser` / :mod:`~repro.bp.ast`
+  — concrete syntax to AST;
+* :mod:`~repro.bp.analysis` — symbol tables and semantic checks
+  (arities, labels, call typing, atomic nesting via the call graph);
+* :mod:`~repro.bp.cfg` — control-flow graphs with primitive operations;
+* :mod:`~repro.bp.eval` — expression evaluation over Boolean valuations
+  with the nondeterministic ``*``;
+* :mod:`~repro.bp.translate` — CFGs to a CPDS plus safety property
+  (failed ``assert`` → dedicated error shared state);
+* :mod:`~repro.bp.pretty` — AST back to source text.
+
+The one-call entry point is :func:`~repro.bp.translate.compile_program`.
+"""
+
+from repro.bp.lexer import Token, tokenize
+from repro.bp.parser import parse_program
+from repro.bp.analysis import analyze
+from repro.bp.cfg import build_cfg
+from repro.bp.eval import eval_expr
+from repro.bp.translate import CompiledProgram, compile_program, compile_source
+from repro.bp.pretty import pretty_program
+
+__all__ = [
+    "CompiledProgram",
+    "Token",
+    "analyze",
+    "build_cfg",
+    "compile_program",
+    "compile_source",
+    "eval_expr",
+    "parse_program",
+    "pretty_program",
+    "tokenize",
+]

@@ -1,0 +1,235 @@
+"""Semantic analysis of Boolean programs.
+
+Checks performed (all violations collected, then raised together):
+
+* ``main`` exists, is void and parameterless, and contains only
+  ``thread_create`` / ``skip`` statements; ``thread_create`` appears
+  nowhere else and targets a parameterless void function;
+* every variable reference resolves (locals shadow shareds);
+* no duplicate shared/local/param declarations;
+* calls: callee exists, arity matches, ``x := call f`` requires a bool
+  ``f``, bare ``call f`` requires a void ``f``;
+* ``return e`` only in bool functions, bare ``return`` only in void ones;
+* labels unique per function, ``goto`` targets defined;
+* ``atomic`` blocks neither nest syntactically nor call (transitively)
+  a function containing ``atomic``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.bp import ast
+from repro.bp.eval import free_variables
+from repro.errors import SemanticError
+
+
+@dataclass
+class SymbolTable:
+    """Analysis results used by the translator."""
+
+    program: ast.Program
+    functions: dict[str, ast.Function]
+    thread_roots: tuple[str, ...]
+    #: functions whose body (not counting callees) contains atomic
+    has_atomic: frozenset[str]
+    #: call graph: caller -> set of callees
+    calls: dict[str, frozenset[str]]
+    labels: dict[str, dict[str, ast.LabeledStmt]] = field(default_factory=dict)
+
+    def callees_closure(self, name: str) -> frozenset[str]:
+        """All functions transitively callable from ``name`` (inclusive)."""
+        seen: set[str] = set()
+        work = [name]
+        while work:
+            current = work.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            work.extend(self.calls.get(current, ()))
+        return frozenset(seen)
+
+
+def iter_labeled(body) -> Iterator[tuple[ast.LabeledStmt, bool]]:
+    """Yield every labeled statement in a body, recursing into blocks.
+
+    The flag tells whether the statement sits (syntactically) inside an
+    ``atomic`` block.
+    """
+    stack = [(labeled, False) for labeled in reversed(body)]
+    while stack:
+        labeled, in_atomic = stack.pop()
+        yield labeled, in_atomic
+        stmt = labeled.stmt
+        if isinstance(stmt, ast.While):
+            stack.extend((inner, in_atomic) for inner in reversed(stmt.body))
+        elif isinstance(stmt, ast.If):
+            stack.extend((inner, in_atomic) for inner in reversed(stmt.else_body))
+            stack.extend((inner, in_atomic) for inner in reversed(stmt.then_body))
+        elif isinstance(stmt, ast.Atomic):
+            stack.extend((inner, True) for inner in reversed(stmt.body))
+
+
+def _stmt_expressions(stmt: ast.Stmt) -> list[ast.Expr]:
+    if isinstance(stmt, (ast.Assume, ast.Assert)):
+        return [stmt.condition]
+    if isinstance(stmt, ast.Assign):
+        exprs = list(stmt.values)
+        if stmt.constrain is not None:
+            exprs.append(stmt.constrain)
+        return exprs
+    if isinstance(stmt, ast.Call):
+        return list(stmt.args)
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        return [stmt.value]
+    if isinstance(stmt, (ast.While, ast.If)):
+        return [stmt.condition]
+    return []
+
+
+def analyze(program: ast.Program) -> SymbolTable:
+    """Validate a program; return the symbol table or raise
+    :class:`SemanticError` listing every problem found."""
+    errors: list[str] = []
+    functions: dict[str, ast.Function] = {}
+
+    # --- declarations -------------------------------------------------
+    seen_shared: set[str] = set()
+    for name in program.shared:
+        if name in seen_shared:
+            errors.append(f"shared variable {name!r} declared twice")
+        seen_shared.add(name)
+
+    for func in program.functions:
+        if func.name in functions:
+            errors.append(f"function {func.name!r} defined twice")
+        functions[func.name] = func
+        seen_locals: set[str] = set()
+        for name in func.all_locals:
+            if name in seen_locals:
+                errors.append(f"{func.name}: local {name!r} declared twice")
+            seen_locals.add(name)
+
+    # --- per-function statement checks ---------------------------------
+    calls: dict[str, set[str]] = {name: set() for name in functions}
+    has_atomic: set[str] = set()
+    labels: dict[str, dict[str, ast.LabeledStmt]] = {}
+    thread_roots: list[str] = []
+
+    for func in program.functions:
+        in_scope = set(program.shared) | set(func.all_locals)
+        func_labels: dict[str, ast.LabeledStmt] = {}
+        labels[func.name] = func_labels
+        goto_targets: list[tuple[str, int]] = []
+
+        for labeled, in_atomic in iter_labeled(func.body):
+            stmt = labeled.stmt
+            where = f"{func.name}:{labeled.line}"
+            if labeled.label is not None:
+                if labeled.label in func_labels:
+                    errors.append(f"{where}: duplicate label {labeled.label!r}")
+                func_labels[labeled.label] = labeled
+
+            for expr in _stmt_expressions(stmt):
+                for var in free_variables(expr):
+                    if var not in in_scope:
+                        errors.append(f"{where}: undefined variable {var!r}")
+
+            if isinstance(stmt, ast.Assign):
+                if len(stmt.targets) != len(stmt.values):
+                    errors.append(
+                        f"{where}: {len(stmt.targets)} targets but "
+                        f"{len(stmt.values)} values"
+                    )
+                for target in stmt.targets:
+                    if target not in in_scope:
+                        errors.append(f"{where}: undefined assignment target {target!r}")
+            elif isinstance(stmt, ast.Goto):
+                goto_targets.extend((label, labeled.line) for label in stmt.labels)
+            elif isinstance(stmt, ast.Call):
+                callee = functions.get(stmt.func)
+                if callee is None:
+                    errors.append(f"{where}: call to undefined function {stmt.func!r}")
+                else:
+                    calls[func.name].add(stmt.func)
+                    if len(stmt.args) != len(callee.params):
+                        errors.append(
+                            f"{where}: {stmt.func} expects {len(callee.params)} "
+                            f"arguments, got {len(stmt.args)}"
+                        )
+                    if stmt.target is not None and not callee.returns_bool:
+                        errors.append(
+                            f"{where}: void function {stmt.func} used in value call"
+                        )
+                    if stmt.target is None and callee.returns_bool:
+                        errors.append(
+                            f"{where}: bool function {stmt.func} requires a target"
+                        )
+                if stmt.target is not None and stmt.target not in in_scope:
+                    errors.append(f"{where}: undefined call target {stmt.target!r}")
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None and not func.returns_bool:
+                    errors.append(f"{where}: void function returns a value")
+                if stmt.value is None and func.returns_bool:
+                    errors.append(f"{where}: bool function returns no value")
+            elif isinstance(stmt, ast.Atomic):
+                if in_atomic:
+                    errors.append(f"{where}: nested atomic block")
+                has_atomic.add(func.name)
+            elif isinstance(stmt, ast.ThreadCreate):
+                if func.name != "main":
+                    errors.append(f"{where}: thread_create outside main")
+                target = functions.get(stmt.func)
+                if target is None:
+                    errors.append(f"{where}: thread_create of undefined {stmt.func!r}")
+                else:
+                    if target.returns_bool or target.params:
+                        errors.append(
+                            f"{where}: thread root {stmt.func} must be void "
+                            "and parameterless"
+                        )
+                    thread_roots.append(stmt.func)
+
+        for label, line in goto_targets:
+            if label not in func_labels:
+                errors.append(f"{func.name}:{line}: goto to unknown label {label!r}")
+
+    # --- main ----------------------------------------------------------
+    main = functions.get("main")
+    if main is None:
+        errors.append("no main function")
+    else:
+        if main.returns_bool or main.params:
+            errors.append("main must be void and parameterless")
+        for labeled, _ in iter_labeled(main.body):
+            if not isinstance(labeled.stmt, (ast.ThreadCreate, ast.Skip)):
+                errors.append(
+                    f"main:{labeled.line}: only thread_create/skip allowed in main"
+                )
+        if not thread_roots:
+            errors.append("main creates no threads")
+
+    # --- atomic nesting through calls -----------------------------------
+    table = SymbolTable(
+        program=program,
+        functions=functions,
+        thread_roots=tuple(thread_roots),
+        has_atomic=frozenset(has_atomic),
+        calls={name: frozenset(callees) for name, callees in calls.items()},
+        labels=labels,
+    )
+    for func in program.functions:
+        for labeled, in_atomic in iter_labeled(func.body):
+            stmt = labeled.stmt
+            if in_atomic and isinstance(stmt, ast.Call) and stmt.func in functions:
+                reachable = table.callees_closure(stmt.func)
+                if reachable & table.has_atomic:
+                    errors.append(
+                        f"{func.name}:{labeled.line}: call inside atomic reaches "
+                        f"atomic-using function(s) {sorted(reachable & table.has_atomic)}"
+                    )
+
+    if errors:
+        raise SemanticError("; ".join(errors))
+    return table

@@ -1,0 +1,198 @@
+"""Abstract syntax of the App. B Boolean-program language.
+
+The node set mirrors Fig. 6 of the paper: programs are global
+declarations plus functions; statements carry optional labels; all data
+is Boolean; expressions include the nondeterministic choice ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """``0`` or ``1``."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A variable reference (locals shadow shareds)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Nondet(Expr):
+    """The nondeterministic coin ``*`` (fresh per evaluation)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """``op`` ∈ {"&", "|", "^", "=", "!="}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Skip(Stmt):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Goto(Stmt):
+    """Nondeterministic goto: one or more target labels."""
+
+    labels: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Assume(Stmt):
+    condition: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Assert(Stmt):
+    condition: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    """Parallel assignment ``x1,..,xn := e1,..,en [constrain e]``.
+
+    ``constrain`` is evaluated over the post-assignment valuation and
+    filters the allowed transitions.
+    """
+
+    targets: tuple[str, ...]
+    values: tuple[Expr, ...]
+    constrain: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Stmt):
+    """``target := call func(args)`` or plain ``call func(args)``."""
+
+    func: str
+    args: tuple[Expr, ...]
+    target: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Stmt):
+    """``return`` (void functions) or ``return e`` (bool functions)."""
+
+    value: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class While(Stmt):
+    condition: Expr
+    body: tuple["LabeledStmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple["LabeledStmt", ...]
+    else_body: tuple["LabeledStmt", ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Atomic(Stmt):
+    """``atomic { ... }``: the block runs without preemption."""
+
+    body: tuple["LabeledStmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Lock(Stmt):
+    """Acquire the single global lock (blocks while held)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Unlock(Stmt):
+    """Release the global lock."""
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadCreate(Stmt):
+    """``thread_create(&func)`` — only allowed in ``main``."""
+
+    func: str
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledStmt:
+    """A statement with its optional label (Fig. 6: ``[label: stmt;]``)."""
+
+    stmt: Stmt
+    label: str | None = None
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Function:
+    """``type id (params) { decls; stmts }``."""
+
+    name: str
+    params: tuple[str, ...]
+    locals: tuple[str, ...]
+    body: tuple[LabeledStmt, ...]
+    returns_bool: bool = False
+
+    @property
+    def all_locals(self) -> tuple[str, ...]:
+        """Parameters followed by declared locals — the frame layout."""
+        return self.params + self.locals
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A whole Boolean program: shared declarations and functions."""
+
+    shared: tuple[str, ...]
+    functions: tuple[Function, ...] = field(default_factory=tuple)
+
+    def function(self, name: str) -> Function:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    @property
+    def function_names(self) -> tuple[str, ...]:
+        return tuple(func.name for func in self.functions)

@@ -1,0 +1,241 @@
+"""Control-flow graphs for Boolean-program functions.
+
+Structured statements are lowered into numbered locations with primitive
+operations on edges: assumes (branching), assignments, asserts, calls
+(with a synthetic *await* location for value calls), returns, lock and
+atomic markers.  The translator turns each (location, op) pair into PDS
+actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bp import ast
+
+
+# ---------------------------------------------------------------------------
+# Primitive operations (CFG edge labels)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """Base class; ``target`` is the destination location (None = none)."""
+
+    target: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class SkipOp(Op):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class AssumeOp(Op):
+    condition: ast.Expr
+
+
+@dataclass(frozen=True, slots=True)
+class AssertOp(Op):
+    condition: ast.Expr
+
+
+@dataclass(frozen=True, slots=True)
+class AssignOp(Op):
+    targets: tuple[str, ...]
+    values: tuple[ast.Expr, ...]
+    constrain: ast.Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class CallOp(Op):
+    """``target`` is the return site the callee pops back to: the await
+    location for value calls, the plain continuation otherwise."""
+
+    func: str
+    args: tuple[ast.Expr, ...]
+    ret_var: str | None
+
+
+@dataclass(frozen=True, slots=True)
+class ReceiveOp(Op):
+    """Synthetic await-site op: consume the return buffer into ``var``."""
+
+    var: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnOp(Op):
+    """``value`` is None for void returns; bool functions falling off the
+    end return ``*`` (implicit nondeterministic result)."""
+
+    value: ast.Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class LockOp(Op):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class UnlockOp(Op):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicBeginOp(Op):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicEndOp(Op):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# The CFG container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CFG:
+    """Lowered control flow of one function."""
+
+    function: ast.Function
+    entry: int
+    exit: int
+    ops: dict[int, list[Op]] = field(default_factory=dict)
+    label_of: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_locations(self) -> int:
+        locations = set(self.ops)
+        for op_list in self.ops.values():
+            locations.update(op.target for op in op_list if op.target is not None)
+        return len(locations | {self.entry, self.exit})
+
+
+class _Builder:
+    def __init__(self, function: ast.Function) -> None:
+        self.function = function
+        self.counter = 0
+        self.loc_by_node: dict[int, int] = {}  # id(LabeledStmt) -> location
+        self.label_of: dict[str, int] = {}
+        self.ops: dict[int, list[Op]] = {}
+
+    def fresh(self) -> int:
+        location = self.counter
+        self.counter += 1
+        return location
+
+    def emit(self, location: int, op: Op) -> None:
+        self.ops.setdefault(location, []).append(op)
+
+    # Phase A: allocate a location per statement, register labels.
+    def allocate(self, body) -> None:
+        for labeled in body:
+            location = self.fresh()
+            self.loc_by_node[id(labeled)] = location
+            if labeled.label is not None:
+                self.label_of[labeled.label] = location
+            stmt = labeled.stmt
+            if isinstance(stmt, ast.While):
+                self.allocate(stmt.body)
+            elif isinstance(stmt, ast.If):
+                self.allocate(stmt.then_body)
+                self.allocate(stmt.else_body)
+            elif isinstance(stmt, ast.Atomic):
+                self.allocate(stmt.body)
+
+    # Phase B: emit ops now that every location is known.
+    def lower(self, body, follow: int) -> None:
+        for index, labeled in enumerate(body):
+            if index + 1 < len(body):
+                nxt = self.loc_by_node[id(body[index + 1])]
+            else:
+                nxt = follow
+            self.lower_stmt(labeled, nxt)
+
+    def lower_stmt(self, labeled: ast.LabeledStmt, nxt: int) -> None:
+        location = self.loc_by_node[id(labeled)]
+        stmt = labeled.stmt
+
+        if isinstance(stmt, (ast.Skip, ast.ThreadCreate)):
+            # thread_create only occurs in main, which is never lowered
+            # into a thread; treat as skip for completeness.
+            self.emit(location, SkipOp(nxt))
+        elif isinstance(stmt, ast.Goto):
+            for label in stmt.labels:
+                self.emit(location, SkipOp(self.label_of[label]))
+        elif isinstance(stmt, ast.Assume):
+            self.emit(location, AssumeOp(nxt, stmt.condition))
+        elif isinstance(stmt, ast.Assert):
+            self.emit(location, AssertOp(nxt, stmt.condition))
+        elif isinstance(stmt, ast.Assign):
+            self.emit(location, AssignOp(nxt, stmt.targets, stmt.values, stmt.constrain))
+        elif isinstance(stmt, ast.Call):
+            if stmt.target is not None:
+                await_loc = self.fresh()
+                self.emit(location, CallOp(await_loc, stmt.func, stmt.args, stmt.target))
+                self.emit(await_loc, ReceiveOp(nxt, stmt.target))
+            else:
+                self.emit(location, CallOp(nxt, stmt.func, stmt.args, None))
+        elif isinstance(stmt, ast.Return):
+            value = stmt.value
+            self.emit(location, ReturnOp(None, value))
+        elif isinstance(stmt, ast.While):
+            body_entry = (
+                self.loc_by_node[id(stmt.body[0])] if stmt.body else location
+            )
+            self.emit(location, AssumeOp(body_entry, stmt.condition))
+            self.emit(location, AssumeOp(nxt, ast.Not(stmt.condition)))
+            self.lower(stmt.body, location)
+        elif isinstance(stmt, ast.If):
+            then_entry = (
+                self.loc_by_node[id(stmt.then_body[0])] if stmt.then_body else nxt
+            )
+            else_entry = (
+                self.loc_by_node[id(stmt.else_body[0])] if stmt.else_body else nxt
+            )
+            self.emit(location, AssumeOp(then_entry, stmt.condition))
+            self.emit(location, AssumeOp(else_entry, ast.Not(stmt.condition)))
+            self.lower(stmt.then_body, nxt)
+            self.lower(stmt.else_body, nxt)
+        elif isinstance(stmt, ast.Atomic):
+            end_loc = self.fresh()
+            body_entry = (
+                self.loc_by_node[id(stmt.body[0])] if stmt.body else end_loc
+            )
+            self.emit(location, AtomicBeginOp(body_entry))
+            self.emit(end_loc, AtomicEndOp(nxt))
+            self.lower(stmt.body, end_loc)
+        elif isinstance(stmt, ast.Lock):
+            self.emit(location, LockOp(nxt))
+        elif isinstance(stmt, ast.Unlock):
+            self.emit(location, UnlockOp(nxt))
+        else:  # pragma: no cover - parser produces no other nodes
+            raise TypeError(f"cannot lower {type(stmt).__name__}")
+
+
+def build_cfg(function: ast.Function) -> CFG:
+    """Lower one function into a :class:`CFG`.
+
+    The synthetic exit location carries the implicit return: void for
+    void functions, ``return *`` for bool functions that fall off the
+    end.
+    """
+    builder = _Builder(function)
+    builder.allocate(function.body)
+    exit_loc = builder.fresh()
+    implicit = ast.Nondet() if function.returns_bool else None
+    builder.emit(exit_loc, ReturnOp(None, implicit))
+    builder.lower(function.body, exit_loc)
+    entry = (
+        builder.loc_by_node[id(function.body[0])] if function.body else exit_loc
+    )
+    return CFG(
+        function=function,
+        entry=entry,
+        exit=exit_loc,
+        ops=builder.ops,
+        label_of=builder.label_of,
+    )

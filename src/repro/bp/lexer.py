@@ -1,0 +1,126 @@
+"""Tokenizer for the App. B Boolean-program language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "decl",
+        "void",
+        "bool",
+        "skip",
+        "goto",
+        "assume",
+        "assert",
+        "call",
+        "return",
+        "constrain",
+        "while",
+        "if",
+        "else",
+        "atomic",
+        "lock",
+        "unlock",
+        "thread_create",
+    }
+)
+
+#: Multi-character operators first so maximal munch works.
+SYMBOLS = [
+    ":=",
+    "!=",
+    "==",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ":",
+    ",",
+    "&",
+    "|",
+    "^",
+    "=",
+    "!",
+    "*",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # "ident", "number", "keyword", or the symbol itself
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.value!r}@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a source text; raises :class:`LexError` on junk.
+
+    Comments: ``//`` to end of line and ``/* ... */`` (non-nesting).
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if text[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = text[position]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", position):
+            while position < length and text[position] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, column)
+            advance(end + 2 - position)
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            start_line, start_column = line, column
+            while position < length and (text[position].isalnum() or text[position] == "_"):
+                advance(1)
+            word = text[start:position]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_column))
+            continue
+        if char.isdigit():
+            start = position
+            start_line, start_column = line, column
+            while position < length and text[position].isdigit():
+                advance(1)
+            tokens.append(Token("number", text[start:position], start_line, start_column))
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, position):
+                tokens.append(Token(symbol, symbol, line, column))
+                advance(len(symbol))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {char!r}", line, column)
+    return tokens

@@ -1,0 +1,326 @@
+"""Recursive-descent parser for the App. B language.
+
+Expression precedence (tightest first): ``!``, then ``= / != / ==``,
+then ``&``, then ``^``, then ``|``.  All binary operators are
+left-associative.  Labels may be identifiers or numbers (the paper's
+examples label statements with line numbers).
+"""
+
+from __future__ import annotations
+
+from repro.bp import ast
+from repro.bp.lexer import Token, tokenize
+from repro.errors import ParseError
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token | None:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def at(self, kind: str, value: str | None = None, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        if token is None:
+            return False
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def take(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if token is None:
+            last = self.tokens[-1] if self.tokens else None
+            line = last.line if last else 1
+            raise ParseError(f"unexpected end of input (wanted {value or kind})", line, 0)
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                f"expected {value or kind}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        self.position += 1
+        return token
+
+    def take_keyword(self, word: str) -> Token:
+        return self.take("keyword", word)
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        shared: list[str] = []
+        while self.at("keyword", "decl"):
+            shared.extend(self.parse_decl())
+        functions: list[ast.Function] = []
+        while self.peek() is not None:
+            functions.append(self.parse_function())
+        return ast.Program(tuple(shared), tuple(functions))
+
+    def parse_decl(self) -> list[str]:
+        self.take_keyword("decl")
+        names = [self.take("ident").value]
+        while self.at(",") or self.at("ident"):
+            if self.at(","):
+                self.take(",")
+            names.append(self.take("ident").value)
+        self.take(";")
+        return names
+
+    def parse_function(self) -> ast.Function:
+        if self.at("keyword", "void"):
+            self.take_keyword("void")
+            returns_bool = False
+        else:
+            self.take_keyword("bool")
+            returns_bool = True
+        name = self.take("ident").value
+        self.take("(")
+        params: list[str] = []
+        if self.at("ident"):
+            params.append(self.take("ident").value)
+            while self.at(","):
+                self.take(",")
+                params.append(self.take("ident").value)
+        self.take(")")
+        self.take("{")
+        locals_: list[str] = []
+        while self.at("keyword", "decl"):
+            locals_.extend(self.parse_decl())
+        body = self.parse_stmt_list()
+        self.take("}")
+        return ast.Function(name, tuple(params), tuple(locals_), body, returns_bool)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_stmt_list(self) -> tuple[ast.LabeledStmt, ...]:
+        statements: list[ast.LabeledStmt] = []
+        while not self.at("}") and self.peek() is not None:
+            statements.append(self.parse_labeled_stmt())
+        return tuple(statements)
+
+    def _label_ahead(self) -> bool:
+        return (self.at("ident") or self.at("number")) and self.at(":", offset=1)
+
+    def parse_labeled_stmt(self) -> ast.LabeledStmt:
+        label = None
+        token = self.peek()
+        line = token.line if token else 0
+        if self._label_ahead():
+            label = self.take(self.peek().kind).value
+            self.take(":")
+        stmt = self.parse_stmt()
+        return ast.LabeledStmt(stmt, label, line)
+
+    def parse_stmt(self) -> ast.Stmt:
+        if self.at("keyword", "while"):
+            return self.parse_while()
+        if self.at("keyword", "if"):
+            return self.parse_if()
+        if self.at("keyword", "atomic"):
+            return self.parse_atomic()
+        stmt = self.parse_simple_stmt()
+        self.take(";")
+        return stmt
+
+    def parse_while(self) -> ast.While:
+        self.take_keyword("while")
+        self.take("(")
+        condition = self.parse_expr()
+        self.take(")")
+        self.take("{")
+        body = self.parse_stmt_list()
+        self.take("}")
+        return ast.While(condition, body)
+
+    def parse_if(self) -> ast.If:
+        self.take_keyword("if")
+        self.take("(")
+        condition = self.parse_expr()
+        self.take(")")
+        self.take("{")
+        then_body = self.parse_stmt_list()
+        self.take("}")
+        else_body: tuple[ast.LabeledStmt, ...] = ()
+        if self.at("keyword", "else"):
+            self.take_keyword("else")
+            self.take("{")
+            else_body = self.parse_stmt_list()
+            self.take("}")
+        return ast.If(condition, then_body, else_body)
+
+    def parse_atomic(self) -> ast.Atomic:
+        self.take_keyword("atomic")
+        self.take("{")
+        body = self.parse_stmt_list()
+        self.take("}")
+        return ast.Atomic(body)
+
+    def parse_simple_stmt(self) -> ast.Stmt:
+        if self.at("keyword", "skip"):
+            self.take_keyword("skip")
+            return ast.Skip()
+        if self.at("keyword", "lock"):
+            self.take_keyword("lock")
+            return ast.Lock()
+        if self.at("keyword", "unlock"):
+            self.take_keyword("unlock")
+            return ast.Unlock()
+        if self.at("keyword", "goto"):
+            return self.parse_goto()
+        if self.at("keyword", "assume"):
+            self.take_keyword("assume")
+            self.take("(")
+            condition = self.parse_expr()
+            self.take(")")
+            return ast.Assume(condition)
+        if self.at("keyword", "assert"):
+            self.take_keyword("assert")
+            self.take("(")
+            condition = self.parse_expr()
+            self.take(")")
+            return ast.Assert(condition)
+        if self.at("keyword", "return"):
+            self.take_keyword("return")
+            if self.at(";"):
+                return ast.Return(None)
+            return ast.Return(self.parse_expr())
+        if self.at("keyword", "thread_create"):
+            self.take_keyword("thread_create")
+            self.take("(")
+            if self.at("&"):
+                self.take("&")
+            func = self.take("ident").value
+            self.take(")")
+            return ast.ThreadCreate(func)
+        if self.at("keyword", "call"):
+            func, args = self.parse_call_tail()
+            return ast.Call(func, args, target=None)
+        # Assignment or value-call: starts with an identifier list.
+        return self.parse_assign_or_value_call()
+
+    def parse_goto(self) -> ast.Goto:
+        self.take_keyword("goto")
+        labels = [self.take(self.peek().kind).value if self.at("number") else self.take("ident").value]
+        while self.at(","):
+            self.take(",")
+            labels.append(
+                self.take(self.peek().kind).value if self.at("number") else self.take("ident").value
+            )
+        return ast.Goto(tuple(labels))
+
+    def parse_call_tail(self) -> tuple[str, tuple[ast.Expr, ...]]:
+        self.take_keyword("call")
+        func = self.take("ident").value
+        self.take("(")
+        args: list[ast.Expr] = []
+        if not self.at(")"):
+            args.append(self.parse_expr())
+            while self.at(","):
+                self.take(",")
+                args.append(self.parse_expr())
+        self.take(")")
+        return func, tuple(args)
+
+    def parse_assign_or_value_call(self) -> ast.Stmt:
+        targets = [self.take("ident").value]
+        while self.at(","):
+            self.take(",")
+            targets.append(self.take("ident").value)
+        self.take(":=")
+        if self.at("keyword", "call"):
+            token = self.peek()
+            func, args = self.parse_call_tail()
+            if len(targets) != 1:
+                raise ParseError(
+                    "a call assigns exactly one target", token.line, token.column
+                )
+            return ast.Call(func, args, target=targets[0])
+        values = [self.parse_expr()]
+        while self.at(","):
+            self.take(",")
+            values.append(self.parse_expr())
+        constrain = None
+        if self.at("keyword", "constrain"):
+            self.take_keyword("constrain")
+            constrain = self.parse_expr()
+        return ast.Assign(tuple(targets), tuple(values), constrain)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_xor()
+        while self.at("|"):
+            self.take("|")
+            left = ast.BinOp("|", left, self.parse_xor())
+        return left
+
+    def parse_xor(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at("^"):
+            self.take("^")
+            left = ast.BinOp("^", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_equality()
+        while self.at("&"):
+            self.take("&")
+            left = ast.BinOp("&", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.at("=") or self.at("==") or self.at("!="):
+            token = self.peek()
+            self.take(token.kind)
+            op = "=" if token.value in ("=", "==") else "!="
+            left = ast.BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.at("!"):
+            self.take("!")
+            return ast.Not(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        if self.at("("):
+            self.take("(")
+            inner = self.parse_expr()
+            self.take(")")
+            return inner
+        if self.at("*"):
+            self.take("*")
+            return ast.Nondet()
+        if self.at("number"):
+            token = self.take("number")
+            if token.value not in ("0", "1"):
+                raise ParseError(
+                    f"constants are 0 or 1, found {token.value}", token.line, token.column
+                )
+            return ast.Const(int(token.value))
+        if self.at("ident"):
+            return ast.Var(self.take("ident").value)
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input in expression", 0, 0)
+        raise ParseError(f"unexpected {token.value!r} in expression", token.line, token.column)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse source text into a :class:`~repro.bp.ast.Program`."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    return program

@@ -1,0 +1,108 @@
+"""Pretty-printer: AST back to parseable source text.
+
+``parse(pretty(program))`` reproduces the AST (round-trip tested), which
+is also how programmatically built benchmark programs are rendered for
+inspection.
+"""
+
+from __future__ import annotations
+
+from repro.bp import ast
+
+_PRECEDENCE = {"|": 1, "^": 2, "&": 3, "=": 4, "!=": 4}
+
+
+def pretty_expr(expr: ast.Expr, parent_level: int = 0) -> str:
+    if isinstance(expr, ast.Const):
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Nondet):
+        return "*"
+    if isinstance(expr, ast.Not):
+        return f"!{pretty_expr(expr.operand, 5)}"
+    if isinstance(expr, ast.BinOp):
+        level = _PRECEDENCE[expr.op]
+        # Left-associative: the right child needs strictly higher binding.
+        text = (
+            f"{pretty_expr(expr.left, level)} {expr.op} "
+            f"{pretty_expr(expr.right, level + 1)}"
+        )
+        return f"({text})" if level < parent_level else text
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _pretty_stmt(stmt: ast.Stmt, indent: str, out: list[str], label: str | None) -> None:
+    prefix = indent + (f"{label}: " if label is not None else "")
+
+    def line(text: str) -> None:
+        out.append(prefix + text)
+
+    if isinstance(stmt, ast.Skip):
+        line("skip;")
+    elif isinstance(stmt, ast.Goto):
+        line(f"goto {', '.join(stmt.labels)};")
+    elif isinstance(stmt, ast.Assume):
+        line(f"assume ({pretty_expr(stmt.condition)});")
+    elif isinstance(stmt, ast.Assert):
+        line(f"assert ({pretty_expr(stmt.condition)});")
+    elif isinstance(stmt, ast.Assign):
+        targets = ", ".join(stmt.targets)
+        values = ", ".join(pretty_expr(value) for value in stmt.values)
+        tail = (
+            f" constrain {pretty_expr(stmt.constrain)}"
+            if stmt.constrain is not None
+            else ""
+        )
+        line(f"{targets} := {values}{tail};")
+    elif isinstance(stmt, ast.Call):
+        args = ", ".join(pretty_expr(arg) for arg in stmt.args)
+        head = f"{stmt.target} := " if stmt.target is not None else ""
+        line(f"{head}call {stmt.func}({args});")
+    elif isinstance(stmt, ast.Return):
+        line("return;" if stmt.value is None else f"return {pretty_expr(stmt.value)};")
+    elif isinstance(stmt, ast.While):
+        line(f"while ({pretty_expr(stmt.condition)}) {{")
+        _pretty_body(stmt.body, indent + "  ", out)
+        out.append(indent + "}")
+    elif isinstance(stmt, ast.If):
+        line(f"if ({pretty_expr(stmt.condition)}) {{")
+        _pretty_body(stmt.then_body, indent + "  ", out)
+        if stmt.else_body:
+            out.append(indent + "} else {")
+            _pretty_body(stmt.else_body, indent + "  ", out)
+        out.append(indent + "}")
+    elif isinstance(stmt, ast.Atomic):
+        line("atomic {")
+        _pretty_body(stmt.body, indent + "  ", out)
+        out.append(indent + "}")
+    elif isinstance(stmt, ast.Lock):
+        line("lock;")
+    elif isinstance(stmt, ast.Unlock):
+        line("unlock;")
+    elif isinstance(stmt, ast.ThreadCreate):
+        line(f"thread_create(&{stmt.func});")
+    else:  # pragma: no cover
+        raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def _pretty_body(body, indent: str, out: list[str]) -> None:
+    for labeled in body:
+        _pretty_stmt(labeled.stmt, indent, out, labeled.label)
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a program as parseable source text."""
+    out: list[str] = []
+    if program.shared:
+        out.append(f"decl {', '.join(program.shared)};")
+        out.append("")
+    for func in program.functions:
+        kind = "bool" if func.returns_bool else "void"
+        out.append(f"{kind} {func.name}({', '.join(func.params)}) {{")
+        if func.locals:
+            out.append(f"  decl {', '.join(func.locals)};")
+        _pretty_body(func.body, "  ", out)
+        out.append("}")
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

@@ -1,0 +1,216 @@
+"""Command-line interface: the ``cuba`` verifier.
+
+Subcommands::
+
+    cuba verify file.cpds [--property shared:ERR] [--engine auto|explicit|symbolic]
+    cuba verify prog.bp --boolean [--init x=*,y=1]
+    cuba fcr file.cpds
+    cuba table file.cpds [--levels 6]      # Fig. 1 style reachability table
+    cuba bench [--rows 1,2,9]              # Table 2 reproduction
+
+``verify`` exits 0 when the property is proved, 1 when refuted, and 2
+when no conclusion was reached within the round budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bp.translate import compile_source
+from repro.core.property import AlwaysSafe, Property, SharedStateReachability
+from repro.core.result import Verdict
+from repro.cpds.format import parse_cpds
+from repro.cuba.algorithm3 import algorithm3
+from repro.cuba.fcr import check_fcr
+from repro.cuba.scheme1 import scheme1_rk
+from repro.cuba.verifier import Cuba
+from repro.errors import CubaError
+from repro.reach.explicit import ExplicitReach
+from repro.util.table import render_table
+
+
+def _atom(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_property(spec: str | None) -> Property:
+    if spec is None:
+        return AlwaysSafe()
+    kind, _sep, payload = spec.partition(":")
+    if kind == "shared" and payload:
+        return SharedStateReachability({_atom(s) for s in payload.split(",")})
+    raise SystemExit(f"cannot parse property {spec!r}; use shared:STATE[,STATE...]")
+
+
+def _parse_init(spec: str | None) -> dict:
+    if not spec:
+        return {}
+    init: dict = {}
+    for pair in spec.split(","):
+        name, _sep, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(f"cannot parse init {pair!r}; use var=0|1|*")
+        init[name] = value if value == "*" else int(value)
+    return init
+
+
+def _load(args) -> tuple:
+    text = Path(args.file).read_text()
+    if args.boolean or args.file.endswith(".bp"):
+        compiled = compile_source(text, init=_parse_init(getattr(args, "init", None)))
+        prop = compiled.prop
+        if getattr(args, "prop", None) is not None:
+            prop = _parse_property(args.prop)
+        return compiled.cpds, prop
+    cpds = parse_cpds(text)
+    return cpds, _parse_property(getattr(args, "prop", None))
+
+
+def cmd_verify(args) -> int:
+    cpds, prop = _load(args)
+    if args.engine == "auto":
+        report = Cuba(cpds, prop).verify(max_rounds=args.max_rounds)
+        if args.report:
+            from repro.report import render_report
+
+            print(render_report(report, cpds, prop))
+            return {
+                Verdict.SAFE: 0, Verdict.UNSAFE: 1, Verdict.UNKNOWN: 2
+            }[report.verdict]
+        print(f"FCR: {'holds' if report.fcr.holds else 'fails'}")
+        print(f"winner: {report.winner}")
+        print(f"kmax(Rk) = {report.bound_text('rk')}, "
+              f"kmax(T(Rk)) = {report.bound_text('trk')}")
+        result = report.result
+    elif args.engine == "explicit":
+        result = scheme1_rk(cpds, prop, max_rounds=args.max_rounds)
+    else:
+        result = algorithm3(cpds, prop, engine="symbolic", max_rounds=args.max_rounds)
+    print(result)
+    if result.trace is not None:
+        print(f"witness trace ({result.trace.n_contexts} contexts):")
+        print(f"  {result.trace}")
+    return {Verdict.SAFE: 0, Verdict.UNSAFE: 1, Verdict.UNKNOWN: 2}[result.verdict]
+
+
+def cmd_fcr(args) -> int:
+    cpds, _prop = _load(args)
+    report = check_fcr(cpds)
+    print(report)
+    for index, (finite, loop) in enumerate(
+        zip(report.thread_finite, report.thread_has_loop)
+    ):
+        print(
+            f"  thread {index + 1}: shallow reach "
+            f"{'finite' if finite else 'infinite'}"
+            f" (PSA {'has loops' if loop else 'loop-free'})"
+        )
+    return 0 if report.holds else 1
+
+
+def cmd_table(args) -> int:
+    cpds, _prop = _load(args)
+    engine = ExplicitReach(cpds, track_traces=False)
+    engine.ensure_level(args.levels)
+    rows = []
+    for k in range(args.levels + 1):
+        rows.append(
+            [
+                k,
+                " ".join(sorted(str(s) for s in engine.states_new_at(k))) or "·",
+                " ".join(sorted(str(v) for v in engine.visible_new_at(k))) or "·",
+            ]
+        )
+    print(render_table(["k", "Rk \\ Rk-1", "T(Rk) \\ T(Rk-1)"], rows))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.models.registry import runnable_benchmarks
+    from repro.util.meter import measure
+
+    wanted = set(args.rows.split(",")) if args.rows else None
+    rows = []
+    for benchmark in runnable_benchmarks():
+        if wanted and benchmark.row.split("/")[0] not in wanted:
+            continue
+        cpds, prop = benchmark.build()
+        verifier = Cuba(cpds, prop)
+        outcome = measure(lambda: verifier.verify(max_rounds=benchmark.max_rounds))
+        report = outcome.value
+        rows.append(
+            [
+                benchmark.name,
+                "yes" if report.fcr.holds else "no",
+                report.verdict.value,
+                report.bound_text("rk"),
+                report.bound_text("trk"),
+                f"{outcome.seconds:.2f}",
+                f"{outcome.peak_mb:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["benchmark", "FCR", "verdict", "k(Rk)", "k(T(Rk))", "time(s)", "mem(MB)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cuba",
+        description="Context-unbounded analysis of concurrent pushdown systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help=".cpds description or .bp Boolean program")
+        p.add_argument("--boolean", action="store_true", help="treat input as a Boolean program")
+        p.add_argument("--init", help="Boolean program initial values, e.g. x=*,y=1")
+        p.add_argument("--property", dest="prop", help="safety property, e.g. shared:ERR")
+
+    verify = sub.add_parser("verify", help="run the CUBA verifier")
+    add_common(verify)
+    verify.add_argument(
+        "--engine", choices=["auto", "explicit", "symbolic"], default="auto"
+    )
+    verify.add_argument("--max-rounds", type=int, default=30)
+    verify.add_argument(
+        "--report", action="store_true", help="print the full multi-section report"
+    )
+    verify.set_defaults(handler=cmd_verify)
+
+    fcr = sub.add_parser("fcr", help="check finite context reachability")
+    add_common(fcr)
+    fcr.set_defaults(handler=cmd_fcr)
+
+    table = sub.add_parser("table", help="print the Fig. 1 style reachability table")
+    add_common(table)
+    table.add_argument("--levels", type=int, default=6)
+    table.set_defaults(handler=cmd_table)
+
+    bench = sub.add_parser("bench", help="run the Table 2 benchmark suite")
+    bench.add_argument("--rows", help="comma-separated row numbers, e.g. 1,5,9")
+    bench.set_defaults(handler=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (CubaError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The generic Scheme 1 of the paper (Sec. 3).
+
+Scheme 1 works for *any* observation sequence: advance ``k``, report an
+error as soon as the property is violated, and report success when the
+sequence plateaus.  Its output on plateau is only correct for
+stutter-free sequences (paper property (e)); stuttering sequences need
+the stronger convergence test of Alg. 3 (:mod:`repro.cuba.algorithm3`).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable
+
+from repro.core.property import Property
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.state import VisibleState
+
+
+class ObservationSequence(abc.ABC):
+    """Driver interface for an observation sequence ``(Ok)`` (Def. 1).
+
+    Implementations compute observations lazily: after ``advance`` has
+    been called ``k`` times, observations ``O0..Ok`` are determined.
+    Monotonicity is the implementation's responsibility.
+    """
+
+    @property
+    @abc.abstractmethod
+    def k(self) -> int:
+        """Largest index computed so far."""
+
+    @abc.abstractmethod
+    def advance(self) -> None:
+        """Compute ``O(k+1)``."""
+
+    @abc.abstractmethod
+    def equals_previous(self) -> bool:
+        """``O(k−1) = O(k)`` — the plateau test of Scheme 1, Line 4."""
+
+    @abc.abstractmethod
+    def find_violation(self, prop: Property) -> VisibleState | None:
+        """A property violation witnessed by ``O(k)``, if any
+        (expressibility, Def. 1)."""
+
+
+def run_scheme1(
+    sequence: ObservationSequence,
+    prop: Property,
+    max_rounds: int = 100,
+    method: str = "scheme1",
+) -> VerificationResult:
+    """Scheme 1 (paper page 4): iterate, refute, or detect a plateau.
+
+    Correctness of the SAFE answer relies on the sequence being
+    stutter-free; use :func:`repro.cuba.algorithm3.algorithm3` otherwise.
+    """
+    witness = sequence.find_violation(prop)
+    if witness is not None:
+        return VerificationResult(
+            Verdict.UNSAFE,
+            bound=sequence.k,
+            method=method,
+            message=f"violation of '{prop.describe()}'",
+            witness=witness,
+        )
+    for _round in range(max_rounds):
+        sequence.advance()
+        witness = sequence.find_violation(prop)
+        if witness is not None:
+            return VerificationResult(
+                Verdict.UNSAFE,
+                bound=sequence.k,
+                method=method,
+                message=f"violation of '{prop.describe()}'",
+                witness=witness,
+            )
+        if sequence.equals_previous():
+            return VerificationResult(
+                Verdict.SAFE,
+                bound=sequence.k,
+                method=method,
+                message="observation sequence plateaued",
+            )
+    return VerificationResult(
+        Verdict.UNKNOWN,
+        bound=sequence.k,
+        method=method,
+        message=f"no conclusion within {max_rounds} rounds",
+    )

@@ -1,0 +1,107 @@
+"""Safety properties over visible states.
+
+The paper formulates reachability properties (assertions) over visible
+states (Sec. 1: "Most reachability properties, including assertions
+inserted into a program, are formulated only over visible states").  A
+:class:`Property` is a predicate telling which visible states *violate*
+safety; the CUBA algorithms check it against each new ``T(Rk)`` level.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Collection, Hashable, Iterable, Mapping
+
+from repro.cpds.state import VisibleState
+
+Shared = Hashable
+Symbol = Hashable
+
+
+class Property(abc.ABC):
+    """A safety property ``C``: characterizes the *bad* visible states."""
+
+    @abc.abstractmethod
+    def violated_by(self, visible: VisibleState) -> bool:
+        """True iff reaching ``visible`` violates the property."""
+
+    def find_violation(self, visibles: Iterable[VisibleState]) -> VisibleState | None:
+        """First violating visible state in ``visibles``, or ``None``."""
+        for visible in visibles:
+            if self.violated_by(visible):
+                return visible
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SharedStateReachability(Property):
+    """Violated when the shared state enters a bad set.
+
+    This is the shape assertion failures compile to: the Boolean-program
+    front-end routes failed ``assert`` statements into a dedicated error
+    shared state.
+    """
+
+    def __init__(self, bad_shared: Collection[Shared]) -> None:
+        self.bad_shared = frozenset(bad_shared)
+
+    def violated_by(self, visible: VisibleState) -> bool:
+        return visible.shared in self.bad_shared
+
+    def describe(self) -> str:
+        bad = ", ".join(sorted(map(str, self.bad_shared)))
+        return f"shared state never in {{{bad}}}"
+
+
+class VisiblePredicate(Property):
+    """Violated when a user predicate holds on the visible state."""
+
+    def __init__(
+        self, is_bad: Callable[[VisibleState], bool], description: str = ""
+    ) -> None:
+        self.is_bad = is_bad
+        self.description = description
+
+    def violated_by(self, visible: VisibleState) -> bool:
+        return bool(self.is_bad(visible))
+
+    def describe(self) -> str:
+        return self.description or "visible-state predicate"
+
+
+class MutualExclusion(Property):
+    """Violated when two or more threads sit in critical sections.
+
+    ``critical`` maps a thread index to the set of its top-of-stack
+    symbols that mean "inside the critical section" — the paper's
+    "mutually exclusive local-state reachability" (Ex. 2).
+    """
+
+    def __init__(self, critical: Mapping[int, Collection[Symbol]]) -> None:
+        self.critical = {index: frozenset(tops) for index, tops in critical.items()}
+
+    def violated_by(self, visible: VisibleState) -> bool:
+        inside = 0
+        for index, tops in self.critical.items():
+            if index < visible.n_threads and visible.tops[index] in tops:
+                inside += 1
+                if inside >= 2:
+                    return True
+        return False
+
+    def describe(self) -> str:
+        threads = ", ".join(str(index) for index in sorted(self.critical))
+        return f"mutual exclusion among threads {{{threads}}}"
+
+
+class AlwaysSafe(Property):
+    """The trivially true property — used to drive pure convergence runs
+    (e.g. measuring ``kmax`` without an assertion)."""
+
+    def violated_by(self, visible: VisibleState) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "true"

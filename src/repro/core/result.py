@@ -1,0 +1,61 @@
+"""Verification verdicts and result records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cpds.state import VisibleState
+from repro.reach.witness import Trace
+
+
+class Verdict(enum.Enum):
+    """Outcome of a (partial) CUBA verification run."""
+
+    #: The property holds for every context bound (sequence converged).
+    SAFE = "safe"
+    #: A violation is reachable; ``bound`` is the context bound exposing it.
+    UNSAFE = "unsafe"
+    #: Round budget exhausted without a conclusion (the algorithms are
+    #: semi-decision procedures and need not terminate).
+    UNKNOWN = "unknown"
+
+
+@dataclass(slots=True)
+class VerificationResult:
+    """Outcome of one algorithm run.
+
+    ``bound`` is the context bound at which the verdict was reached: the
+    bound revealing the bug for UNSAFE (Table 2's parenthesized number),
+    the collapse point ``kmax`` for SAFE, and the last explored bound for
+    UNKNOWN.
+    """
+
+    verdict: Verdict
+    bound: int
+    method: str
+    message: str = ""
+    witness: VisibleState | None = None
+    trace: Trace | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict is Verdict.SAFE
+
+    @property
+    def is_unsafe(self) -> bool:
+        return self.verdict is Verdict.UNSAFE
+
+    @property
+    def conclusive(self) -> bool:
+        return self.verdict is not Verdict.UNKNOWN
+
+    def __str__(self) -> str:
+        head = f"[{self.method}] {self.verdict.value} at k={self.bound}"
+        if self.message:
+            head += f": {self.message}"
+        if self.witness is not None:
+            head += f" (witness {self.witness})"
+        return head

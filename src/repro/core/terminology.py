@@ -1,0 +1,56 @@
+"""Table 1 terminology over finite sequence prefixes.
+
+The paper defines plateau / stutter / collapse / convergence for infinite
+observation sequences; analyses and tests work with finite prefixes, so
+the collapse/stutter judgments here are relative to the observed prefix
+(a prefix can of course never *prove* convergence — that is the whole
+point of the paper's generator machinery).
+
+Observations may be any values supporting ``==`` and, for the
+monotonicity check, ``<=`` (set-like containment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def is_monotone(prefix: Sequence) -> bool:
+    """``Ok ⊆ Ok+1`` for all adjacent pairs of the prefix (Def. 1)."""
+    return all(prefix[k] <= prefix[k + 1] for k in range(len(prefix) - 1))
+
+
+def plateaus_at(prefix: Sequence, k: int) -> bool:
+    """``Ok = Ok+1`` — pauses or stops growing (needs index k+1)."""
+    if not 0 <= k + 1 < len(prefix):
+        raise IndexError(f"plateau at {k} needs observations {k} and {k + 1}")
+    return prefix[k] == prefix[k + 1]
+
+
+def stutters_at(prefix: Sequence, k: int) -> bool:
+    """``Ok = Ok+1`` but the prefix grows again later.
+
+    Over a finite prefix this is a *definite* stutter; absence of
+    stuttering in the prefix does not preclude stuttering later.
+    """
+    if not plateaus_at(prefix, k):
+        return False
+    return any(
+        prefix[j] != prefix[j + 1] for j in range(k + 1, len(prefix) - 1)
+    )
+
+
+def collapses_at(prefix: Sequence, k: int) -> bool:
+    """All observations from index ``k`` to the end of the prefix agree
+    (collapse *relative to the prefix*)."""
+    if not 0 <= k < len(prefix):
+        raise IndexError(f"index {k} outside prefix of length {len(prefix)}")
+    return all(prefix[j] == prefix[k] for j in range(k, len(prefix)))
+
+
+def first_plateau(prefix: Sequence, start: int = 1) -> int | None:
+    """Smallest ``k ≥ start`` with ``Ok−1 = Ok``, or None."""
+    for k in range(max(start, 1), len(prefix)):
+        if prefix[k - 1] == prefix[k]:
+            return k
+    return None

@@ -1,0 +1,167 @@
+"""Textual exchange format for CPDS.
+
+The CUBA tool consumes CPDS descriptions; this module defines a small,
+line-based, round-trippable format::
+
+    # Fig. 1 of the paper
+    cpds fig1
+    shared: 0 1 2 3
+    init: 0
+    thread P1
+      stack: 1
+      rule f1: (0, 1) -> (1, 2)
+      rule f2: (3, 2) -> (0, 1)
+    thread P2
+      stack: 4
+      rule b1: (0, 4) -> (0, -)
+      rule b2: (1, 4) -> (2, 5)
+      rule b3: (2, 5) -> (3, 4 6)
+
+Grammar notes:
+
+* ``-`` denotes the empty word ε (empty read = empty-stack action,
+  empty write = pop).
+* a rule writes at most two symbols, whitespace-separated: ``4 6``
+  pushes ``4`` above ``6`` (paper order: new stack reads ``46...``).
+* tokens that look like integers are parsed as ``int``; anything else
+  stays a string.  Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Hashable
+
+from repro.errors import FormatError
+from repro.cpds.cpds import CPDS
+from repro.pds.pds import PDS
+
+Symbol = Hashable
+
+#: Token charset: anything without whitespace or structural characters.
+_TOKEN = r"[^\s(),:#<>]+"
+
+_RULE_RE = re.compile(
+    rf"rule\s+(?:(?P<label>{_TOKEN})\s*:\s*)?"
+    rf"\(\s*(?P<q>{_TOKEN})\s*,\s*(?P<read>{_TOKEN})\s*\)"
+    rf"\s*->\s*"
+    rf"\(\s*(?P<q2>{_TOKEN})\s*,\s*(?P<write>{_TOKEN}(?:\s+{_TOKEN})?)\s*\)\s*$"
+)
+
+
+def _atom(token: str):
+    """Parse one token: integer-looking tokens become ints."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _atoms(tokens: str) -> list:
+    return [_atom(token) for token in tokens.split()]
+
+
+def parse_cpds(text: str) -> CPDS:
+    """Parse the textual format into a :class:`CPDS`."""
+    name = ""
+    shared: list = []
+    init = None
+    threads: list[PDS] = []
+    stacks: list[tuple] = []
+    current: PDS | None = None
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("cpds"):
+            name = line[len("cpds"):].strip()
+        elif line.startswith("shared:"):
+            shared = _atoms(line[len("shared:"):])
+        elif line.startswith("init:"):
+            tokens = _atoms(line[len("init:"):])
+            if len(tokens) != 1:
+                raise FormatError("init expects exactly one shared state", line=line_number)
+            init = tokens[0]
+        elif line.startswith("thread"):
+            if init is None:
+                raise FormatError("thread before init", line=line_number)
+            thread_name = line[len("thread"):].strip()
+            current = PDS(
+                initial_shared=init, shared_states=shared, name=thread_name
+            )
+            threads.append(current)
+            stacks.append(())
+        elif line.startswith("stack:"):
+            if current is None:
+                raise FormatError("stack outside a thread", line=line_number)
+            tokens = line[len("stack:"):].split()
+            stacks[-1] = tuple(
+                _atom(token) for token in tokens if token != "-"
+            )
+            for symbol in stacks[-1]:
+                current.declare_symbol(symbol)
+        elif line.startswith("rule"):
+            if current is None:
+                raise FormatError("rule outside a thread", line=line_number)
+            match = _RULE_RE.match(line)
+            if match is None:
+                raise FormatError(f"bad rule syntax: {line!r}", line=line_number)
+            read_token = match.group("read")
+            read = None if read_token == "-" else _atom(read_token)
+            write_tokens = match.group("write").split()
+            write = tuple(
+                _atom(token) for token in write_tokens if token != "-"
+            )
+            if write_tokens == ["-"]:
+                write = ()
+            current.rule(
+                _atom(match.group("q")),
+                read,
+                _atom(match.group("q2")),
+                write,
+                label=match.group("label") or "",
+            )
+        else:
+            raise FormatError(f"unrecognized line: {line!r}", line=line_number)
+
+    if init is None:
+        raise FormatError("missing init declaration")
+    if not threads:
+        raise FormatError("no threads declared")
+    return CPDS(threads, initial_stacks=stacks, name=name)
+
+
+def _token(value) -> str:
+    text = str(value)
+    if text == "-" or not re.fullmatch(_TOKEN, text):
+        raise FormatError(f"value {value!r} is not expressible in the textual format")
+    return text
+
+
+def format_cpds(cpds: CPDS) -> str:
+    """Serialize a CPDS to the textual format (inverse of parse)."""
+    sort_key = lambda value: (type(value).__qualname__, repr(value))  # noqa: E731
+    lines: list[str] = []
+    if cpds.name:
+        lines.append(f"cpds {cpds.name}")
+    else:
+        lines.append("cpds")
+    shared = " ".join(_token(s) for s in sorted(cpds.shared_states, key=sort_key))
+    lines.append(f"shared: {shared}")
+    lines.append(f"init: {_token(cpds.initial_shared)}")
+    for index, pds in enumerate(cpds.threads):
+        lines.append(f"thread {pds.name or f'P{index + 1}'}")
+        stack = cpds.initial_stacks[index]
+        if stack:
+            lines.append("  stack: " + " ".join(_token(s) for s in stack))
+        for action in pds.actions:
+            label = f"{_token(action.label)}: " if action.label else ""
+            read = _token(action.read[0]) if action.read else "-"
+            write = " ".join(_token(s) for s in action.write) if action.write else "-"
+            lines.append(
+                f"  rule {label}({_token(action.from_shared)}, {read})"
+                f" -> ({_token(action.to_shared)}, {write})"
+            )
+    return "\n".join(lines) + "\n"

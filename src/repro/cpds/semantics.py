@@ -1,0 +1,102 @@
+"""Asynchronous step semantics of CPDS (Sec. 2.2) and context closure.
+
+A CPDS step nondeterministically picks a thread and fires one of its
+enabled actions on the shared state and that thread's stack.  A *context*
+(Sec. 2.3) is a maximal run of steps by one thread; the context-bounded
+sets ``Rk`` are built by closing states under single-thread runs, which
+:func:`thread_context_post` computes explicitly (it terminates exactly
+when the per-context reachable set is finite — the FCR situation)."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.errors import ContextExplosionError
+from repro.cpds.cpds import CPDS
+from repro.cpds.state import GlobalState
+from repro.pds.action import Action
+from repro.pds.semantics import DEFAULT_STATE_LIMIT, step as pds_step, successors as pds_successors
+from repro.pds.state import PDSState
+
+
+def thread_state(state: GlobalState, index: int) -> PDSState:
+    """Thread ``index``'s view ``(q, w_index)`` of a global state."""
+    return PDSState(state.shared, state.stacks[index])
+
+
+def with_thread_state(state: GlobalState, index: int, new: PDSState) -> GlobalState:
+    """Rebuild a global state after thread ``index`` moved to ``new``."""
+    stacks = list(state.stacks)
+    stacks[index] = new.stack
+    return GlobalState(new.shared, tuple(stacks))
+
+
+def global_successors(
+    cpds: CPDS, state: GlobalState
+) -> Iterator[tuple[int, Action, GlobalState]]:
+    """All one-step successors ``(thread, action, state')`` of ``state``."""
+    for index, pds in enumerate(cpds.threads):
+        local = thread_state(state, index)
+        for action, local_next in pds_successors(pds, local):
+            yield index, action, with_thread_state(state, index, local_next)
+
+
+def thread_context_post(
+    cpds: CPDS,
+    state: GlobalState,
+    index: int,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    parents: dict | None = None,
+) -> set[GlobalState]:
+    """All global states reachable by letting thread ``index`` run any
+    number of steps (≥ 0) from ``state`` — one scheduling context.
+
+    When ``parents`` is given, newly discovered states are recorded there
+    as ``state' -> (predecessor, thread index, action)`` for witness
+    reconstruction (existing entries are never overwritten, preserving
+    shortest-context discovery order across calls).
+
+    Raises :class:`ContextExplosionError` past ``max_states`` distinct
+    states — the divergence guard for non-FCR programs.
+    """
+    pds = cpds.thread(index)
+    start = thread_state(state, index)
+    seen_local: set[PDSState] = {start}
+    work: deque[PDSState] = deque([start])
+    result: set[GlobalState] = {state}
+    while work:
+        local = work.popleft()
+        for action, local_next in pds_successors(pds, local):
+            if local_next in seen_local:
+                continue
+            seen_local.add(local_next)
+            if len(seen_local) > max_states:
+                raise ContextExplosionError(
+                    f"context of thread {index} from {state} exceeded "
+                    f"{max_states} states; the program likely violates FCR",
+                    states_seen=len(seen_local),
+                )
+            global_next = with_thread_state(state, index, local_next)
+            result.add(global_next)
+            if parents is not None and global_next not in parents:
+                parents[global_next] = (
+                    with_thread_state(state, index, local),
+                    index,
+                    action,
+                )
+            work.append(local_next)
+    return result
+
+
+def context_post(
+    cpds: CPDS,
+    state: GlobalState,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    parents: dict | None = None,
+) -> set[GlobalState]:
+    """Union of :func:`thread_context_post` over all threads."""
+    result: set[GlobalState] = set()
+    for index in range(cpds.n_threads):
+        result |= thread_context_post(cpds, state, index, max_states, parents)
+    return result

@@ -1,0 +1,84 @@
+"""Global and visible states of a CPDS, and the projection ``T``.
+
+A global state is ``⟨q|w1,...,wn⟩``; its visible projection keeps only
+the top of each stack (Sec. 2.2, Eq. 1):
+``T(s) = ⟨q|T(w1),...,T(wn)⟩`` with ``T(w) = σ1`` for ``w = σ1..σz`` and
+``ε`` (here :data:`~repro.pds.state.EMPTY`) for the empty stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from repro.pds.state import EMPTY, PDSState, format_stack, format_top
+
+Shared = Hashable
+Symbol = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalState:
+    """A CPDS state ``⟨q|w1,...,wn⟩`` (stacks top-first)."""
+
+    shared: Shared
+    stacks: tuple[tuple[Symbol, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stacks, tuple) or not all(
+            isinstance(stack, tuple) for stack in self.stacks
+        ):
+            object.__setattr__(
+                self, "stacks", tuple(tuple(stack) for stack in self.stacks)
+            )
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.stacks)
+
+    def thread(self, index: int) -> PDSState:
+        """Thread ``index``'s thread state ``(q, w_index)``."""
+        return PDSState(self.shared, self.stacks[index])
+
+    def visible(self) -> "VisibleState":
+        """The projection ``T(s)`` (Eq. 1 extended to global states)."""
+        return VisibleState(
+            self.shared,
+            tuple(stack[0] if stack else EMPTY for stack in self.stacks),
+        )
+
+    def max_stack_size(self) -> int:
+        return max((len(stack) for stack in self.stacks), default=0)
+
+    def __str__(self) -> str:
+        stacks = ",".join(format_stack(stack) for stack in self.stacks)
+        return f"⟨{self.shared}|{stacks}⟩"
+
+
+@dataclass(frozen=True, slots=True)
+class VisibleState:
+    """A visible state ``⟨q|σ1,...,σn⟩``; ``σi`` is a top symbol or ε."""
+
+    shared: Shared
+    tops: tuple[Symbol, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tops, tuple):
+            object.__setattr__(self, "tops", tuple(self.tops))
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.tops)
+
+    def thread_visible(self, index: int) -> tuple[Shared, Symbol]:
+        """Thread ``index``'s visible state ``(q, σ_index)``."""
+        return (self.shared, self.tops[index])
+
+    def __str__(self) -> str:
+        tops = ",".join(format_top(top) for top in self.tops)
+        return f"⟨{self.shared}|{tops}⟩"
+
+
+def project(states) -> frozenset[VisibleState]:
+    """``T(S)`` for a collection of global states: the set of projections."""
+    return frozenset(state.visible() for state in states)

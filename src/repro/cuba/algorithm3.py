@@ -1,0 +1,130 @@
+"""Alg. 3: CUBA over ``(T(Rk))`` with stuttering detection (Sec. 4.1.4).
+
+The visible-state sequence converges by finiteness of its domain but can
+stutter, so the plain plateau test is unsound.  Alg. 3 strengthens it:
+on reaching a *new* plateau (``|T(Rk−2)| < |T(Rk−1)| = |T(Rk)|``) it
+additionally requires every reachable generator to have been seen,
+overapproximated by ``G ∩ Z ⊆ T(Rk)`` (Secs. 4.1.2–4.1.3).  If the test
+fails, the algorithm skips forward to the next new plateau; by Def. 10 /
+Thm. 11 a passed test certifies collapse at ``k−1``, making the
+algorithm tight (it stops at the minimal convergence bound).
+
+The same algorithm runs over the explicit engine (``T(Rk)``, requires
+FCR) or the symbolic engine (``T(Sk)``, App. E) — they compute the same
+projections.
+"""
+
+from __future__ import annotations
+
+from repro.core.property import Property
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.cpds import CPDS
+from repro.cuba.generators import generator_analysis
+from repro.cuba.overapprox import compute_z
+from repro.errors import ContextExplosionError
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.base import ReachabilityEngine
+from repro.reach.explicit import ExplicitReach
+from repro.reach.symbolic import SymbolicReach
+
+
+def algorithm3(
+    cpds: CPDS,
+    prop: Property,
+    engine: ReachabilityEngine | str = "explicit",
+    max_rounds: int = 50,
+    max_states_per_context: int = DEFAULT_STATE_LIMIT,
+) -> VerificationResult:
+    """Run Alg. 3 to a verdict or round budget.
+
+    ``engine`` selects the representation: ``"explicit"`` (Table 2's
+    ``Alg. 3(T(Rk))``, FCR required), ``"symbolic"`` (``Alg. 3(T(Sk))``),
+    or a prepared engine instance.
+
+    SAFE results carry the collapse bound ``kmax`` of ``(T(Rk))``;
+    UNSAFE results the context bound revealing the violation.  ``stats``
+    records ``|Z|``, ``|G∩Z|`` and each rejected plateau with its
+    missing generators — the diagnostic of Ex. 14.
+    """
+    if isinstance(engine, str):
+        if engine == "explicit":
+            engine = ExplicitReach(cpds, max_states_per_context=max_states_per_context)
+        elif engine == "symbolic":
+            engine = SymbolicReach(cpds)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+    method = f"alg3(T({'Sk' if isinstance(engine, SymbolicReach) else 'Rk'}))"
+
+    analysis = generator_analysis(cpds)
+    z = compute_z(cpds)
+    reachable_generators = analysis.intersect(z)
+    stats: dict = {
+        "Z": len(z),
+        "G∩Z": len(reachable_generators),
+        "plateaus_rejected": [],
+    }
+
+    def unsafe(bound: int, witness) -> VerificationResult:
+        trace = None
+        if isinstance(engine, ExplicitReach):
+            state = engine.find_visible(witness)
+            if state is not None:
+                trace = engine.trace(state)
+        return VerificationResult(
+            Verdict.UNSAFE,
+            bound=bound,
+            method=method,
+            message=f"violation of '{prop.describe()}'",
+            witness=witness,
+            trace=trace,
+            stats=dict(stats),
+        )
+
+    witness = prop.find_violation(engine.visible_up_to(0))
+    if witness is not None:
+        return unsafe(0, witness)
+
+    try:
+        for _round in range(max_rounds):
+            engine.advance()
+            k = engine.k
+            witness = prop.find_violation(engine.visible_new_at(k))
+            if witness is not None:
+                return unsafe(k, witness)
+            # New plateau: |T(Rk−2)| < |T(Rk−1)| = |T(Rk)|.
+            new_plateau = not engine.visible_new_at(k) and engine.visible_new_at(k - 1)
+            if not new_plateau:
+                continue
+            seen = engine.visible_up_to(k)
+            missing = reachable_generators - seen
+            if missing:
+                stats["plateaus_rejected"].append(
+                    {"k": k - 1, "missing": frozenset(missing)}
+                )
+                continue  # stuttering cannot be excluded: skip forward
+            stats["visible_states"] = len(seen)
+            return VerificationResult(
+                Verdict.SAFE,
+                bound=k - 1,
+                method=method,
+                message=(
+                    "visible sequence collapsed: plateau with all reachable "
+                    "generators seen (Thm. 11)"
+                ),
+                stats=dict(stats),
+            )
+    except ContextExplosionError as explosion:
+        return VerificationResult(
+            Verdict.UNKNOWN,
+            bound=engine.k,
+            method=method,
+            message=f"explicit engine diverged (use symbolic): {explosion}",
+            stats=dict(stats),
+        )
+    return VerificationResult(
+        Verdict.UNKNOWN,
+        bound=engine.k,
+        method=method,
+        message=f"no conclusion within {max_rounds} rounds",
+        stats=dict(stats),
+    )

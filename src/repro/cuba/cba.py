@@ -1,0 +1,72 @@
+"""Plain context-bounded analysis — the Qadeer/Rehof baseline [35].
+
+This is what JMoped implements (BDD-based) and what the paper compares
+against in Fig. 5: explore reachability up to a *fixed* context bound
+and report any violation found.  It can refute but never prove — a safe
+answer only means "no bug within k contexts" (the fundamental CBA
+limitation the CUBA algorithms remove).
+
+Both engines are supported; the symbolic one matches JMoped's
+pushdown-store-automata representation and is the Fig. 5 baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.property import Property
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.cpds import CPDS
+from repro.errors import ContextExplosionError
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.base import ReachabilityEngine
+from repro.reach.explicit import ExplicitReach
+from repro.reach.symbolic import SymbolicReach
+
+
+def context_bounded_analysis(
+    cpds: CPDS,
+    prop: Property,
+    bound: int,
+    engine: ReachabilityEngine | str = "symbolic",
+    max_states_per_context: int = DEFAULT_STATE_LIMIT,
+) -> VerificationResult:
+    """Check ``prop`` for executions with at most ``bound`` contexts.
+
+    Returns UNSAFE with the minimal revealing bound, or UNKNOWN with
+    message "no violation within k contexts" — never SAFE, because CBA
+    underapproximates (Sec. 7: "a bug which requires more than that
+    bound to manifest will slip through").
+    """
+    if isinstance(engine, str):
+        if engine == "explicit":
+            engine = ExplicitReach(cpds, max_states_per_context=max_states_per_context)
+        elif engine == "symbolic":
+            engine = SymbolicReach(cpds)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+    method = f"cba(k={bound})"
+
+    witness = prop.find_violation(engine.visible_up_to(0))
+    if witness is not None:
+        return VerificationResult(
+            Verdict.UNSAFE, bound=0, method=method, witness=witness,
+            message=f"violation of '{prop.describe()}'",
+        )
+    try:
+        while engine.k < bound:
+            engine.advance()
+            witness = prop.find_violation(engine.visible_new_at(engine.k))
+            if witness is not None:
+                return VerificationResult(
+                    Verdict.UNSAFE, bound=engine.k, method=method, witness=witness,
+                    message=f"violation of '{prop.describe()}'",
+                )
+    except ContextExplosionError as explosion:
+        return VerificationResult(
+            Verdict.UNKNOWN, bound=engine.k, method=method,
+            message=f"explicit engine diverged: {explosion}",
+        )
+    return VerificationResult(
+        Verdict.UNKNOWN, bound=bound, method=method,
+        message=f"no violation within {bound} contexts (CBA cannot prove safety)",
+        stats={"visible_states": len(engine.visible_up_to())},
+    )

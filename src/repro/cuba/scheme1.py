@@ -1,0 +1,174 @@
+"""Scheme 1 instantiated with the global-state sequence ``(Rk)`` (Sec. 4).
+
+``(Rk)`` is stutter-free (Lemma 7), so a plateau *is* a collapse and the
+plain Scheme 1 plateau test is sound.  The explicit engine requires
+finite context reachability; on non-FCR programs the per-context guard
+raises and the run reports UNKNOWN with the explosion diagnosis.
+"""
+
+from __future__ import annotations
+
+from repro.core.observation import ObservationSequence
+from repro.core.property import Property
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.cpds import CPDS
+from repro.cpds.state import VisibleState
+from repro.errors import ContextExplosionError
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.explicit import ExplicitReach
+
+
+class RkSequence(ObservationSequence):
+    """The observation sequence ``k ↦ Rk`` over an explicit engine."""
+
+    def __init__(self, engine: ExplicitReach) -> None:
+        self.engine = engine
+
+    @property
+    def k(self) -> int:
+        return self.engine.k
+
+    def advance(self) -> None:
+        self.engine.advance()
+
+    def equals_previous(self) -> bool:
+        return self.engine.plateaued_at(self.engine.k)
+
+    def find_violation(self, prop: Property) -> VisibleState | None:
+        # Rk refines T(Rk); reachability properties are checked on the
+        # projection (they are expressible there, Ex. 2).
+        return prop.find_violation(self.engine.visible_up_to())
+
+
+def scheme1_rk(
+    cpds: CPDS,
+    prop: Property,
+    max_rounds: int = 50,
+    max_states_per_context: int = DEFAULT_STATE_LIMIT,
+    engine: ExplicitReach | None = None,
+) -> VerificationResult:
+    """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
+
+    Returns UNSAFE with the revealing bound and a witness trace, SAFE
+    with the collapse bound ``k0`` (then ``Rk = Rk0`` for all k ≥ k0),
+    or UNKNOWN when the budget runs out / FCR is violated.
+    """
+    if engine is None:
+        engine = ExplicitReach(cpds, max_states_per_context=max_states_per_context)
+    method = "scheme1(Rk)"
+
+    def check(bound: int) -> VerificationResult | None:
+        witness = prop.find_violation(engine.visible_new_at(bound))
+        if witness is None:
+            return None
+        state = engine.find_visible(witness)
+        trace = engine.trace(state) if state is not None else None
+        return VerificationResult(
+            Verdict.UNSAFE,
+            bound=bound,
+            method=method,
+            message=f"violation of '{prop.describe()}'",
+            witness=witness,
+            trace=trace,
+            stats=_stats(engine),
+        )
+
+    result = check(0)
+    if result is not None:
+        return result
+    try:
+        for _round in range(max_rounds):
+            engine.advance()
+            k = engine.k
+            result = check(k)
+            if result is not None:
+                return result
+            if engine.plateaued_at(k):
+                return VerificationResult(
+                    Verdict.SAFE,
+                    bound=k,
+                    method=method,
+                    message="(Rk) collapsed (stutter-free plateau, Lemma 7)",
+                    stats=_stats(engine),
+                )
+    except ContextExplosionError as explosion:
+        return VerificationResult(
+            Verdict.UNKNOWN,
+            bound=engine.k,
+            method=method,
+            message=f"explicit engine diverged: {explosion}",
+            stats=_stats(engine),
+        )
+    return VerificationResult(
+        Verdict.UNKNOWN,
+        bound=engine.k,
+        method=method,
+        message=f"no conclusion within {max_rounds} rounds",
+        stats=_stats(engine),
+    )
+
+
+def _stats(engine: ExplicitReach) -> dict:
+    return {
+        "global_states": len(engine.first_seen),
+        "visible_states": len(engine.visible_up_to()),
+        "levels": [len(level) for level in engine.levels],
+    }
+
+
+def scheme1_sk(
+    cpds: CPDS,
+    prop: Property,
+    max_rounds: int = 50,
+) -> VerificationResult:
+    """Scheme 1 over the symbolic state sets ``Sk`` — a library
+    extension beyond the paper's three approaches.
+
+    A round that produces no language-new symbolic state means the
+    frontier is empty, so every later ``Sk`` — and hence every ``Rk`` —
+    equals the current one: the plateau test is sound.  Unlike
+    ``Scheme 1(Rk)`` this works without FCR; unlike ``Alg. 3`` it needs
+    no generator machinery, at the price of comparing whole automata
+    languages (it cannot converge when stack languages keep growing,
+    e.g. Fig. 1).
+    """
+    from repro.reach.symbolic import SymbolicReach
+
+    engine = SymbolicReach(cpds)
+    method = "scheme1(Sk)"
+
+    def check(bound: int) -> VerificationResult | None:
+        witness = prop.find_violation(engine.visible_new_at(bound))
+        if witness is None:
+            return None
+        return VerificationResult(
+            Verdict.UNSAFE,
+            bound=bound,
+            method=method,
+            message=f"violation of '{prop.describe()}'",
+            witness=witness,
+        )
+
+    result = check(0)
+    if result is not None:
+        return result
+    for _round in range(max_rounds):
+        engine.advance()
+        k = engine.k
+        result = check(k)
+        if result is not None:
+            return result
+        if engine.plateaued_at(k):
+            return VerificationResult(
+                Verdict.SAFE,
+                bound=k,
+                method=method,
+                message="symbolic state set collapsed (empty frontier)",
+                stats={"symbolic_states": len(engine.symbolic_up_to())},
+            )
+    return VerificationResult(
+        Verdict.UNKNOWN,
+        bound=engine.k,
+        method=method,
+        message=f"no conclusion within {max_rounds} rounds",
+    )

@@ -1,0 +1,193 @@
+"""The CUBA front-end (paper Sec. 6).
+
+Given a CPDS and a property, Cuba first decides FCR.  If it holds, both
+explicit methods run "in parallel" — here deterministically interleaved
+on one shared engine, evaluating both termination tests every round and
+reporting whichever concludes first, exactly the observable behavior of
+the paper's two computation threads.  Otherwise the symbolic
+``Alg. 3(T(Sk))`` runs alone::
+
+    Input: a CPDS Pn and a property C
+    1: if Pn satisfies FCR then
+    2:     Alg. 3(T(Rk)) ∥ Scheme 1(Rk)
+    3: else
+    4:     Alg. 3(T(Sk))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.property import Property
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.cpds import CPDS
+from repro.cuba.algorithm3 import algorithm3
+from repro.cuba.fcr import FCRReport, check_fcr
+from repro.cuba.generators import generator_analysis
+from repro.cuba.overapprox import compute_z
+from repro.cuba.scheme1 import scheme1_rk
+from repro.errors import ContextExplosionError
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.explicit import ExplicitReach
+
+
+@dataclass(slots=True)
+class CubaReport:
+    """Full outcome of a Cuba run.
+
+    ``result`` is the winning verdict; ``winner`` names the method that
+    produced it.  ``rk_bound`` / ``trk_bound`` are the collapse bounds of
+    ``(Rk)`` and ``(T(Rk))`` when determined; a method interrupted by the
+    other's success reports only the lower bound ``≥ interrupted_at``
+    (Table 2's ``≥`` entries).
+    """
+
+    fcr: FCRReport
+    result: VerificationResult
+    winner: str
+    rk_bound: int | None = None
+    trk_bound: int | None = None
+    interrupted_at: int | None = None
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.result.verdict
+
+    def bound_text(self, which: str) -> str:
+        """Table 2 style rendering of a kmax column (``"rk"``/``"trk"``)."""
+        bound = self.rk_bound if which == "rk" else self.trk_bound
+        if bound is not None:
+            return str(bound)
+        if self.interrupted_at is not None:
+            return f"≥{self.interrupted_at}"
+        return "-"
+
+
+class Cuba:
+    """Verifier implementing the overall procedure of Sec. 6."""
+
+    def __init__(
+        self,
+        cpds: CPDS,
+        prop: Property,
+        max_states_per_context: int = DEFAULT_STATE_LIMIT,
+    ) -> None:
+        self.cpds = cpds
+        self.prop = prop
+        self.max_states_per_context = max_states_per_context
+
+    # ------------------------------------------------------------------
+    def verify(self, max_rounds: int = 50) -> CubaReport:
+        """Run the front-end procedure and collect the full report."""
+        fcr = check_fcr(self.cpds)
+        if fcr.holds:
+            return self._verify_explicit_pair(fcr, max_rounds)
+        result = algorithm3(
+            self.cpds, self.prop, engine="symbolic", max_rounds=max_rounds
+        )
+        trk = result.bound if result.verdict is Verdict.SAFE else None
+        return CubaReport(
+            fcr=fcr,
+            result=result,
+            winner=result.method,
+            trk_bound=trk,
+            # (Rk) is never tracked on the symbolic path; report the
+            # Table 2 style lower bound "≥ explored".
+            interrupted_at=result.bound,
+        )
+
+    # ------------------------------------------------------------------
+    def _verify_explicit_pair(self, fcr: FCRReport, max_rounds: int) -> CubaReport:
+        """Alg. 3(T(Rk)) ∥ Scheme 1(Rk) on one shared explicit engine."""
+        engine = ExplicitReach(
+            self.cpds, max_states_per_context=self.max_states_per_context
+        )
+        analysis = generator_analysis(self.cpds)
+        reachable_generators = analysis.intersect(compute_z(self.cpds))
+
+        witness = self.prop.find_violation(engine.visible_up_to(0))
+        if witness is not None:
+            return self._unsafe_report(fcr, engine, 0, witness)
+
+        rk_bound: int | None = None
+        trk_bound: int | None = None
+        try:
+            for _round in range(max_rounds):
+                engine.advance()
+                k = engine.k
+                witness = self.prop.find_violation(engine.visible_new_at(k))
+                if witness is not None:
+                    return self._unsafe_report(fcr, engine, k, witness)
+
+                if rk_bound is None and engine.plateaued_at(k):
+                    rk_bound = k  # (Rk) collapsed (Lemma 7)
+                if trk_bound is None:
+                    new_plateau = (
+                        not engine.visible_new_at(k) and engine.visible_new_at(k - 1)
+                    )
+                    if new_plateau and reachable_generators <= engine.visible_up_to(k):
+                        trk_bound = k - 1  # (T(Rk)) collapsed (Thm. 11)
+
+                if rk_bound is not None or trk_bound is not None:
+                    winner = (
+                        "scheme1(Rk)" if trk_bound is None else "alg3(T(Rk))"
+                    )
+                    result = VerificationResult(
+                        Verdict.SAFE,
+                        bound=trk_bound if trk_bound is not None else rk_bound,
+                        method=winner,
+                        message="observation sequence converged",
+                        stats={
+                            "global_states": len(engine.first_seen),
+                            "visible_states": len(engine.visible_up_to()),
+                        },
+                    )
+                    return CubaReport(
+                        fcr=fcr,
+                        result=result,
+                        winner=winner,
+                        rk_bound=rk_bound,
+                        trk_bound=trk_bound,
+                        interrupted_at=k,
+                    )
+        except ContextExplosionError as explosion:
+            result = VerificationResult(
+                Verdict.UNKNOWN,
+                bound=engine.k,
+                method="cuba",
+                message=f"explicit engine diverged: {explosion}",
+            )
+            return CubaReport(
+                fcr=fcr, result=result, winner="none", interrupted_at=engine.k
+            )
+
+        result = VerificationResult(
+            Verdict.UNKNOWN,
+            bound=engine.k,
+            method="cuba",
+            message=f"no conclusion within {max_rounds} rounds",
+        )
+        return CubaReport(fcr=fcr, result=result, winner="none", interrupted_at=engine.k)
+
+    # ------------------------------------------------------------------
+    def _unsafe_report(
+        self, fcr: FCRReport, engine: ExplicitReach, bound: int, witness
+    ) -> CubaReport:
+        state = engine.find_visible(witness)
+        trace = engine.trace(state) if state is not None else None
+        result = VerificationResult(
+            Verdict.UNSAFE,
+            bound=bound,
+            method="cuba",
+            message=f"violation of '{self.prop.describe()}'",
+            witness=witness,
+            trace=trace,
+        )
+        return CubaReport(
+            fcr=fcr,
+            result=result,
+            winner="cuba",
+            rk_bound=None,
+            trk_bound=None,
+            interrupted_at=bound,
+        )

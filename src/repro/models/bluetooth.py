@@ -1,0 +1,109 @@
+"""The Windows NT Bluetooth driver benchmarks (Table 2, rows 1–3).
+
+Re-modeled from the driver description in Qadeer/Wu (KISS) and Chaki et
+al.: *stopper* threads halt the driver, *adder* threads perform I/O.  A
+saturating two-bit reference counter ``(p1 p0)`` plays the role of
+``pendingIo`` (it starts at 1 — the driver's own reference — and is
+bounded by 1 + #adders ≤ 3); the adders' nested I/O is a *recursive*
+procedure whose depth is capped by the counter's saturation guard, which
+is what keeps finite context reachability intact (Table 2 reports FCR
+for all Bluetooth rows) while exercising genuine recursion — the paper
+likewise "uses a recursive procedure to model the counter".
+
+The three versions differ in the adder's reference discipline
+(substitution documented in DESIGN.md — the original driver sources are
+not distributed with the paper):
+
+* **version 1** — the classic KISS TOCTOU bug: the adder checks
+  ``stopping_flag`` *before* taking its reference; the stopper can stop
+  the driver in between.  Unsafe.
+* **version 2** — checks after taking the reference (fixing v1) but
+  releases the reference *before* performing the I/O; the driver can be
+  stopped while the I/O is still in flight.  Unsafe.
+* **version 3** — checks after taking the reference and releases after
+  the I/O.  Safe; context-unbounded safety is exactly what CUBA proves
+  and context-bounded tools cannot.
+
+The safety property is the driver invariant ``assert (!stopped)`` at the
+I/O point, compiled to "error state unreachable".
+"""
+
+from __future__ import annotations
+
+from repro.bp.translate import CompiledProgram, compile_source
+
+# Atomic two-bit counter steps (see module docstring for the encoding).
+_TAKE_REF = "atomic { assume (!(p1 & p0)); p0, p1 := !p0, p1 ^ p0; }"
+_DROP_REF = (
+    "atomic { assume (p0 | p1); p0, p1 := !p0, p1 ^ !p0; "
+    "ev := ev | !p0 & !p1; }"
+)
+
+_ADDER_V1 = f"""
+void adder() {{
+  if (sf) {{ return; }}
+  {_TAKE_REF}
+  if (*) {{ call adder(); }}
+  assert (!st);
+  {_DROP_REF}
+}}
+"""
+
+_ADDER_V2 = f"""
+void adder() {{
+  {_TAKE_REF}
+  if (sf) {{ {_DROP_REF} return; }}
+  if (*) {{ call adder(); }}
+  {_DROP_REF}
+  assert (!st);
+}}
+"""
+
+_ADDER_V3 = f"""
+void adder() {{
+  {_TAKE_REF}
+  if (sf) {{ {_DROP_REF} return; }}
+  if (*) {{ call adder(); }}
+  assert (!st);
+  {_DROP_REF}
+}}
+"""
+
+_STOPPER = f"""
+void stopper() {{
+  decl mine;
+  atomic {{ mine := !sf; sf := 1; }}
+  if (mine) {{
+    {_DROP_REF}
+  }}
+  while (!ev) {{ skip; }}
+  st := 1;
+}}
+"""
+
+_ADDERS = {1: _ADDER_V1, 2: _ADDER_V2, 3: _ADDER_V3}
+
+
+def bluetooth_source(version: int, n_stoppers: int, n_adders: int) -> str:
+    """Boolean-program source for one Bluetooth configuration."""
+    if version not in _ADDERS:
+        raise ValueError(f"unknown Bluetooth version {version}")
+    creates = "\n  ".join(
+        ["thread_create(&stopper);"] * n_stoppers
+        + ["thread_create(&adder);"] * n_adders
+    )
+    return (
+        "// Bluetooth driver, version %d (%d stoppers + %d adders)\n"
+        "decl sf, st, ev, p0, p1;\n"
+        "%s\n%s\n"
+        "void main() {\n  %s\n}\n"
+        % (version, n_stoppers, n_adders, _STOPPER, _ADDERS[version], creates)
+    )
+
+
+def bluetooth(version: int, n_stoppers: int = 1, n_adders: int = 1) -> CompiledProgram:
+    """Compile a Bluetooth configuration; ``pendingIo`` starts at 1."""
+    return compile_source(
+        bluetooth_source(version, n_stoppers, n_adders),
+        init={"p0": 1},
+    )

@@ -1,0 +1,63 @@
+"""Concurrent binary search tree (Table 2, row 4 — BST-Insert).
+
+Re-modeled after Kung/Lehman's lock-based concurrent BST: *inserter*
+threads descend the tree recursively and splice a node in under the
+global lock; *searcher* threads descend recursively and read under the
+lock.  The Boolean abstraction tracks:
+
+* ``inv`` — the tree's structural invariant (temporarily broken by an
+  inserter while it rewires pointers, always under the lock);
+* a saturating two-bit descent depth ``(d1 d0)`` standing in for the
+  abstracted tree height, which bounds the recursion per context and
+  keeps finite context reachability (Table 2: FCR holds for every BST
+  row).
+
+Searchers ``assert (inv)`` while holding the lock: safe, because
+inserters only break the invariant inside their own lock section — the
+property context-bounded tools can check but never prove for unbounded
+contexts.
+"""
+
+from __future__ import annotations
+
+from repro.bp.translate import CompiledProgram, compile_source
+
+_SOURCE = """
+// Kung/Lehman-style concurrent BST, Boolean abstraction.
+decl inv, d0, d1;
+
+void descend() {
+  // One tree level: bounded by the saturating depth counter.
+  atomic { assume (!(d1 & d0)); d0, d1 := !d0, d1 ^ d0; }
+  if (*) { call descend(); }
+  atomic { assume (d0 | d1); d0, d1 := !d0, d1 ^ !d0; }
+}
+
+void inserter() {
+  call descend();
+  lock;
+  inv := 0;     // rewiring: invariant briefly broken
+  inv := 1;
+  unlock;
+}
+
+void searcher() {
+  call descend();
+  lock;
+  assert (inv); // reads must see a consistent tree
+  unlock;
+}
+"""
+
+
+def bst_source(n_inserters: int, n_searchers: int) -> str:
+    creates = "\n  ".join(
+        ["thread_create(&inserter);"] * n_inserters
+        + ["thread_create(&searcher);"] * n_searchers
+    )
+    return _SOURCE + "\nvoid main() {\n  %s\n}\n" % creates
+
+
+def bst_insert(n_inserters: int = 1, n_searchers: int = 1) -> CompiledProgram:
+    """Compile a BST-Insert configuration; the tree starts consistent."""
+    return compile_source(bst_source(n_inserters, n_searchers), init={"inv": 1})

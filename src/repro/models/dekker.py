@@ -1,0 +1,69 @@
+"""Dekker's mutual exclusion (Table 2, row 9 — 2•, non-recursive).
+
+The only recursion-free benchmark in the suite (the paper remarks that
+Scheme 1(Rk) is guaranteed to terminate on it, while Alg. 3 may still
+fail to distinguish stuttering from convergence).  The classic algorithm
+for two threads with intent flags and a turn variable; each thread
+asserts the other is outside the critical section.
+"""
+
+from __future__ import annotations
+
+from repro.bp.translate import CompiledProgram, compile_source
+
+_SOURCE = """
+// Dekker's algorithm, two symmetric threads.
+decl flag0, flag1, turn, in0, in1;
+
+void p0() {
+  flag0 := 1;
+  while (flag1) {
+    if (turn) {
+      flag0 := 0;
+      while (turn) { skip; }
+      flag0 := 1;
+    }
+  }
+  in0 := 1;
+  assert (!in1);    // critical section
+  in0 := 0;
+  turn := 1;
+  flag0 := 0;
+}
+
+void p1() {
+  flag1 := 1;
+  while (!flag0) { } // note: inverted spin on the *other* flag below
+  skip;
+}
+"""
+
+# The real second thread is symmetric; the placeholder above is replaced
+# in dekker_source() to keep the two bodies literally mirrored.
+_P1 = """
+void p1() {
+  flag1 := 1;
+  while (flag0) {
+    if (!turn) {
+      flag1 := 0;
+      while (!turn) { skip; }
+      flag1 := 1;
+    }
+  }
+  in1 := 1;
+  assert (!in0);    // critical section
+  in1 := 0;
+  turn := 0;
+  flag1 := 0;
+}
+"""
+
+
+def dekker_source() -> str:
+    head, _sep, _rest = _SOURCE.partition("void p1()")
+    return head + _P1 + "\nvoid main() {\n  thread_create(&p0);\n  thread_create(&p1);\n}\n"
+
+
+def dekker() -> CompiledProgram:
+    """Compile the two-thread Dekker instance (turn initially thread 0)."""
+    return compile_source(dekker_source())

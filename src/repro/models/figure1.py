@@ -1,0 +1,28 @@
+"""The two-thread CPDS of the paper's Fig. 1 — the running example.
+
+``Q = {0,1,2,3}``, ``Σ1 = {1,2}``, ``Σ2 = {4,5,6}``; initial state
+``⟨0|1,4⟩``.  Its visible-state observation sequence plateaus at k = 2
+(stuttering) and collapses at k = 5 (Ex. 5, 9, 14); it satisfies FCR
+while its full reachable set is infinite (Ex. 15).
+"""
+
+from __future__ import annotations
+
+from repro.cpds.cpds import CPDS
+from repro.pds.pds import PDS
+
+
+def fig1_cpds() -> CPDS:
+    """Build the Fig. 1 CPDS exactly as printed."""
+    shared = {0, 1, 2, 3}
+
+    thread1 = PDS(initial_shared=0, shared_states=shared, name="P1")
+    thread1.rule(0, 1, 1, (2,), label="f1")
+    thread1.rule(3, 2, 0, (1,), label="f2")
+
+    thread2 = PDS(initial_shared=0, shared_states=shared, name="P2")
+    thread2.rule(0, 4, 0, (), label="b1")
+    thread2.rule(1, 4, 2, (5,), label="b2")
+    thread2.rule(2, 5, 3, (4, 6), label="b3")
+
+    return CPDS([thread1, thread2], initial_stacks=[(1,), (4,)], name="fig1")

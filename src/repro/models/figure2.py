@@ -1,0 +1,47 @@
+"""The foo/bar CPDS of the paper's Fig. 2 (Ex. 8, from Prabhu et al.).
+
+Two recursive procedures synchronize through a shared Boolean ``x``
+initialized nondeterministically (shared state ``⊥``).  Both stacks can
+grow without bound inside a single context (the recursion at lines 3/7),
+so the program violates FCR (Fig. 4) — the symbolic engine is required.
+Per Ex. 8, ``⟨1|4,9⟩ ∈ R2 \\ R1`` and ``R2 = R3``.
+
+Encoding (as printed): ``Q = {⊥,0,1}``, ``Σ1 = {2,3,4,5}``,
+``Σ2 = {6,7,8,9}``, initial state ``⟨⊥|2,6⟩``.  Rules written with a
+metavariable ``x`` exist for ``x = 0`` and ``x = 1``.
+"""
+
+from __future__ import annotations
+
+from repro.cpds.cpds import CPDS
+from repro.pds.pds import PDS
+
+#: The paper's ``⊥``: x not yet chosen.
+BOTTOM = "⊥"
+
+
+def fig2_cpds() -> CPDS:
+    """Build the Fig. 2 CPDS exactly as printed."""
+    shared = {BOTTOM, 0, 1}
+
+    foo = PDS(initial_shared=BOTTOM, shared_states=shared, name="foo")
+    for x in (0, 1):
+        foo.rule(BOTTOM, 2, x, (2,), label="f0")
+        foo.rule(x, 2, x, (3,), label="f2a")
+        foo.rule(x, 2, x, (4,), label="f2b")
+        foo.rule(x, 3, x, (2, 4), label="f3")
+        foo.rule(x, 5, 1, (), label="f5")
+    foo.rule(1, 4, 1, (4,), label="f4a")  # while (x) {} — spin
+    foo.rule(0, 4, 0, (5,), label="f4b")
+
+    bar = PDS(initial_shared=BOTTOM, shared_states=shared, name="bar")
+    for x in (0, 1):
+        bar.rule(BOTTOM, 6, x, (6,), label="b0")
+        bar.rule(x, 6, x, (7,), label="b6a")
+        bar.rule(x, 6, x, (8,), label="b6b")
+        bar.rule(x, 7, x, (6, 8), label="b7")
+        bar.rule(x, 9, 0, (), label="b9")
+    bar.rule(0, 8, 0, (8,), label="b8a")  # while (!x) {} — spin
+    bar.rule(1, 8, 1, (9,), label="b8b")
+
+    return CPDS([foo, bar], initial_stacks=[(2,), (6,)], name="fig2")

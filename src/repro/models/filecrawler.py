@@ -1,0 +1,53 @@
+"""Parallel file crawler (Table 2, row 5 — FileCrawler, 1• + 2).
+
+Re-modeled from the paper's description: an artificial benchmark
+converted from an online parallel file crawler "that allows multiple
+users to recursively access files in a given directory".  One
+*dispatcher* (non-recursive — the ``•`` in Table 2) opens the root
+directory and hands work to *crawler* threads, which recurse into
+subdirectories.  Recursion depth is bounded per context by a saturating
+two-bit depth budget (the directory tree the crawler may enter), which
+preserves finite context reachability.
+
+Crawlers ``assert (go)`` before touching the tree — they must never run
+before the dispatcher opened the root.  Safe.
+"""
+
+from __future__ import annotations
+
+from repro.bp.translate import CompiledProgram, compile_source
+
+_SOURCE = """
+// Parallel file crawler: 1 dispatcher + N recursive crawlers.
+decl go, closed, d0, d1;
+
+void dispatcher() {
+  go := 1;
+  while (*) { skip; }   // serve other requests
+  closed := *;          // the root may be closed for new crawls
+}
+
+void crawl() {
+  assert (go);          // never crawl before dispatch
+  atomic { assume (!(d1 & d0)); d0, d1 := !d0, d1 ^ d0; }
+  if (*) { call crawl(); }        // enter a subdirectory
+  atomic { assume (d0 | d1); d0, d1 := !d0, d1 ^ !d0; }
+}
+
+void crawler() {
+  while (!go) { skip; }
+  if (!closed) { call crawl(); }
+}
+"""
+
+
+def filecrawler_source(n_crawlers: int) -> str:
+    creates = "\n  ".join(
+        ["thread_create(&dispatcher);"] + ["thread_create(&crawler);"] * n_crawlers
+    )
+    return _SOURCE + "\nvoid main() {\n  %s\n}\n" % creates
+
+
+def filecrawler(n_crawlers: int = 2) -> CompiledProgram:
+    """Compile the crawler benchmark (paper configuration: 1• + 2)."""
+    return compile_source(filecrawler_source(n_crawlers))

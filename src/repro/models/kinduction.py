@@ -1,0 +1,48 @@
+"""K-Induction (Table 2, row 6 — the paper's Fig. 2 / Ex. 8 program).
+
+This is the foo/bar example from Prabhu et al. on which their
+CBA+k-induction procedure fails to terminate; the paper uses it as the
+flagship non-FCR benchmark.  We use the verbatim Fig. 2 CPDS
+(:mod:`repro.models.figure2`).
+
+The safety property: ``foo`` poised to set ``x := 1`` (top symbol 5) and
+``bar`` poised to set ``x := 0`` (top symbol 9) are never armed
+simultaneously — the race the ``while`` handshakes prevent.  A Boolean
+program equivalent is available via
+:func:`repro.models.kinduction.kinduction_source`.
+"""
+
+from __future__ import annotations
+
+from repro.core.property import MutualExclusion, Property
+from repro.cpds.cpds import CPDS
+from repro.models.figure2 import fig2_cpds
+
+#: Boolean-program rendition of Fig. 2 (compiled form used in tests).
+KINDUCTION_SOURCE = """
+decl x;
+void foo() {
+  if (*) { call foo(); }
+  while (x) { skip; }
+  x := 1;
+}
+void bar() {
+  if (*) { call bar(); }
+  while (!x) { skip; }
+  x := 0;
+}
+void main() {
+  thread_create(&foo);
+  thread_create(&bar);
+}
+"""
+
+
+def kinduction() -> tuple[CPDS, Property]:
+    """The Fig. 2 CPDS with its race-freedom property."""
+    return fig2_cpds(), MutualExclusion({0: {5}, 1: {9}})
+
+
+def kinduction_source() -> str:
+    """Source text of the Boolean-program rendition."""
+    return KINDUCTION_SOURCE

@@ -1,0 +1,51 @@
+"""Proc-2 (Table 2, row 7 — from Chaki et al., 2+2•).
+
+Re-modeled: two *server* threads run a genuinely unboundedly recursive
+procedure (recursion unguarded by any shared state, so a single context
+can pump the stack — finite context reachability fails, matching the
+open circle in Table 2), and two non-recursive *client* threads (the
+``•`` template) perform a handshake with the servers over a shared bit.
+
+Safety: a server acknowledges (``ack``) only after a client raised
+``req`` — ``assert (req)`` at the acknowledgment point.  Safe, and
+provable only by the symbolic engine since FCR fails.
+"""
+
+from __future__ import annotations
+
+from repro.bp.translate import CompiledProgram, compile_source
+
+_SOURCE = """
+// Two recursive servers + two non-recursive clients.
+decl req, ack;
+
+void serve() {
+  if (*) { call serve(); }    // unbounded work splitting: no FCR
+  if (req) {
+    assert (req);
+    ack := 1;
+  }
+}
+
+void server() {
+  call serve();
+}
+
+void client() {
+  req := 1;
+  while (!ack) { skip; }
+}
+"""
+
+
+def proc2_source(n_servers: int = 2, n_clients: int = 2) -> str:
+    creates = "\n  ".join(
+        ["thread_create(&server);"] * n_servers
+        + ["thread_create(&client);"] * n_clients
+    )
+    return _SOURCE + "\nvoid main() {\n  %s\n}\n" % creates
+
+
+def proc2(n_servers: int = 2, n_clients: int = 2) -> CompiledProgram:
+    """Compile Proc-2 (paper configuration: 2 + 2•)."""
+    return compile_source(proc2_source(n_servers, n_clients))

@@ -1,0 +1,34 @@
+"""Sequential pushdown systems (paper Sec. 2.1).
+
+A PDS is a tuple ``(Q, Σ, Δ, qI)``: shared states, stack alphabet,
+pushdown program, initial shared state.  This package provides the data
+model, the explicit step semantics, the ``post*`` saturation construction
+of pushdown store automata (App. C), and the top-of-stack projection of a
+PSA's language (Alg. 4).
+"""
+
+from repro.pds.action import Action, ActionKind
+from repro.pds.state import EMPTY, PDSState, format_stack, format_top
+from repro.pds.pds import PDS
+from repro.pds.semantics import enabled_actions, post_star_explicit, step, successors
+from repro.pds.psa import PSA
+from repro.pds.saturation import post_star, post_star_naive, pre_star, psa_for_configs
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "EMPTY",
+    "PDS",
+    "PDSState",
+    "PSA",
+    "enabled_actions",
+    "format_stack",
+    "format_top",
+    "post_star",
+    "post_star_naive",
+    "pre_star",
+    "post_star_explicit",
+    "psa_for_configs",
+    "step",
+    "successors",
+]

@@ -1,0 +1,118 @@
+"""The sequential pushdown system ``P = (Q, Σ, Δ, qI)``."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.errors import ModelError
+from repro.pds.action import Action
+from repro.pds.state import PDSState
+
+Shared = Hashable
+Symbol = Hashable
+
+
+class PDS:
+    """A sequential pushdown system (paper Sec. 2.1).
+
+    Shared states and alphabet symbols are registered automatically as
+    actions are added; they can also be declared up front so that a PDS
+    can mention states no action touches (useful when several threads
+    share ``Q``).
+    """
+
+    def __init__(
+        self,
+        initial_shared: Shared,
+        shared_states: Iterable[Shared] = (),
+        alphabet: Iterable[Symbol] = (),
+        name: str = "",
+    ) -> None:
+        self.name = name
+        self.initial_shared = initial_shared
+        self._shared_states: set[Shared] = {initial_shared, *shared_states}
+        self._alphabet: set[Symbol] = set(alphabet)
+        self._actions: list[Action] = []
+        # Enabledness index: (shared, read symbol or None) -> actions.
+        self._by_trigger: dict[tuple, list[Action]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_action(self, action: Action) -> Action:
+        """Register an action, updating ``Q`` and ``Σ`` as needed."""
+        if None in action.read or None in action.write:
+            raise ModelError("stack symbols must not be None (reserved for ε)")
+        self._shared_states.add(action.from_shared)
+        self._shared_states.add(action.to_shared)
+        self._alphabet.update(action.read)
+        self._alphabet.update(action.write)
+        self._actions.append(action)
+        trigger = (action.from_shared, action.read_symbol)
+        self._by_trigger.setdefault(trigger, []).append(action)
+        return action
+
+    def rule(
+        self,
+        from_shared: Shared,
+        read: Sequence[Symbol] | Symbol | None,
+        to_shared: Shared,
+        write: Sequence[Symbol],
+        label: str = "",
+    ) -> Action:
+        """Shorthand: build an :class:`Action` via ``Action.make`` and add it."""
+        return self.add_action(Action.make(from_shared, read, to_shared, write, label))
+
+    def declare_symbol(self, symbol: Symbol) -> None:
+        """Register a stack symbol no action mentions (e.g. an initial
+        stack symbol for a thread that never reads it)."""
+        if symbol is None:
+            raise ModelError("stack symbols must not be None (reserved for ε)")
+        self._alphabet.add(symbol)
+
+    def declare_shared(self, shared: Shared) -> None:
+        """Register a shared state no action mentions."""
+        self._shared_states.add(shared)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shared_states(self) -> frozenset[Shared]:
+        return frozenset(self._shared_states)
+
+    @property
+    def alphabet(self) -> frozenset[Symbol]:
+        return frozenset(self._alphabet)
+
+    @property
+    def actions(self) -> tuple[Action, ...]:
+        return tuple(self._actions)
+
+    def actions_for(self, shared: Shared, top: Symbol | None) -> tuple[Action, ...]:
+        """Actions triggered by thread-visible state ``(shared, top)``
+        (``top is None`` means the stack is empty)."""
+        return tuple(self._by_trigger.get((shared, top), ()))
+
+    def initial_state(self, stack: Sequence[Symbol] = ()) -> PDSState:
+        """``⟨qI|stack⟩``; by default the paper's ``⟨qI|ε⟩``."""
+        for symbol in stack:
+            if symbol not in self._alphabet:
+                raise ModelError(f"initial stack symbol {symbol!r} not in alphabet")
+        return PDSState(self.initial_shared, tuple(stack))
+
+    def validate(self) -> None:
+        """Check global well-formedness; raise :class:`ModelError` if broken."""
+        if self.initial_shared not in self._shared_states:
+            raise ModelError("initial shared state missing from Q")
+        for action in self._actions:
+            for symbol in (*action.read, *action.write):
+                if symbol not in self._alphabet:
+                    raise ModelError(f"action {action} uses unknown symbol {symbol!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"PDS{name}(|Q|={len(self._shared_states)}, "
+            f"|Σ|={len(self._alphabet)}, |Δ|={len(self._actions)})"
+        )

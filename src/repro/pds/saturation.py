@@ -1,0 +1,321 @@
+"""``post*`` saturation: PDS reachability as a pushdown store automaton.
+
+Implements the classical construction of Bouajjani/Esparza/Maler (used by
+the paper via Schwoon's formulation [38]) extended to the paper's
+empty-stack actions ``(q,ε)→(q',w')``.
+
+Given a P-automaton ``A`` accepting an initial set ``C`` of PDS states,
+the returned PSA accepts exactly ``post*(C)``, the states reachable from
+``C``.  The saturation rules are, writing ``p --γ--> q`` for "``q`` is
+reachable from ``p`` by ``ε* γ ε*``" in the *current* automaton:
+
+* pop ``(p,γ)→(p',ε)``:        add ``p' --ε--> q``    for each ``p --γ--> q``
+* overwrite ``(p,γ)→(p',γ')``: add ``p' --γ'--> q``   for each ``p --γ--> q``
+* push ``(p,γ)→(p',ρ0ρ1)``:    add ``p' --ρ0--> m`` and
+  ``m --ρ1--> q`` for each ``p --γ--> q``, where ``m`` is a helper state
+  unique to ``(p', ρ0)`` (Schwoon's ``q_{p'γ'}``)
+* empty-overwrite ``(p,ε)→(p',ε)``: if ``⟨p|ε⟩`` accepted,
+  add ``p' --ε--> sink``
+* empty-push ``(p,ε)→(p',σ)``:      if ``⟨p|ε⟩`` accepted,
+  add ``p' --σ--> sink``
+
+where ``sink`` is a dedicated accepting state without outgoing edges, so
+the last two rules add exactly the configurations ``⟨p'|ε⟩`` / ``⟨p'|σ⟩``.
+
+The loop naively re-applies all rules until no edge is added; edge count
+is bounded by ``(|S|·(|Σ|+1)·|S|)``, so termination is guaranteed.  This
+favors clarity over Schwoon's worklist optimization — benchmark automata
+in this domain are small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.automata import EPSILON, NFA
+from repro.errors import ModelError
+from repro.pds.action import ActionKind
+from repro.pds.pds import PDS
+from repro.pds.psa import FINAL_SINK, PSA
+from repro.pds.state import PDSState
+
+Shared = Hashable
+Symbol = Hashable
+
+
+def psa_for_configs(pds: PDS, configs: Iterable[PDSState | tuple]) -> PSA:
+    """Build the initial P-automaton accepting exactly ``configs``.
+
+    Each config is a :class:`PDSState` or a ``(shared, stack)`` pair.
+    Control states are all of ``pds.shared_states``; fresh chain states
+    keep the "no transitions into control states" precondition.
+    """
+    nfa = NFA(states=pds.shared_states, accepting=[FINAL_SINK])
+    counter = 0
+    for config in configs:
+        state = config if isinstance(config, PDSState) else PDSState(*config)
+        if state.shared not in pds.shared_states:
+            raise ModelError(f"config {state} has unknown shared state")
+        if not state.stack:
+            nfa.add_transition(state.shared, EPSILON, FINAL_SINK)
+            continue
+        source = state.shared
+        for symbol in state.stack[:-1]:
+            chain_state = ("__chain__", counter)
+            counter += 1
+            nfa.add_transition(source, symbol, chain_state)
+            source = chain_state
+        nfa.add_transition(source, state.stack[-1], FINAL_SINK)
+    return PSA(nfa, pds.shared_states)
+
+
+def _check_preconditions(psa: PSA) -> None:
+    nfa = psa.automaton
+    for _src, _label, dst in nfa.transitions():
+        if dst in psa.control_states:
+            raise ModelError(
+                "initial P-automaton has a transition into a control state; "
+                "post* saturation requires control states to be entry-only"
+            )
+    for accepting in nfa.accepting:
+        if accepting in psa.control_states:
+            raise ModelError("control states must not be accepting initially")
+
+
+def post_star(pds: PDS, initial: PSA | None = None, *, validate: bool = True) -> PSA:
+    """Saturate ``initial`` into a PSA for ``post*(L(initial))``.
+
+    When ``initial`` is omitted, the start set is the singleton
+    ``{⟨qI|ε⟩}`` (the paper's initial PDS state).  The input PSA is not
+    mutated.
+
+    This is a worklist formulation in the style of Schwoon's efficient
+    algorithm: each transition is processed once, ε-closure is made
+    explicit by *derived* transitions (``p --ε--> q --x--> r`` yields
+    ``p --x--> r``), and the paper's empty-stack rules fire whenever an
+    ε-transition into an accepting state shows that ``⟨p|ε⟩`` is
+    accepted.  See :func:`post_star_naive` for the direct transcription
+    of the saturation rules, against which this one is differentially
+    tested.
+    """
+    if initial is None:
+        initial = psa_for_configs(pds, [pds.initial_state()])
+    if validate:
+        _check_preconditions(initial)
+
+    controls = frozenset(initial.control_states) | frozenset(pds.shared_states)
+    accepting = set(initial.automaton.accepting) | {FINAL_SINK}
+
+    def helper(to_shared: Shared, pushed: Symbol):
+        return ("__push__", to_shared, pushed)
+
+    from collections import deque
+
+    seen: set[tuple] = set()
+    worklist: deque[tuple] = deque()
+
+    def add(src, label, dst) -> None:
+        transition = (src, label, dst)
+        if transition not in seen:
+            seen.add(transition)
+            worklist.append(transition)
+
+    for src, label, dst in initial.automaton.transitions():
+        add(src, label, dst)
+    # Unconditional skeleton edges p' --ρ0--> m for every push rule.
+    for action in pds.actions:
+        if action.kind is ActionKind.PUSH:
+            rho0 = action.write[0]
+            add(action.to_shared, rho0, helper(action.to_shared, rho0))
+
+    rel: dict = {}           # src -> label -> set of dst
+    eps_into: dict = {}      # state -> set of ε-predecessors
+
+    def fire_empty_rules(control) -> None:
+        for action in pds.actions_for(control, None):
+            if action.kind is ActionKind.EMPTY_OVERWRITE:
+                add(action.to_shared, EPSILON, FINAL_SINK)
+            else:  # EMPTY_PUSH
+                add(action.to_shared, action.write[0], FINAL_SINK)
+
+    while worklist:
+        src, label, dst = worklist.popleft()
+        rel.setdefault(src, {}).setdefault(label, set()).add(dst)
+
+        # ε-predecessors of src read `label` through src as well.
+        for predecessor in eps_into.get(src, ()):
+            add(predecessor, label, dst)
+
+        if label is EPSILON:
+            eps_into.setdefault(dst, set()).add(src)
+            # Derive src --x--> r for everything dst already reads.
+            for label2, dsts2 in rel.get(dst, {}).items():
+                for dst2 in dsts2:
+                    add(src, label2, dst2)
+            # ⟨src|ε⟩ is accepted: the paper's empty-stack rules fire.
+            if dst in accepting and src in controls:
+                fire_empty_rules(src)
+            continue
+
+        # Real symbol: saturation rules for actions triggered by
+        # (src, label); src is a control state whenever any match.
+        for action in pds.actions_for(src, label):
+            kind = action.kind
+            if kind is ActionKind.POP:
+                add(action.to_shared, EPSILON, dst)
+            elif kind is ActionKind.OVERWRITE:
+                add(action.to_shared, action.write[0], dst)
+            else:  # PUSH: write = (ρ0, ρ1)
+                rho0, rho1 = action.write
+                mid = helper(action.to_shared, rho0)
+                add(action.to_shared, rho0, mid)
+                add(mid, rho1, dst)
+
+    nfa = NFA(states=controls, accepting=accepting)
+    for src, label, dst in seen:
+        nfa.add_transition(src, label, dst)
+    return PSA(nfa, controls)
+
+
+def post_star_naive(
+    pds: PDS, initial: PSA | None = None, *, validate: bool = True
+) -> PSA:
+    """Reference implementation: re-apply all saturation rules until no
+    transition is added, resolving ε-closure on every query.  Quadratic
+    and slow, but a direct transcription of the rules — kept as the
+    differential-testing oracle for :func:`post_star`."""
+    if initial is None:
+        initial = psa_for_configs(pds, [pds.initial_state()])
+    if validate:
+        _check_preconditions(initial)
+
+    nfa = initial.automaton.copy()
+    controls = set(initial.control_states) | set(pds.shared_states)
+    nfa.add_accepting(FINAL_SINK)  # ensure the sink exists for ε-rules
+    for shared in controls:
+        nfa.add_state(shared)
+
+    def helper(to_shared: Shared, pushed: Symbol):
+        return ("__push__", to_shared, pushed)
+
+    # Unconditional skeleton edges p' --ρ0--> m for every push rule.
+    for action in pds.actions:
+        if action.kind is ActionKind.PUSH:
+            rho0 = action.write[0]
+            nfa.add_transition(action.to_shared, rho0, helper(action.to_shared, rho0))
+
+    changed = True
+    while changed:
+        changed = False
+        for action in pds.actions:
+            kind = action.kind
+            if kind.reads_empty_stack:
+                # ⟨p|ε⟩ accepted iff accepting state in ε-closure of p.
+                closure = nfa.epsilon_closure([action.from_shared])
+                if not (closure & nfa.accepting):
+                    continue
+                if kind is ActionKind.EMPTY_OVERWRITE:
+                    changed |= nfa.add_transition(action.to_shared, EPSILON, FINAL_SINK)
+                else:  # EMPTY_PUSH
+                    changed |= nfa.add_transition(
+                        action.to_shared, action.write[0], FINAL_SINK
+                    )
+                continue
+
+            gamma = action.read[0]
+            for target in nfa.reads(action.from_shared, gamma):
+                if kind is ActionKind.POP:
+                    changed |= nfa.add_transition(action.to_shared, EPSILON, target)
+                elif kind is ActionKind.OVERWRITE:
+                    changed |= nfa.add_transition(
+                        action.to_shared, action.write[0], target
+                    )
+                else:  # PUSH: write = (ρ0, ρ1)
+                    rho0, rho1 = action.write
+                    mid = helper(action.to_shared, rho0)
+                    changed |= nfa.add_transition(action.to_shared, rho0, mid)
+                    changed |= nfa.add_transition(mid, rho1, target)
+    return PSA(nfa, frozenset(controls))
+
+
+def pre_star(pds: PDS, targets: PSA | None = None, *, validate: bool = True) -> PSA:
+    """Saturate ``targets`` into a PSA for ``pre*(L(targets))`` — all
+    states from which some target configuration is reachable.
+
+    The classical backward counterpart of :func:`post_star` (Bouajjani/
+    Esparza/Maler): for every rule ``⟨p,γ⟩→⟨p',w'⟩`` and every path
+    ``p' --w'--> q`` in the current automaton, add ``p --γ--> q``.  The
+    paper's empty-stack rules contribute ``⟨p|ε⟩ ∈ pre*`` whenever their
+    right-hand configuration is already accepted.
+
+    When ``targets`` is omitted, the target set is ``{⟨qI|ε⟩}``.
+    """
+    if targets is None:
+        targets = psa_for_configs(pds, [pds.initial_state()])
+    if validate:
+        _check_preconditions(targets)
+
+    nfa = targets.automaton.copy()
+    controls = set(targets.control_states) | set(pds.shared_states)
+    nfa.add_accepting(FINAL_SINK)
+    for shared in controls:
+        nfa.add_state(shared)
+
+    changed = True
+    while changed:
+        changed = False
+        for action in pds.actions:
+            kind = action.kind
+            if kind.reads_empty_stack:
+                if kind is ActionKind.EMPTY_OVERWRITE:
+                    accepted = bool(
+                        nfa.epsilon_closure([action.to_shared]) & nfa.accepting
+                    )
+                else:  # EMPTY_PUSH: ⟨p'|σ⟩ must be accepted
+                    accepted = bool(
+                        nfa.reads(action.to_shared, action.write[0]) & nfa.accepting
+                    )
+                if accepted:
+                    changed |= nfa.add_transition(
+                        action.from_shared, EPSILON, FINAL_SINK
+                    )
+                continue
+
+            gamma = action.read[0]
+            if kind is ActionKind.POP:
+                # ⟨p,γ⟩→⟨p',ε⟩: p reads γ to wherever p' "is" (ε-closed).
+                for target in nfa.epsilon_closure([action.to_shared]):
+                    changed |= nfa.add_transition(action.from_shared, gamma, target)
+            elif kind is ActionKind.OVERWRITE:
+                for target in nfa.reads(action.to_shared, action.write[0]):
+                    changed |= nfa.add_transition(action.from_shared, gamma, target)
+            else:  # PUSH: write = (ρ0, ρ1)
+                rho0, rho1 = action.write
+                for mid in nfa.reads(action.to_shared, rho0):
+                    for target in nfa.step([mid], rho1):
+                        changed |= nfa.add_transition(
+                            action.from_shared, gamma, target
+                        )
+    return PSA(nfa, frozenset(controls))
+
+
+def reachable_set_psa(
+    pds: PDS, start_stack: Sequence[Symbol] = (), start_shared: Shared | None = None
+) -> PSA:
+    """PSA for all states reachable from a single start configuration."""
+    shared = pds.initial_shared if start_shared is None else start_shared
+    return post_star(pds, psa_for_configs(pds, [PDSState(shared, tuple(start_stack))]))
+
+
+def shallow_configs_psa(pds: PDS) -> PSA:
+    """PSA for ``post*(Q × Σ≤1)`` — the FCR premise of Lemma 16/Thm 17.
+
+    Initial set: every shared state with an empty stack or any single
+    stack symbol.
+    """
+    configs: list[PDSState] = []
+    for shared in pds.shared_states:
+        configs.append(PDSState(shared, ()))
+        for symbol in pds.alphabet:
+            configs.append(PDSState(shared, (symbol,)))
+    return post_star(pds, psa_for_configs(pds, configs))

@@ -1,0 +1,56 @@
+"""PDS states ``⟨q|w⟩`` and the top-of-stack projection ``T``.
+
+Stacks are tuples of stack symbols with index 0 as the *top*, matching the
+paper's notation ``σ1..σz`` where ``σ1`` is the top.  The empty visible
+symbol (the ``ε`` case of ``T``, Eq. 1) is represented by :data:`EMPTY`
+(``None``), which keeps visible states plain hashable tuples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+Shared = Hashable
+Symbol = Hashable
+
+#: Visible-state marker for an empty stack (the ``ε`` of ``T``, Eq. 1).
+EMPTY = None
+
+
+def format_top(symbol: Symbol) -> str:
+    """Human-readable form of a visible top symbol."""
+    return "ε" if symbol is EMPTY else str(symbol)
+
+
+def format_stack(stack: Sequence[Symbol]) -> str:
+    """Human-readable form of a stack word (top first, ``ε`` when empty)."""
+    return "".join(str(symbol) for symbol in stack) if stack else "ε"
+
+
+@dataclass(frozen=True, slots=True)
+class PDSState:
+    """A configuration ``⟨q|w⟩`` of a sequential pushdown system."""
+
+    shared: Shared
+    stack: tuple[Symbol, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stack, tuple):
+            object.__setattr__(self, "stack", tuple(self.stack))
+
+    @property
+    def top(self) -> Symbol:
+        """Top stack symbol, or :data:`EMPTY` when the stack is empty."""
+        return self.stack[0] if self.stack else EMPTY
+
+    @property
+    def stack_size(self) -> int:
+        return len(self.stack)
+
+    def visible(self) -> tuple[Shared, Symbol]:
+        """Thread-visible state ``T(q, w) = (q, T(w))`` (paper Sec. 2.2)."""
+        return (self.shared, self.top)
+
+    def __str__(self) -> str:
+        return f"⟨{self.shared}|{format_stack(self.stack)}⟩"

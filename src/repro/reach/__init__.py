@@ -1,0 +1,31 @@
+"""Context-bounded reachability engines.
+
+Two interchangeable engines compute the observation sequences of the
+paper:
+
+* :class:`~repro.reach.explicit.ExplicitReach` — enumerates the sets
+  ``Rk`` extensionally (requires finite context reachability, Sec. 5) and
+  reconstructs witness traces;
+* :class:`~repro.reach.symbolic.SymbolicReach` — maintains ``Sk`` as sets
+  of symbolic states ``⟨q|A1,...,An⟩`` with one pushdown store automaton
+  per thread (Sec. 6 approach 3, App. E), the Qadeer/Rehof-style engine
+  that also handles non-FCR programs.
+
+Both expose the same frontier/level interface consumed by the CUBA
+algorithms in :mod:`repro.cuba`.
+"""
+
+from repro.reach.base import ReachabilityEngine
+from repro.reach.explicit import ExplicitReach
+from repro.reach.symbolic import SymbolicReach, SymbolicState
+from repro.reach.witness import Trace, TraceStep, validate_trace
+
+__all__ = [
+    "ExplicitReach",
+    "ReachabilityEngine",
+    "SymbolicReach",
+    "SymbolicState",
+    "Trace",
+    "TraceStep",
+    "validate_trace",
+]

@@ -1,0 +1,68 @@
+"""Common interface of the context-bounded reachability engines.
+
+An engine computes, level by level, the observation sequences of the
+paper: after ``advance()`` has been called ``k`` times the engine has
+determined ``Rk`` (or its symbolic counterpart ``Sk``) and the visible
+projection ``T(Rk)``.  Levels are cumulative and monotone by
+construction (Def. 1: observation sequences are monotone)."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cpds.state import VisibleState
+
+
+class ReachabilityEngine(abc.ABC):
+    """Level-by-level driver for an observation sequence over a CPDS."""
+
+    def __init__(self) -> None:
+        #: ``visible_levels[k]`` = visible states first seen at bound k.
+        self.visible_levels: list[frozenset[VisibleState]] = []
+        self._visible_cumulative: list[frozenset[VisibleState]] = []
+
+    # ------------------------------------------------------------------
+    # Level mechanics
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Largest context bound computed so far (−1 before the first)."""
+        return len(self.visible_levels) - 1
+
+    @abc.abstractmethod
+    def advance(self) -> bool:
+        """Compute the next level; return True iff it adds *any* new
+        element to the underlying (non-projected) observation set."""
+
+    def _record_visible(self, new_visible: frozenset[VisibleState]) -> None:
+        previous = (
+            self._visible_cumulative[-1] if self._visible_cumulative else frozenset()
+        )
+        fresh = frozenset(new_visible) - previous
+        self.visible_levels.append(fresh)
+        self._visible_cumulative.append(previous | fresh)
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def visible_up_to(self, k: int | None = None) -> frozenset[VisibleState]:
+        """``T(Rk)`` — all visible states reachable within ``k`` contexts
+        (default: the latest computed bound)."""
+        if not self._visible_cumulative:
+            return frozenset()
+        if k is None:
+            return self._visible_cumulative[-1]
+        k = min(k, len(self._visible_cumulative) - 1)
+        if k < 0:
+            return frozenset()
+        return self._visible_cumulative[k]
+
+    def visible_new_at(self, k: int) -> frozenset[VisibleState]:
+        """``T(Rk) \\ T(Rk−1)`` — visible states first reached at bound k."""
+        if 0 <= k < len(self.visible_levels):
+            return self.visible_levels[k]
+        return frozenset()
+
+    def visible_plateaued_at(self, k: int) -> bool:
+        """True iff ``T(Rk−1) = T(Rk)`` (a plateau, Table 1)."""
+        return k >= 1 and k <= self.k and not self.visible_new_at(k)

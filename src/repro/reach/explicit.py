@@ -1,0 +1,118 @@
+"""Explicit-state computation of the sets ``Rk`` (paper Secs. 2.3, 5).
+
+``R0 = {⟨qI|w1,...,wn⟩}`` and ``Rk`` adds, for every state first reached
+at bound ``k−1`` and every thread ``i``, all states thread ``i`` can reach
+in one context (:func:`~repro.cpds.semantics.thread_context_post`).
+Because a context includes the empty run, expanding only the frontier is
+exact: states discovered at earlier levels were already expanded.
+
+Explicit enumeration requires every ``Rk`` to be finite — the finite
+context reachability condition (Sec. 5).  Programs violating FCR trip
+the per-context divergence guard with
+:class:`~repro.errors.ContextExplosionError`.
+"""
+
+from __future__ import annotations
+
+from repro.cpds.cpds import CPDS
+from repro.cpds.semantics import thread_context_post
+from repro.cpds.state import GlobalState, project
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.base import ReachabilityEngine
+from repro.reach.witness import Trace, rebuild_trace
+
+
+class ExplicitReach(ReachabilityEngine):
+    """Frontier-based explicit engine for the observation sequences
+    ``(Rk)`` and ``(T(Rk))``."""
+
+    def __init__(
+        self,
+        cpds: CPDS,
+        max_states_per_context: int = DEFAULT_STATE_LIMIT,
+        track_traces: bool = True,
+    ) -> None:
+        super().__init__()
+        self.cpds = cpds
+        self.max_states_per_context = max_states_per_context
+        #: ``levels[k]`` = global states first reached at bound k.
+        self.levels: list[frozenset[GlobalState]] = []
+        #: state -> level at which it was first reached.
+        self.first_seen: dict[GlobalState, int] = {}
+        self._parents: dict | None = {} if track_traces else None
+
+        initial = cpds.initial_state()
+        self.levels.append(frozenset([initial]))
+        self.first_seen[initial] = 0
+        if self._parents is not None:
+            self._parents[initial] = None
+        self._record_visible(frozenset([initial.visible()]))
+
+    # ------------------------------------------------------------------
+    # Level mechanics
+    # ------------------------------------------------------------------
+    def advance(self) -> bool:
+        """Compute ``R(k+1)``; return True iff it strictly grows ``Rk``."""
+        frontier = self.levels[-1]
+        level = len(self.levels)
+        fresh: set[GlobalState] = set()
+        for state in frontier:
+            for index in range(self.cpds.n_threads):
+                reached = thread_context_post(
+                    self.cpds,
+                    state,
+                    index,
+                    max_states=self.max_states_per_context,
+                    parents=self._parents,
+                )
+                for nxt in reached:
+                    if nxt not in self.first_seen:
+                        self.first_seen[nxt] = level
+                        fresh.add(nxt)
+        self.levels.append(frozenset(fresh))
+        self._record_visible(project(fresh))
+        return bool(fresh)
+
+    def ensure_level(self, k: int) -> None:
+        while self.k < k:
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def states_up_to(self, k: int | None = None) -> frozenset[GlobalState]:
+        """``Rk`` (default: the latest computed bound)."""
+        if k is None:
+            k = self.k
+        k = min(k, self.k)
+        result: set[GlobalState] = set()
+        for level in self.levels[: k + 1]:
+            result |= level
+        return frozenset(result)
+
+    def states_new_at(self, k: int) -> frozenset[GlobalState]:
+        """``Rk \\ Rk−1``."""
+        if 0 <= k < len(self.levels):
+            return self.levels[k]
+        return frozenset()
+
+    def plateaued_at(self, k: int) -> bool:
+        """True iff ``Rk−1 = Rk``.  By Lemma 7 ``(Rk)`` is stutter-free,
+        so a plateau here is already a collapse."""
+        return k >= 1 and k <= self.k and not self.levels[k]
+
+    # ------------------------------------------------------------------
+    # Witnesses
+    # ------------------------------------------------------------------
+    def trace(self, target: GlobalState) -> Trace:
+        """Reconstruct a witness path to a reached state."""
+        if self._parents is None:
+            raise ValueError("engine was created with track_traces=False")
+        return rebuild_trace(self._parents, target)
+
+    def find_visible(self, visible) -> GlobalState | None:
+        """Some reached global state projecting to ``visible``, if any."""
+        for state in self.first_seen:
+            if state.visible() == visible:
+                return state
+        return None

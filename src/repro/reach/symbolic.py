@@ -1,0 +1,211 @@
+"""Symbolic computation of the sets ``Sk`` (paper Sec. 6, App. E).
+
+A *symbolic state* is ``τ = ⟨q|A1,...,An⟩``: a shared state plus one
+finite automaton per thread; its concretization (App. E, Eq. 3) is the
+product ``γ(τ) = {⟨q|w1,...,wn⟩ : ∀i. wi ∈ L(Ai)}``.  Because a context
+moves a single thread, the reachable set within any context bound is a
+finite union of such products — the Qadeer/Rehof insight [35] — and one
+context expansion is a ``post*`` saturation of the moving thread's
+automaton, split by resulting shared state.
+
+Thread automata are kept in canonical minimal-DFA form
+(:func:`~repro.automata.canonical.canonical_nfa`), which both bounds
+their growth across contexts and makes symbolic states hashable for
+frontier dedup, so plateau detection on ``T(Sk)`` terminates.
+
+Unlike the explicit engine this one does not require finite context
+reachability: the sets ``γ(Sk)`` may be infinite (e.g. Stefan-1, whose
+stack pumps within one context)."""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterator
+
+from repro.automata import EPSILON, NFA
+from repro.automata.canonical import canonical_nfa
+from repro.cpds.cpds import CPDS
+from repro.cpds.state import GlobalState, VisibleState
+from repro.pds.psa import FINAL_SINK, PSA
+from repro.pds.saturation import post_star
+from repro.pds.state import EMPTY
+from repro.reach.base import ReachabilityEngine
+
+Shared = Hashable
+Symbol = Hashable
+
+
+def word_nfa(word: tuple[Symbol, ...]) -> NFA:
+    """Automaton accepting exactly one word."""
+    nfa = NFA(initial=[0], accepting=[len(word)])
+    for position, symbol in enumerate(word):
+        nfa.add_transition(position, symbol, position + 1)
+    return nfa
+
+
+def nfa_tops(automaton: NFA) -> frozenset[Symbol]:
+    """First symbols of accepted words; :data:`EMPTY` if ε is accepted.
+
+    This is ``T(Ai)`` of App. E (Alg. 4) for single-entry automata,
+    corrected for ε-edges by closing before the first symbol.
+    """
+    closure = automaton.epsilon_closure(automaton.initial)
+    coreachable = automaton.coreachable_states()
+    tops: set[Symbol] = set()
+    if closure & automaton.accepting:
+        tops.add(EMPTY)
+    for state in closure:
+        for label in automaton.labels_from(state):
+            if label is EPSILON:
+                continue
+            if any(target in coreachable for target in automaton.targets(state, label)):
+                tops.add(label)
+    return frozenset(tops)
+
+
+class SymbolicState:
+    """``⟨q|A1,...,An⟩`` with canonical automata; hashable by language."""
+
+    __slots__ = ("shared", "automata", "signatures", "_hash")
+
+    def __init__(self, shared: Shared, automata: tuple[NFA, ...], signatures: tuple) -> None:
+        self.shared = shared
+        self.automata = automata
+        self.signatures = signatures
+        self._hash = hash((shared, signatures))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SymbolicState):
+            return NotImplemented
+        return self.shared == other.shared and self.signatures == other.signatures
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def accepts(self, state: GlobalState) -> bool:
+        """Membership in the concretization ``γ(τ)`` (App. E, Eq. 3)."""
+        if state.shared != self.shared or state.n_threads != len(self.automata):
+            return False
+        return all(
+            automaton.accepts(stack)
+            for automaton, stack in zip(self.automata, state.stacks)
+        )
+
+    def visible_states(self) -> Iterator[VisibleState]:
+        """``T(τ) = {q} × T(A1) × ... × T(An)`` (App. E, Eq. 4)."""
+        per_thread = [nfa_tops(automaton) for automaton in self.automata]
+        for tops in itertools.product(*per_thread):
+            yield VisibleState(self.shared, tops)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ",".join(str(len(a)) for a in self.automata)
+        return f"SymbolicState(shared={self.shared!r}, |Ai|=[{sizes}])"
+
+
+class SymbolicReach(ReachabilityEngine):
+    """Frontier-based symbolic engine for ``(Sk)`` and ``(T(Sk))``."""
+
+    def __init__(self, cpds: CPDS) -> None:
+        super().__init__()
+        self.cpds = cpds
+        self._alphabets = [cpds.alphabet(i) for i in range(cpds.n_threads)]
+        #: ``levels[k]`` = symbolic states first produced at bound k.
+        self.levels: list[frozenset[SymbolicState]] = []
+        self._seen: set[SymbolicState] = set()
+
+        automata = []
+        signatures = []
+        for index, stack in enumerate(cpds.initial_stacks):
+            automaton, signature = canonical_nfa(word_nfa(stack), self._alphabets[index])
+            automata.append(automaton)
+            signatures.append(signature)
+        initial = SymbolicState(
+            cpds.initial_shared, tuple(automata), tuple(signatures)
+        )
+        self.levels.append(frozenset([initial]))
+        self._seen.add(initial)
+        self._record_visible(frozenset(initial.visible_states()))
+
+    # ------------------------------------------------------------------
+    # Level mechanics
+    # ------------------------------------------------------------------
+    def advance(self) -> bool:
+        """Compute ``S(k+1)``; True iff a language-new symbolic state
+        appears.  (A plateau here implies ``R(k+1) = Rk``; the converse
+        need not hold, which is why Alg. 3's convergence test works on
+        the finite projection ``T(Sk)`` instead.)"""
+        frontier = self.levels[-1]
+        fresh: set[SymbolicState] = set()
+        for symbolic in frontier:
+            for index in range(self.cpds.n_threads):
+                for successor in self._expand(symbolic, index):
+                    if successor not in self._seen:
+                        self._seen.add(successor)
+                        fresh.add(successor)
+        self.levels.append(frozenset(fresh))
+        visible: set[VisibleState] = set()
+        for symbolic in fresh:
+            visible.update(symbolic.visible_states())
+        self._record_visible(frozenset(visible))
+        return bool(fresh)
+
+    def ensure_level(self, k: int) -> None:
+        while self.k < k:
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # Context expansion
+    # ------------------------------------------------------------------
+    def _expand(self, symbolic: SymbolicState, index: int) -> Iterator[SymbolicState]:
+        """One context of thread ``index`` from ``symbolic``."""
+        pds = self.cpds.thread(index)
+        controls = self.cpds.shared_states
+
+        # P-automaton for the config set {(q, w) : w ∈ L(Ai)}: embed the
+        # thread automaton disjointly and enter it from control q by ε.
+        embedded = NFA(states=controls)
+        source_automaton = symbolic.automata[index]
+        rename = {state: ("emb", state) for state in source_automaton.states}
+        for src, label, dst in source_automaton.transitions():
+            embedded.add_transition(rename[src], label, rename[dst])
+        for accepting in source_automaton.accepting:
+            embedded.add_accepting(rename[accepting])
+        for start in source_automaton.initial:
+            embedded.add_transition(symbolic.shared, EPSILON, rename[start])
+
+        saturated = post_star(pds, PSA(embedded, controls), validate=False)
+
+        for shared in controls:
+            if not saturated.nonempty_from(shared):
+                continue
+            # Read the saturated automaton from `shared` without copying.
+            canonical, signature = canonical_nfa(
+                saturated.automaton, self._alphabets[index], initial=[shared]
+            )
+            automata = list(symbolic.automata)
+            signatures = list(symbolic.signatures)
+            automata[index] = canonical
+            signatures[index] = signature
+            yield SymbolicState(shared, tuple(automata), tuple(signatures))
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def symbolic_up_to(self, k: int | None = None) -> frozenset[SymbolicState]:
+        """``Sk`` (default: the latest computed bound)."""
+        if k is None:
+            k = self.k
+        k = min(k, self.k)
+        result: set[SymbolicState] = set()
+        for level in self.levels[: k + 1]:
+            result |= level
+        return frozenset(result)
+
+    def accepts(self, state: GlobalState, k: int | None = None) -> bool:
+        """Membership of a global state in ``γ(Sk)`` (= ``Rk``)."""
+        return any(symbolic.accepts(state) for symbolic in self.symbolic_up_to(k))
+
+    def plateaued_at(self, k: int) -> bool:
+        """True iff no new symbolic state appeared at bound ``k``
+        (sufficient — not necessary — for ``Rk−1 = Rk``)."""
+        return k >= 1 and k <= self.k and not self.levels[k]

@@ -1,0 +1,119 @@
+"""Witness traces for reachable states.
+
+The explicit engine keeps BFS parent pointers across contexts; a
+:class:`Trace` replays them into the path notation used by the paper
+(Ex. 8): each step records the scheduled thread, the fired action and the
+resulting global state, e.g.::
+
+    ⟨⊥|2,6⟩ --f1[T1]--> ⟨1|2,6⟩ --f2b[T1]--> ⟨1|4,6⟩ ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpds.state import GlobalState
+from repro.pds.action import Action
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One global transition: thread ``thread`` fired ``action``."""
+
+    thread: int
+    action: Action
+    state: GlobalState
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """A path from the initial state to ``target``."""
+
+    initial: GlobalState
+    steps: tuple[TraceStep, ...]
+
+    @property
+    def target(self) -> GlobalState:
+        return self.steps[-1].state if self.steps else self.initial
+
+    @property
+    def n_contexts(self) -> int:
+        """Number of contexts (maximal single-thread runs) along the path."""
+        contexts = 0
+        previous_thread: int | None = None
+        for step in self.steps:
+            if step.thread != previous_thread:
+                contexts += 1
+                previous_thread = step.thread
+        return contexts
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        parts = [str(self.initial)]
+        for step in self.steps:
+            label = step.action.label or step.action.kind.value
+            parts.append(f"--{label}[T{step.thread + 1}]--> {step.state}")
+        return " ".join(parts)
+
+
+def validate_trace(cpds, trace: Trace) -> None:
+    """Replay a trace against the CPDS semantics; raise ``ValueError``
+    on the first illegal step.
+
+    Checks that the trace starts in the CPDS initial state and that each
+    step is an enabled action of the claimed thread producing exactly
+    the recorded successor — the guarantee that reported counterexamples
+    are real executions.
+    """
+    from repro.cpds.semantics import thread_state, with_thread_state
+    from repro.pds.semantics import enabled_actions, step as pds_step
+
+    if trace.initial != cpds.initial_state():
+        raise ValueError(
+            f"trace starts at {trace.initial}, not the initial state "
+            f"{cpds.initial_state()}"
+        )
+    current = trace.initial
+    for position, trace_step in enumerate(trace.steps):
+        pds = cpds.thread(trace_step.thread)
+        local = thread_state(current, trace_step.thread)
+        if trace_step.action not in enabled_actions(pds, local):
+            raise ValueError(
+                f"step {position}: action {trace_step.action} not enabled "
+                f"for thread {trace_step.thread} in {current}"
+            )
+        successor = with_thread_state(
+            current, trace_step.thread, pds_step(local, trace_step.action)
+        )
+        if successor != trace_step.state:
+            raise ValueError(
+                f"step {position}: action {trace_step.action} produces "
+                f"{successor}, trace claims {trace_step.state}"
+            )
+        current = successor
+
+
+def rebuild_trace(
+    parents: dict[GlobalState, tuple[GlobalState, int, Action] | None],
+    target: GlobalState,
+) -> Trace:
+    """Reconstruct a trace to ``target`` from BFS parent pointers.
+
+    ``parents`` maps each discovered state to ``(predecessor, thread,
+    action)``, with the initial state mapped to ``None``.
+    """
+    if target not in parents:
+        raise KeyError(f"state {target} was never discovered")
+    reversed_steps: list[TraceStep] = []
+    state = target
+    while True:
+        entry = parents[state]
+        if entry is None:
+            initial = state
+            break
+        predecessor, thread, action = entry
+        reversed_steps.append(TraceStep(thread, action, state))
+        state = predecessor
+    return Trace(initial, tuple(reversed(reversed_steps)))

@@ -1,0 +1,77 @@
+"""Human-readable verification reports.
+
+Renders a :class:`~repro.cuba.verifier.CubaReport` — FCR analysis,
+method race outcome, collapse bounds, verdict and witness trace — as the
+multi-section text the CLI prints with ``--report``.
+"""
+
+from __future__ import annotations
+
+from repro.core.property import Property
+from repro.core.result import Verdict
+from repro.cpds.cpds import CPDS
+from repro.cuba.verifier import CubaReport
+
+
+def render_report(report: CubaReport, cpds: CPDS, prop: Property) -> str:
+    """Render a full verification report as text."""
+    lines: list[str] = []
+    title = f"CUBA verification report — {cpds.name or 'unnamed CPDS'}"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    lines.append("")
+    lines.append("Model")
+    lines.append(f"  threads:        {cpds.n_threads}")
+    lines.append(f"  shared states:  {len(cpds.shared_states)}")
+    for index, pds in enumerate(cpds.threads):
+        lines.append(
+            f"  thread {index + 1}:       {pds.name or f'P{index + 1}'} "
+            f"(|Σ|={len(pds.alphabet)}, |Δ|={len(pds.actions)})"
+        )
+    lines.append(f"  initial state:  {cpds.initial_state()}")
+    lines.append(f"  property:       {prop.describe()}")
+
+    lines.append("")
+    lines.append("Finite context reachability (Sec. 5)")
+    for index, (finite, loop) in enumerate(
+        zip(report.fcr.thread_finite, report.fcr.thread_has_loop)
+    ):
+        verdict = "finite" if finite else "INFINITE"
+        loops = "has loops" if loop else "loop-free"
+        lines.append(f"  thread {index + 1}: shallow reach {verdict} (PSA {loops})")
+    route = (
+        "explicit engines: Alg. 3(T(Rk)) ∥ Scheme 1(Rk)"
+        if report.fcr.holds
+        else "symbolic engine: Alg. 3(T(Sk))"
+    )
+    lines.append(f"  -> {route}")
+
+    lines.append("")
+    lines.append("Outcome")
+    lines.append(f"  verdict:        {report.verdict.value.upper()}")
+    lines.append(f"  concluded by:   {report.winner}")
+    if report.verdict is Verdict.SAFE:
+        lines.append(f"  kmax (Rk):      {report.bound_text('rk')}")
+        lines.append(f"  kmax (T(Rk)):   {report.bound_text('trk')}")
+        lines.append("  the property holds for EVERY number of contexts")
+    elif report.verdict is Verdict.UNSAFE:
+        lines.append(f"  bug bound:      {report.result.bound} context(s)")
+        if report.result.witness is not None:
+            lines.append(f"  witness:        {report.result.witness}")
+    else:
+        lines.append(f"  explored up to: k = {report.result.bound}")
+        lines.append(f"  reason:         {report.result.message}")
+
+    trace = report.result.trace
+    if trace is not None:
+        lines.append("")
+        lines.append(f"Witness trace ({trace.n_contexts} contexts, {len(trace)} steps)")
+        current_thread: int | None = None
+        for step in trace.steps:
+            if step.thread != current_thread:
+                lines.append(f"  -- context switch: thread {step.thread + 1} runs --")
+                current_thread = step.thread
+            label = step.action.label or step.action.kind.value
+            lines.append(f"    {label:<12} -> {step.state}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Measurement and reporting utilities for the benchmark harnesses."""
+
+from repro.util.meter import Measurement, measure
+from repro.util.table import render_table
+
+__all__ = ["Measurement", "measure", "render_table"]

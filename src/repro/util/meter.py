@@ -1,0 +1,42 @@
+"""Wall-clock and peak-memory measurement (Table 2's Time/Mem columns)."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """Result of one measured call."""
+
+    value: Any
+    seconds: float
+    peak_mb: float
+
+    def __str__(self) -> str:
+        return f"{self.seconds:.2f}s / {self.peak_mb:.2f}MB"
+
+
+def measure(fn: Callable[[], Any]) -> Measurement:
+    """Run ``fn`` once, recording wall time and peak Python heap usage.
+
+    ``tracemalloc`` tracks allocations made during the call only (the
+    counter is reset first), mirroring the per-benchmark memory column of
+    Table 2.  It slows execution somewhat; timings are therefore
+    comparable *within* this harness, not against untraced runs.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    value = fn()
+    seconds = time.perf_counter() - start
+    _current, peak = tracemalloc.get_traced_memory()
+    if not already_tracing:
+        tracemalloc.stop()
+    return Measurement(value=value, seconds=seconds, peak_mb=peak / (1024 * 1024))

@@ -1,0 +1,21 @@
+"""Minimal ASCII table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a left-aligned ASCII table with a header separator."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(text.ljust(width) for text, width in zip(row, widths)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)

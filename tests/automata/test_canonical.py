@@ -1,0 +1,72 @@
+"""Tests for canonical language signatures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import EPSILON, NFA, canonical_signature, determinize, language_equal
+
+ALPHABET = ("a", "b")
+
+
+def ends_in_b():
+    nfa = NFA(initial=["q0"], accepting=["q1"])
+    nfa.add_transition("q0", "a", "q0")
+    nfa.add_transition("q0", "b", "q0")
+    nfa.add_transition("q0", "b", "q1")
+    return nfa
+
+
+class TestCanonicalSignature:
+    def test_signature_is_hashable(self):
+        hash(canonical_signature(ends_in_b(), ALPHABET))
+
+    def test_equal_languages_equal_signatures(self):
+        nfa = ends_in_b()
+        assert canonical_signature(nfa, ALPHABET) == canonical_signature(
+            determinize(nfa), ALPHABET
+        )
+
+    def test_renamed_states_equal_signatures(self):
+        renamed = NFA(initial=["X"], accepting=["Y"])
+        renamed.add_transition("X", "a", "X")
+        renamed.add_transition("X", "b", "X")
+        renamed.add_transition("X", "b", "Y")
+        assert canonical_signature(renamed, ALPHABET) == canonical_signature(
+            ends_in_b(), ALPHABET
+        )
+
+    def test_different_languages_differ(self):
+        other = NFA(initial=["q0"], accepting=["q0"])
+        other.add_transition("q0", "a", "q0")
+        assert canonical_signature(other, ALPHABET) != canonical_signature(
+            ends_in_b(), ALPHABET
+        )
+
+    def test_empty_language_signature_stable(self):
+        first = canonical_signature(NFA(initial=["i"]), ALPHABET)
+        second = canonical_signature(NFA(initial=["zzz"]), ALPHABET)
+        assert first == second
+
+
+@st.composite
+def random_nfa(draw):
+    n_states = draw(st.integers(min_value=1, max_value=4))
+    states = list(range(n_states))
+    nfa = NFA(
+        initial=draw(st.sets(st.sampled_from(states), min_size=1, max_size=2)),
+        accepting=draw(st.sets(st.sampled_from(states), max_size=2)),
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        nfa.add_transition(
+            draw(st.sampled_from(states)),
+            draw(st.sampled_from(["a", "b", EPSILON])),
+            draw(st.sampled_from(states)),
+        )
+    return nfa
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_nfa(), random_nfa())
+def test_signature_equality_iff_language_equality(left, right):
+    same_sig = canonical_signature(left, ALPHABET) == canonical_signature(right, ALPHABET)
+    assert same_sig == language_equal(left, right, ALPHABET)

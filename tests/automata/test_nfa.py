@@ -1,0 +1,149 @@
+"""Unit tests for the core NFA class."""
+
+import pickle
+
+import pytest
+
+from repro.automata import EPSILON, NFA
+
+
+def build_ab_star():
+    """Automaton for (ab)* over {a, b}."""
+    nfa = NFA(initial=["s0"], accepting=["s0"])
+    nfa.add_transition("s0", "a", "s1")
+    nfa.add_transition("s1", "b", "s0")
+    return nfa
+
+
+class TestEpsilonSentinel:
+    def test_singleton_identity(self):
+        first = type(EPSILON)()
+        assert first is EPSILON
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(EPSILON)) is EPSILON
+
+    def test_repr(self):
+        assert repr(EPSILON) == "ε"
+
+
+class TestConstruction:
+    def test_initial_and_accepting_are_states(self):
+        nfa = NFA(initial=["i"], accepting=["f"])
+        assert "i" in nfa
+        assert "f" in nfa
+
+    def test_add_transition_adds_states(self):
+        nfa = NFA()
+        nfa.add_transition("x", "a", "y")
+        assert "x" in nfa and "y" in nfa
+
+    def test_add_transition_reports_novelty(self):
+        nfa = NFA()
+        assert nfa.add_transition("x", "a", "y") is True
+        assert nfa.add_transition("x", "a", "y") is False
+
+    def test_copy_is_independent(self):
+        nfa = build_ab_star()
+        clone = nfa.copy()
+        clone.add_transition("s0", "c", "s2")
+        assert not nfa.has_transition("s0", "c", "s2")
+        assert clone.has_transition("s0", "c", "s2")
+
+    def test_len_counts_states(self):
+        assert len(build_ab_star()) == 2
+
+    def test_num_transitions(self):
+        assert build_ab_star().num_transitions() == 2
+
+
+class TestQueries:
+    def test_accepts_empty_word(self):
+        assert build_ab_star().accepts([])
+
+    def test_accepts_ab(self):
+        assert build_ab_star().accepts(["a", "b"])
+
+    def test_rejects_a(self):
+        assert not build_ab_star().accepts(["a"])
+
+    def test_rejects_ba(self):
+        assert not build_ab_star().accepts(["b", "a"])
+
+    def test_accepts_long_word(self):
+        assert build_ab_star().accepts(["a", "b"] * 10)
+
+    def test_accepts_from_other_state(self):
+        nfa = build_ab_star()
+        assert nfa.accepts_from("s1", ["b"])
+        assert not nfa.accepts_from("s1", ["a", "b"])
+
+    def test_step_rejects_epsilon(self):
+        with pytest.raises(ValueError):
+            build_ab_star().step(["s0"], EPSILON)
+
+    def test_alphabet_excludes_epsilon(self):
+        nfa = build_ab_star()
+        nfa.add_transition("s0", EPSILON, "s1")
+        assert nfa.alphabet() == frozenset({"a", "b"})
+
+
+class TestEpsilonClosure:
+    def test_closure_includes_self(self):
+        nfa = NFA(initial=["x"])
+        assert nfa.epsilon_closure(["x"]) == frozenset({"x"})
+
+    def test_closure_follows_chains(self):
+        nfa = NFA()
+        nfa.add_transition("a", EPSILON, "b")
+        nfa.add_transition("b", EPSILON, "c")
+        assert nfa.epsilon_closure(["a"]) == frozenset({"a", "b", "c"})
+
+    def test_closure_handles_cycles(self):
+        nfa = NFA()
+        nfa.add_transition("a", EPSILON, "b")
+        nfa.add_transition("b", EPSILON, "a")
+        assert nfa.epsilon_closure(["a"]) == frozenset({"a", "b"})
+
+    def test_acceptance_through_epsilon(self):
+        nfa = NFA(initial=["i"], accepting=["f"])
+        nfa.add_transition("i", "a", "m")
+        nfa.add_transition("m", EPSILON, "f")
+        assert nfa.accepts(["a"])
+
+    def test_reads_uses_closure_on_both_sides(self):
+        nfa = NFA()
+        nfa.add_transition("p", EPSILON, "q")
+        nfa.add_transition("q", "a", "r")
+        nfa.add_transition("r", EPSILON, "s")
+        assert nfa.reads("p", "a") == frozenset({"r", "s"})
+
+
+class TestGraphUtilities:
+    def test_reachable_states(self):
+        nfa = NFA(initial=["a"])
+        nfa.add_transition("a", "x", "b")
+        nfa.add_transition("c", "x", "d")
+        assert nfa.reachable_states() == frozenset({"a", "b"})
+
+    def test_coreachable_states(self):
+        nfa = NFA(accepting=["f"])
+        nfa.add_transition("a", "x", "f")
+        nfa.add_transition("b", "x", "c")
+        assert nfa.coreachable_states() == frozenset({"a", "f"})
+
+    def test_trim_keeps_only_useful(self):
+        nfa = NFA(initial=["i"], accepting=["f"])
+        nfa.add_transition("i", "a", "f")
+        nfa.add_transition("i", "a", "junk")
+        nfa.add_transition("other", "b", "f")
+        trimmed = nfa.trim()
+        assert trimmed.states == frozenset({"i", "f"})
+        assert trimmed.accepts(["a"])
+
+    def test_trim_preserves_language_sampled(self):
+        nfa = build_ab_star()
+        nfa.add_transition("s0", "z", "limbo")
+        trimmed = nfa.trim()
+        for word in ([], ["a", "b"], ["a"], ["z"]):
+            assert trimmed.accepts(word) == nfa.accepts(word)

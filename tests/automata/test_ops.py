@@ -1,0 +1,218 @@
+"""Unit and property tests for automata constructions."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    EPSILON,
+    NFA,
+    complement,
+    determinize,
+    intersect,
+    is_empty,
+    language_contains,
+    language_equal,
+    minimize,
+    union,
+)
+
+ALPHABET = ("a", "b")
+
+
+def words_up_to(length, alphabet=ALPHABET):
+    for n in range(length + 1):
+        yield from itertools.product(alphabet, repeat=n)
+
+
+def language_sample(nfa, length=5, alphabet=ALPHABET):
+    return {w for w in words_up_to(length, alphabet) if nfa.accepts(w)}
+
+
+def ends_in_b():
+    nfa = NFA(initial=["q0"], accepting=["q1"])
+    nfa.add_transition("q0", "a", "q0")
+    nfa.add_transition("q0", "b", "q0")
+    nfa.add_transition("q0", "b", "q1")
+    return nfa
+
+
+def even_as():
+    nfa = NFA(initial=["e"], accepting=["e"])
+    nfa.add_transition("e", "a", "o")
+    nfa.add_transition("o", "a", "e")
+    nfa.add_transition("e", "b", "e")
+    nfa.add_transition("o", "b", "o")
+    return nfa
+
+
+class TestDeterminize:
+    def test_preserves_language(self):
+        nfa = ends_in_b()
+        dfa = determinize(nfa)
+        assert language_sample(dfa) == language_sample(nfa)
+
+    def test_result_is_deterministic(self):
+        dfa = determinize(ends_in_b())
+        for state in dfa.states:
+            for symbol in ALPHABET:
+                assert len(dfa.targets(state, symbol)) <= 1
+            assert not dfa.targets(state, EPSILON)
+
+    def test_single_initial_state(self):
+        assert len(determinize(ends_in_b()).initial) == 1
+
+    def test_epsilon_transitions_eliminated(self):
+        nfa = NFA(initial=["i"], accepting=["f"])
+        nfa.add_transition("i", EPSILON, "m")
+        nfa.add_transition("m", "a", "f")
+        dfa = determinize(nfa)
+        assert dfa.accepts(["a"])
+        assert not dfa.accepts([])
+
+
+class TestComplement:
+    def test_flips_membership(self):
+        nfa = ends_in_b()
+        comp = complement(nfa, ALPHABET)
+        for word in words_up_to(5):
+            assert comp.accepts(word) != nfa.accepts(word)
+
+    def test_complement_of_empty_is_universal(self):
+        comp = complement(NFA(initial=["i"]), ALPHABET)
+        assert all(comp.accepts(w) for w in words_up_to(4))
+
+
+class TestIntersect:
+    def test_intersection_semantics(self):
+        prod = intersect(ends_in_b(), even_as())
+        expected = language_sample(ends_in_b()) & language_sample(even_as())
+        assert language_sample(prod) == expected
+
+    def test_epsilon_in_either_component(self):
+        left = NFA(initial=["i"], accepting=["f"])
+        left.add_transition("i", EPSILON, "m")
+        left.add_transition("m", "a", "f")
+        right = NFA(initial=["x"], accepting=["y"])
+        right.add_transition("x", "a", "y")
+        prod = intersect(left, right)
+        assert prod.accepts(["a"])
+        assert not prod.accepts([])
+
+    def test_disjoint_languages_empty(self):
+        only_a = NFA(initial=["i"], accepting=["f"])
+        only_a.add_transition("i", "a", "f")
+        only_b = NFA(initial=["i"], accepting=["f"])
+        only_b.add_transition("i", "b", "f")
+        assert is_empty(intersect(only_a, only_b))
+
+
+class TestUnion:
+    def test_union_semantics(self):
+        combined = union(ends_in_b(), even_as())
+        expected = language_sample(ends_in_b()) | language_sample(even_as())
+        assert language_sample(combined) == expected
+
+
+class TestEmptinessAndContainment:
+    def test_empty_automaton(self):
+        assert is_empty(NFA(initial=["i"]))
+
+    def test_nonempty(self):
+        assert not is_empty(ends_in_b())
+
+    def test_containment_holds(self):
+        ends = ends_in_b()
+        abb = NFA(initial=["0"], accepting=["3"])
+        abb.add_transition("0", "a", "1")
+        abb.add_transition("1", "b", "2")
+        abb.add_transition("2", "b", "3")
+        assert language_contains(ends, abb, ALPHABET)
+        assert not language_contains(abb, ends, ALPHABET)
+
+    def test_equality(self):
+        assert language_equal(ends_in_b(), determinize(ends_in_b()), ALPHABET)
+        assert not language_equal(ends_in_b(), even_as(), ALPHABET)
+
+
+class TestMinimize:
+    def test_preserves_language(self):
+        minimal = minimize(ends_in_b(), ALPHABET)
+        assert language_sample(minimal) == language_sample(ends_in_b())
+
+    def test_reaches_known_minimum(self):
+        # "ends in b" needs exactly 2 states as a complete DFA.
+        assert len(minimize(ends_in_b(), ALPHABET)) == 2
+
+    def test_minimal_dfa_of_empty_language(self):
+        minimal = minimize(NFA(initial=["i"]), ALPHABET)
+        assert len(minimal) == 1
+        assert not minimal.accepting
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests on random NFAs
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_nfa(draw):
+    n_states = draw(st.integers(min_value=1, max_value=5))
+    states = list(range(n_states))
+    nfa = NFA(
+        initial=draw(st.sets(st.sampled_from(states), min_size=1, max_size=2)),
+        accepting=draw(st.sets(st.sampled_from(states), max_size=3)),
+    )
+    n_edges = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(n_edges):
+        src = draw(st.sampled_from(states))
+        dst = draw(st.sampled_from(states))
+        label = draw(st.sampled_from(["a", "b", EPSILON]))
+        nfa.add_transition(src, label, dst)
+    return nfa
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_nfa())
+def test_determinize_preserves_language(nfa):
+    dfa = determinize(nfa, ALPHABET)
+    for word in words_up_to(4):
+        assert dfa.accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_nfa())
+def test_minimize_preserves_language(nfa):
+    minimal = minimize(nfa, ALPHABET)
+    for word in words_up_to(4):
+        assert minimal.accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_nfa())
+def test_complement_is_involutive_on_language(nfa):
+    double = complement(complement(nfa, ALPHABET), ALPHABET)
+    for word in words_up_to(4):
+        assert double.accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_nfa(), random_nfa())
+def test_intersect_matches_pointwise_and(left, right):
+    prod = intersect(left, right)
+    for word in words_up_to(3):
+        assert prod.accepts(word) == (left.accepts(word) and right.accepts(word))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_nfa(), random_nfa())
+def test_union_matches_pointwise_or(left, right):
+    combined = union(left, right)
+    for word in words_up_to(3):
+        assert combined.accepts(word) == (left.accepts(word) or right.accepts(word))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_nfa())
+def test_language_equal_reflexive(nfa):
+    assert language_equal(nfa, nfa.copy(), ALPHABET)

@@ -1,0 +1,218 @@
+"""BDD manager tests: semantics validated against brute-force truth tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BDDManager
+
+
+def truth_table(manager, node, n_vars):
+    return tuple(
+        manager.evaluate(node, dict(enumerate(bits)))
+        for bits in itertools.product((False, True), repeat=n_vars)
+    )
+
+
+class TestBasics:
+    def test_terminals(self):
+        manager = BDDManager()
+        assert manager.evaluate(TRUE, {}) is True
+        assert manager.evaluate(FALSE, {}) is False
+
+    def test_var(self):
+        manager = BDDManager()
+        x = manager.var(0)
+        assert manager.evaluate(x, {0: True})
+        assert not manager.evaluate(x, {0: False})
+
+    def test_var_is_canonical(self):
+        manager = BDDManager()
+        assert manager.var(3) == manager.var(3)
+
+    def test_negative_var_rejected(self):
+        with pytest.raises(ValueError):
+            BDDManager().var(-1)
+
+    def test_reduction_eliminates_redundant_test(self):
+        manager = BDDManager()
+        x = manager.var(0)
+        # x ∨ ¬x ≡ 1 collapses to the terminal.
+        assert manager.lor(x, manager.lnot(x)) == TRUE
+        assert manager.land(x, manager.lnot(x)) == FALSE
+
+
+class TestConnectives:
+    @pytest.fixture
+    def manager(self):
+        return BDDManager()
+
+    def test_and_or_not_xor(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        cases = {
+            manager.land(x, y): lambda a, b: a and b,
+            manager.lor(x, y): lambda a, b: a or b,
+            manager.lxor(x, y): lambda a, b: a != b,
+            manager.implies(x, y): lambda a, b: (not a) or b,
+            manager.equiv(x, y): lambda a, b: a == b,
+        }
+        for node, fn in cases.items():
+            for a in (False, True):
+                for b in (False, True):
+                    assert manager.evaluate(node, {0: a, 1: b}) == fn(a, b)
+
+    def test_conjoin_disjoin(self, manager):
+        xs = [manager.var(i) for i in range(3)]
+        allx = manager.conjoin(xs)
+        anyx = manager.disjoin(xs)
+        assert manager.evaluate(allx, {0: True, 1: True, 2: True})
+        assert not manager.evaluate(allx, {0: True, 1: False, 2: True})
+        assert manager.evaluate(anyx, {0: False, 1: False, 2: True})
+        assert not manager.evaluate(anyx, {0: False, 1: False, 2: False})
+
+    def test_cube(self, manager):
+        cube = manager.cube({0: True, 2: False})
+        assert manager.evaluate(cube, {0: True, 1: False, 2: False})
+        assert manager.evaluate(cube, {0: True, 1: True, 2: False})
+        assert not manager.evaluate(cube, {0: False, 1: True, 2: False})
+        assert not manager.evaluate(cube, {0: True, 1: True, 2: True})
+
+
+class TestQuantifiersAndSupport:
+    def test_restrict(self):
+        manager = BDDManager()
+        x, y = manager.var(0), manager.var(1)
+        f = manager.land(x, y)
+        assert manager.restrict(f, 0, True) == y
+        assert manager.restrict(f, 0, False) == FALSE
+
+    def test_exists(self):
+        manager = BDDManager()
+        x, y = manager.var(0), manager.var(1)
+        f = manager.land(x, y)
+        assert manager.exists(f, 0) == y
+        assert manager.exists_many(f, [0, 1]) == TRUE
+
+    def test_support(self):
+        manager = BDDManager()
+        x, z = manager.var(0), manager.var(2)
+        f = manager.lor(x, z)
+        assert manager.support(f) == frozenset({0, 2})
+        assert manager.support(TRUE) == frozenset()
+
+
+class TestSatcount:
+    def test_simple_counts(self):
+        manager = BDDManager()
+        x, y = manager.var(0), manager.var(1)
+        assert manager.satcount(TRUE, 2) == 4
+        assert manager.satcount(FALSE, 2) == 0
+        assert manager.satcount(x, 2) == 2
+        assert manager.satcount(manager.land(x, y), 2) == 1
+        assert manager.satcount(manager.lor(x, y), 2) == 3
+        assert manager.satcount(manager.lxor(x, y), 2) == 2
+
+    def test_skipped_levels_weighted(self):
+        manager = BDDManager()
+        z = manager.var(3)
+        assert manager.satcount(z, 4) == 8
+
+    def test_support_check(self):
+        manager = BDDManager()
+        with pytest.raises(ValueError):
+            manager.satcount(manager.var(5), 3)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random formulas vs brute-force truth tables.
+# ---------------------------------------------------------------------------
+
+N_VARS = 4
+
+
+def formulas():
+    leaves = st.sampled_from(["x0", "x1", "x2", "x3", "T", "F"])
+    return st.recursive(
+        leaves,
+        lambda children: st.tuples(
+            st.sampled_from(["and", "or", "xor", "not", "ite"]),
+            children,
+            children,
+            children,
+        ),
+        max_leaves=14,
+    )
+
+
+def build(manager, formula):
+    if formula == "T":
+        return TRUE
+    if formula == "F":
+        return FALSE
+    if isinstance(formula, str):
+        return manager.var(int(formula[1]))
+    op, a, b, c = formula
+    fa, fb, fc = (build(manager, f) for f in (a, b, c))
+    if op == "and":
+        return manager.land(fa, fb)
+    if op == "or":
+        return manager.lor(fa, fb)
+    if op == "xor":
+        return manager.lxor(fa, fb)
+    if op == "not":
+        return manager.lnot(fa)
+    return manager.ite(fa, fb, fc)
+
+
+def brute(formula, bits):
+    if formula == "T":
+        return True
+    if formula == "F":
+        return False
+    if isinstance(formula, str):
+        return bits[int(formula[1])]
+    op, a, b, c = formula
+    if op == "and":
+        return brute(a, bits) and brute(b, bits)
+    if op == "or":
+        return brute(a, bits) or brute(b, bits)
+    if op == "xor":
+        return brute(a, bits) != brute(b, bits)
+    if op == "not":
+        return not brute(a, bits)
+    return brute(b, bits) if brute(a, bits) else brute(c, bits)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas())
+def test_bdd_matches_brute_force(formula):
+    manager = BDDManager()
+    node = build(manager, formula)
+    for bits in itertools.product((False, True), repeat=N_VARS):
+        assert manager.evaluate(node, dict(enumerate(bits))) == brute(formula, bits)
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas(), formulas())
+def test_canonicity_equal_functions_share_roots(f, g):
+    manager = BDDManager()
+    nf, ng = build(manager, f), build(manager, g)
+    same_function = all(
+        brute(f, bits) == brute(g, bits)
+        for bits in itertools.product((False, True), repeat=N_VARS)
+    )
+    assert (nf == ng) == same_function
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas())
+def test_satcount_matches_enumeration(formula):
+    manager = BDDManager()
+    node = build(manager, formula)
+    expected = sum(
+        brute(formula, bits)
+        for bits in itertools.product((False, True), repeat=N_VARS)
+    )
+    assert manager.satcount(node, N_VARS) == expected

@@ -1,0 +1,142 @@
+"""Tests for the tuple encoder and the BDD-backed visible-state set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import TupleEncoder, VisibleSetBDD
+
+
+class TestTupleEncoder:
+    def test_round_trip_via_membership(self):
+        encoder = TupleEncoder(2)
+        assignment = encoder.assignment(("q0", "a"))
+        assert encoder.manager.evaluate(encoder.cube(("q0", "a")), assignment)
+
+    def test_distinct_tuples_distinct_cubes(self):
+        encoder = TupleEncoder(2)
+        assert encoder.cube(("q0", "a")) != encoder.cube(("q0", "b"))
+        assert encoder.cube(("q0", "a")) != encoder.cube(("q1", "a"))
+
+    def test_unknown_value_without_register(self):
+        encoder = TupleEncoder(1)
+        assert encoder.assignment(("never-seen",), register=False) is None
+
+    def test_arity_checked(self):
+        encoder = TupleEncoder(2)
+        with pytest.raises(ValueError):
+            encoder.assignment(("only-one",))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(ValueError):
+            TupleEncoder(0)
+
+    def test_none_is_a_legal_value(self):
+        # EMPTY tops are None in visible states; they must encode fine.
+        encoder = TupleEncoder(2)
+        cube = encoder.cube((None, "a"))
+        assert encoder.manager.evaluate(cube, encoder.assignment((None, "a")))
+
+
+class TestVisibleSetBDD:
+    def test_add_and_membership(self):
+        store = VisibleSetBDD.for_arity(2)
+        assert store.add((0, "a"))
+        assert (0, "a") in store
+        assert (0, "b") not in store
+        assert ("zzz", "a") not in store
+
+    def test_add_is_idempotent(self):
+        store = VisibleSetBDD.for_arity(2)
+        assert store.add((0, "a"))
+        assert not store.add((0, "a"))
+        assert len(store) == 1
+
+    def test_size_matches_satcount(self):
+        store = VisibleSetBDD.for_arity(2)
+        store.update([(0, "a"), (0, "b"), (1, "a")])
+        assert len(store) == 3
+        assert store.satcount() == 3
+
+    def test_equality_by_canonicity(self):
+        encoder = TupleEncoder(2)
+        left = VisibleSetBDD(encoder)
+        right = VisibleSetBDD(encoder)
+        left.update([(0, "a"), (1, "b")])
+        right.update([(1, "b"), (0, "a")])  # insertion order irrelevant
+        assert left.equals(right)
+        right.add((0, "b"))
+        assert not left.equals(right)
+
+    def test_subset(self):
+        encoder = TupleEncoder(1)
+        small = VisibleSetBDD(encoder)
+        big = VisibleSetBDD(encoder)
+        small.update([("x",)])
+        big.update([("x",), ("y",)])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_union(self):
+        encoder = TupleEncoder(1)
+        left = VisibleSetBDD(encoder)
+        right = VisibleSetBDD(encoder)
+        left.add(("x",))
+        right.add(("y",))
+        combined = left.union(right)
+        assert set(combined) == {("x",), ("y",)}
+        assert len(combined) == 2
+
+    def test_iteration(self):
+        store = VisibleSetBDD.for_arity(2)
+        members = {(0, "a"), (1, "b"), (1, "a")}
+        store.update(members)
+        assert set(store) == members
+
+    def test_cross_encoder_operations_rejected(self):
+        left = VisibleSetBDD.for_arity(1)
+        right = VisibleSetBDD.for_arity(1)
+        with pytest.raises(ValueError):
+            left.equals(right)
+
+
+class TestWithVisibleStates:
+    def test_stores_fig1_visible_states(self):
+        from repro.models import fig1_cpds
+        from repro.reach import ExplicitReach
+
+        engine = ExplicitReach(fig1_cpds(), track_traces=False)
+        engine.ensure_level(6)
+        store = VisibleSetBDD.for_arity(3)  # (shared, top1, top2)
+        reference = set()
+        for visible in engine.visible_up_to():
+            row = (visible.shared, *visible.tops)
+            store.add(row)
+            reference.add(row)
+        assert len(store) == len(reference)
+        assert set(store) == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from(["a", "b", "c", None])),
+        max_size=12,
+    ),
+    st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from(["a", "b", "c", None])),
+        max_size=12,
+    ),
+)
+def test_store_behaves_like_a_set(left_items, right_items):
+    encoder = TupleEncoder(2)
+    left = VisibleSetBDD(encoder)
+    right = VisibleSetBDD(encoder)
+    left.update(left_items)
+    right.update(right_items)
+    left_set, right_set = set(left_items), set(right_items)
+    assert len(left) == len(left_set)
+    assert set(left) == left_set
+    assert left.equals(right) == (left_set == right_set)
+    assert left.issubset(right) == (left_set <= right_set)
+    assert set(left.union(right)) == (left_set | right_set)

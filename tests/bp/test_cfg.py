@@ -1,0 +1,158 @@
+"""CFG lowering tests."""
+
+from repro.bp import ast, build_cfg, parse_program
+from repro.bp.cfg import (
+    AssertOp,
+    AssignOp,
+    AssumeOp,
+    AtomicBeginOp,
+    AtomicEndOp,
+    CallOp,
+    LockOp,
+    ReceiveOp,
+    ReturnOp,
+    SkipOp,
+    UnlockOp,
+)
+
+
+def cfg_of(body: str, signature: str = "void f()"):
+    program = parse_program(f"{signature} {{ {body} }}")
+    return build_cfg(program.functions[0])
+
+
+def single_op(cfg, location):
+    ops = cfg.ops[location]
+    assert len(ops) == 1
+    return ops[0]
+
+
+class TestStraightLine:
+    def test_skip_chain(self):
+        cfg = cfg_of("skip; skip;")
+        first = single_op(cfg, cfg.entry)
+        assert isinstance(first, SkipOp)
+        second = single_op(cfg, first.target)
+        assert isinstance(second, SkipOp)
+        assert second.target == cfg.exit
+
+    def test_exit_is_implicit_void_return(self):
+        cfg = cfg_of("skip;")
+        exit_op = single_op(cfg, cfg.exit)
+        assert isinstance(exit_op, ReturnOp)
+        assert exit_op.value is None
+
+    def test_bool_exit_returns_nondet(self):
+        cfg = cfg_of("skip;", "bool f()")
+        exit_op = single_op(cfg, cfg.exit)
+        assert isinstance(exit_op.value, ast.Nondet)
+
+    def test_empty_function(self):
+        cfg = cfg_of("")
+        assert cfg.entry == cfg.exit
+
+    def test_assign_and_assert(self):
+        cfg = cfg_of("x := 1; assert (x);", "void f(x)")
+        assign = single_op(cfg, cfg.entry)
+        assert isinstance(assign, AssignOp)
+        check = single_op(cfg, assign.target)
+        assert isinstance(check, AssertOp)
+        assert check.target == cfg.exit
+
+
+class TestBranching:
+    def test_while_shape(self):
+        cfg = cfg_of("while (x) { skip; }", "void f(x)")
+        test_ops = cfg.ops[cfg.entry]
+        assert len(test_ops) == 2
+        enter, leave = test_ops
+        assert isinstance(enter, AssumeOp) and isinstance(leave, AssumeOp)
+        assert isinstance(leave.condition, ast.Not)
+        assert leave.target == cfg.exit
+        body = single_op(cfg, enter.target)
+        assert body.target == cfg.entry  # back edge
+
+    def test_empty_while_self_loop(self):
+        cfg = cfg_of("while (x) { }", "void f(x)")
+        enter, leave = cfg.ops[cfg.entry]
+        assert enter.target == cfg.entry
+        assert leave.target == cfg.exit
+
+    def test_if_else_join(self):
+        cfg = cfg_of("if (x) { skip; } else { skip; } skip;", "void f(x)")
+        then_br, else_br = cfg.ops[cfg.entry]
+        join_then = single_op(cfg, then_br.target).target
+        join_else = single_op(cfg, else_br.target).target
+        assert join_then == join_else
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("if (x) { skip; } skip;", "void f(x)")
+        then_br, else_br = cfg.ops[cfg.entry]
+        after = single_op(cfg, then_br.target).target
+        assert else_br.target == after
+
+    def test_goto_multiway(self):
+        cfg = cfg_of("a: goto a, b; b: skip;")
+        ops = cfg.ops[cfg.entry]
+        assert {op.target for op in ops} == {cfg.entry, cfg.label_of["b"]}
+
+    def test_labels_recorded(self):
+        cfg = cfg_of("one: skip; two: skip;")
+        assert set(cfg.label_of) == {"one", "two"}
+
+
+class TestCallsAndAtomic:
+    def test_void_call_returns_to_continuation(self):
+        program = parse_program("void g() { skip; } void f() { call g(); skip; }")
+        cfg = build_cfg(program.function("f"))
+        call = single_op(cfg, cfg.entry)
+        assert isinstance(call, CallOp)
+        cont = single_op(cfg, call.target)
+        assert isinstance(cont, SkipOp)
+
+    def test_value_call_gets_await_site(self):
+        program = parse_program(
+            "bool g() { return 1; } void f() { decl t; t := call g(); skip; }"
+        )
+        cfg = build_cfg(program.function("f"))
+        call = single_op(cfg, cfg.entry)
+        assert isinstance(call, CallOp)
+        receive = single_op(cfg, call.target)
+        assert isinstance(receive, ReceiveOp)
+        assert receive.var == "t"
+        cont = single_op(cfg, receive.target)
+        assert isinstance(cont, SkipOp)
+
+    def test_atomic_brackets(self):
+        cfg = cfg_of("atomic { skip; } skip;")
+        begin = single_op(cfg, cfg.entry)
+        assert isinstance(begin, AtomicBeginOp)
+        inner = single_op(cfg, begin.target)
+        end = single_op(cfg, inner.target)
+        assert isinstance(end, AtomicEndOp)
+        after = single_op(cfg, end.target)
+        assert isinstance(after, SkipOp)
+
+    def test_empty_atomic(self):
+        cfg = cfg_of("atomic { } skip;")
+        begin = single_op(cfg, cfg.entry)
+        end = single_op(cfg, begin.target)
+        assert isinstance(end, AtomicEndOp)
+
+    def test_lock_unlock(self):
+        cfg = cfg_of("lock; unlock;")
+        lock = single_op(cfg, cfg.entry)
+        assert isinstance(lock, LockOp)
+        unlock = single_op(cfg, lock.target)
+        assert isinstance(unlock, UnlockOp)
+
+    def test_explicit_return_short_circuits(self):
+        cfg = cfg_of("return; skip;")
+        ret = single_op(cfg, cfg.entry)
+        assert isinstance(ret, ReturnOp)
+        assert ret.target is None
+
+    def test_n_locations_counts_synthetics(self):
+        cfg = cfg_of("atomic { skip; }")
+        # entry(begin) + inner + end + exit = 4
+        assert cfg.n_locations == 4

@@ -1,0 +1,79 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.bp import tokenize
+from repro.errors import LexError
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)]
+
+
+class TestBasics:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("decl xdecl declx")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident"
+        assert tokens[2].kind == "ident"
+
+    def test_all_keywords_recognized(self):
+        text = (
+            "decl void bool skip goto assume assert call return "
+            "constrain while if else atomic lock unlock thread_create"
+        )
+        assert all(kind == "keyword" for kind in kinds(text))
+
+    def test_numbers(self):
+        tokens = tokenize("0 1 42")
+        assert [t.kind for t in tokens] == ["number"] * 3
+        assert [t.value for t in tokens] == ["0", "1", "42"]
+
+    def test_assign_operator_maximal_munch(self):
+        assert values("x := 1") == ["x", ":=", "1"]
+        # A bare colon (label) stays a colon.
+        assert values("lbl: skip") == ["lbl", ":", "skip"]
+
+    def test_neq_vs_not(self):
+        assert values("a != !b") == ["a", "!=", "!", "b"]
+
+    def test_all_operators(self):
+        assert values("& | ^ = == * ( ) { } ; , &") == [
+            "&", "|", "^", "=", "==", "*", "(", ")", "{", "}", ";", ",", "&",
+        ]
+
+    def test_underscored_identifier(self):
+        assert tokenize("_x9_y")[0].value == "_x9_y"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("x // comment ; junk\ny") == ["x", "y"]
+
+    def test_block_comment(self):
+        assert values("x /* a \n b */ y") == ["x", "y"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("x /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("ok\n  @")
+        assert err.value.line == 2
+        assert err.value.column == 3
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+        assert tokenize("  \n\t ") == []

@@ -1,0 +1,164 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.bp import ast, parse_program
+from repro.errors import ParseError
+
+
+def parse_single_function(body: str) -> ast.Function:
+    return parse_program(f"void f() {{ {body} }}").functions[0]
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_single_function(body).body[0].stmt
+
+
+class TestProgramStructure:
+    def test_shared_decls(self):
+        program = parse_program("decl a, b; decl c; void f() { skip; }")
+        assert program.shared == ("a", "b", "c")
+
+    def test_decl_without_commas(self):
+        program = parse_program("decl a b c; void f() { skip; }")
+        assert program.shared == ("a", "b", "c")
+
+    def test_function_signature(self):
+        program = parse_program("bool g(p, q) { decl t; return p; }")
+        func = program.functions[0]
+        assert func.returns_bool
+        assert func.params == ("p", "q")
+        assert func.locals == ("t",)
+        assert func.all_locals == ("p", "q", "t")
+
+    def test_function_lookup(self):
+        program = parse_program("void f() { skip; } void g() { skip; }")
+        assert program.function("g").name == "g"
+        assert program.function_names == ("f", "g")
+        with pytest.raises(KeyError):
+            program.function("nope")
+
+
+class TestStatements:
+    def test_labels_numeric_and_symbolic(self):
+        func = parse_single_function("2: skip; again: skip; skip;")
+        assert [l.label for l in func.body] == ["2", "again", None]
+
+    def test_goto_multiple_targets(self):
+        stmt = first_stmt("a: goto a, b; b: skip;")
+        assert stmt == ast.Goto(("a", "b"))
+
+    def test_assign_parallel(self):
+        stmt = first_stmt("x, y := 1, 0;")
+        assert stmt.targets == ("x", "y")
+        assert stmt.values == (ast.Const(1), ast.Const(0))
+        assert stmt.constrain is None
+
+    def test_assign_with_constrain(self):
+        stmt = first_stmt("x := * constrain x | y;")
+        assert isinstance(stmt.values[0], ast.Nondet)
+        assert isinstance(stmt.constrain, ast.BinOp)
+
+    def test_value_call(self):
+        stmt = first_stmt("x := call g(1, *);")
+        assert stmt == ast.Call("g", (ast.Const(1), ast.Nondet()), target="x")
+
+    def test_bare_call(self):
+        assert first_stmt("call g();") == ast.Call("g", (), target=None)
+
+    def test_multi_target_call_rejected(self):
+        with pytest.raises(ParseError):
+            parse_single_function("x, y := call g();")
+
+    def test_returns(self):
+        assert first_stmt("return;") == ast.Return(None)
+        assert first_stmt("return x & y;").value is not None
+
+    def test_while_and_if(self):
+        stmt = first_stmt("while (x) { skip; y := 1; }")
+        assert isinstance(stmt, ast.While)
+        assert len(stmt.body) == 2
+
+    def test_if_else(self):
+        stmt = first_stmt("if (x) { skip; } else { y := 1; }")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        stmt = first_stmt("if (x) { skip; }")
+        assert stmt.else_body == ()
+
+    def test_atomic_lock_unlock(self):
+        func = parse_single_function("atomic { x := 1; } lock; unlock;")
+        assert isinstance(func.body[0].stmt, ast.Atomic)
+        assert isinstance(func.body[1].stmt, ast.Lock)
+        assert isinstance(func.body[2].stmt, ast.Unlock)
+
+    def test_thread_create_with_and_without_ampersand(self):
+        program = parse_program(
+            "void w() { skip; } void main() { thread_create(&w); thread_create(w); }"
+        )
+        stmts = [l.stmt for l in program.function("main").body]
+        assert stmts == [ast.ThreadCreate("w"), ast.ThreadCreate("w")]
+
+    def test_assume_assert(self):
+        assert isinstance(first_stmt("assume (x);"), ast.Assume)
+        assert isinstance(first_stmt("assert (!x);"), ast.Assert)
+
+
+class TestExpressions:
+    def test_precedence_not_tightest(self):
+        stmt = first_stmt("z := !x & y;")
+        expr = stmt.values[0]
+        assert expr == ast.BinOp("&", ast.Not(ast.Var("x")), ast.Var("y"))
+
+    def test_precedence_and_over_or(self):
+        expr = first_stmt("z := a | b & c;").values[0]
+        assert expr.op == "|"
+        assert expr.right.op == "&"
+
+    def test_precedence_eq_over_and(self):
+        expr = first_stmt("z := a & b = c;").values[0]
+        assert expr.op == "&"
+        assert expr.right.op == "="
+
+    def test_xor_between_and_and_or(self):
+        expr = first_stmt("z := a ^ b & c | d;").values[0]
+        assert expr.op == "|"
+        assert expr.left.op == "^"
+
+    def test_parentheses_override(self):
+        expr = first_stmt("z := (a | b) & c;").values[0]
+        assert expr.op == "&"
+        assert expr.left.op == "|"
+
+    def test_double_equals_alias(self):
+        assert first_stmt("z := a == b;").values[0].op == "="
+
+    def test_left_associativity(self):
+        expr = first_stmt("z := a & b & c;").values[0]
+        assert expr.left == ast.BinOp("&", ast.Var("a"), ast.Var("b"))
+
+    def test_constants_limited_to_bits(self):
+        with pytest.raises(ParseError):
+            parse_single_function("z := 2;")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { skip }")
+
+    def test_unexpected_eof(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { skip;")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse_single_function("z := &;")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("void f() {\n  z = 1;\n}")  # = instead of :=
+        assert err.value.line == 2

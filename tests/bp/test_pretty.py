@@ -1,0 +1,137 @@
+"""Pretty-printer round-trip tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bp import ast, parse_program, pretty_program
+from repro.bp.pretty import pretty_expr
+
+SAMPLES = [
+    """
+decl x;
+void foo() {
+  if (*) { call foo(); }
+  while (x) { skip; }
+  x := 1;
+}
+void main() { thread_create(&foo); }
+""",
+    """
+decl a, b;
+bool pick(p) {
+  decl t;
+  t := * constrain t | p;
+  return t;
+}
+void w() {
+  decl r;
+  start: r := call pick(a & !b);
+  assert (r != b);
+  goto start, out;
+  out: atomic { a, b := 1, 0; }
+  lock;
+  unlock;
+  return;
+}
+void main() { thread_create(&w); }
+""",
+    """
+void w() {
+  2: if (a = b) { skip; } else { 5: assume (!a); }
+  while (a ^ b) { a := !a; }
+}
+decl a, b;
+void main() { thread_create(&w); }
+""".replace("void w", "void w", 1),
+]
+
+
+def normalize(program: ast.Program):
+    """ASTs compare by value (frozen dataclasses) modulo line numbers."""
+    def strip(labeled: ast.LabeledStmt):
+        stmt = labeled.stmt
+        if isinstance(stmt, ast.While):
+            stmt = ast.While(stmt.condition, tuple(map(strip, stmt.body)))
+        elif isinstance(stmt, ast.If):
+            stmt = ast.If(
+                stmt.condition,
+                tuple(map(strip, stmt.then_body)),
+                tuple(map(strip, stmt.else_body)),
+            )
+        elif isinstance(stmt, ast.Atomic):
+            stmt = ast.Atomic(tuple(map(strip, stmt.body)))
+        return ast.LabeledStmt(stmt, labeled.label, 0)
+
+    return ast.Program(
+        program.shared,
+        tuple(
+            ast.Function(
+                f.name, f.params, f.locals, tuple(map(strip, f.body)), f.returns_bool
+            )
+            for f in program.functions
+        ),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", SAMPLES[:2])
+    def test_parse_pretty_parse(self, source):
+        first = parse_program(source)
+        second = parse_program(pretty_program(first))
+        assert normalize(first) == normalize(second)
+
+    def test_pretty_is_stable(self):
+        program = parse_program(SAMPLES[0])
+        once = pretty_program(program)
+        twice = pretty_program(parse_program(once))
+        assert once == twice
+
+
+class TestPrettyExpr:
+    def test_simple(self):
+        assert pretty_expr(ast.BinOp("&", ast.Var("a"), ast.Const(1))) == "a & 1"
+
+    def test_parentheses_only_when_needed(self):
+        # (a | b) & c needs parens; a & b | c does not.
+        expr = ast.BinOp("&", ast.BinOp("|", ast.Var("a"), ast.Var("b")), ast.Var("c"))
+        assert pretty_expr(expr) == "(a | b) & c"
+        expr = ast.BinOp("|", ast.BinOp("&", ast.Var("a"), ast.Var("b")), ast.Var("c"))
+        assert pretty_expr(expr) == "a & b | c"
+
+    def test_not_binds_tightest(self):
+        expr = ast.Not(ast.BinOp("&", ast.Var("a"), ast.Var("b")))
+        assert pretty_expr(expr) == "!(a & b)"
+
+    def test_right_assoc_needs_parens(self):
+        expr = ast.BinOp("&", ast.Var("a"), ast.BinOp("&", ast.Var("b"), ast.Var("c")))
+        assert pretty_expr(expr) == "a & (b & c)"
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random expressions round-trip through the printer.
+# ---------------------------------------------------------------------------
+
+def exprs():
+    leaves = st.sampled_from(
+        [ast.Const(0), ast.Const(1), ast.Var("a"), ast.Var("b"), ast.Nondet()]
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(ast.Not, children),
+            st.builds(
+                ast.BinOp, st.sampled_from(["&", "|", "^", "=", "!="]), children, children
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs())
+def test_expr_round_trip(expr):
+    source = f"void w() {{ z := {pretty_expr(expr)}; }} "
+    program = parse_program(source)
+    reparsed = program.functions[0].body[0].stmt.values[0]
+    assert reparsed == expr

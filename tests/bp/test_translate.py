@@ -1,0 +1,312 @@
+"""End-to-end tests: Boolean source → CPDS → verification."""
+
+import pytest
+
+from repro.bp import compile_source
+from repro.bp.translate import ERR, INIT
+from repro.core import Verdict
+from repro.cuba import Cuba, algorithm3, check_fcr, scheme1_rk
+from repro.errors import TranslationError
+from repro.reach import ExplicitReach
+
+FIG2_SOURCE = """
+decl x;
+void foo() {
+  if (*) { call foo(); }
+  while (x) { skip; }
+  x := 1;
+}
+void bar() {
+  if (*) { call bar(); }
+  while (!x) { skip; }
+  x := 0;
+}
+void main() {
+  thread_create(&foo);
+  thread_create(&bar);
+}
+"""
+
+
+class TestFig2Compilation:
+    """The paper's Fig. 2 source program, compiled instead of hand-built."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_source(FIG2_SOURCE, init={"x": "*"})
+
+    def test_two_threads(self, compiled):
+        assert compiled.cpds.n_threads == 2
+        assert compiled.thread_roots == ("foo", "bar")
+
+    def test_initial_state_is_bottom(self, compiled):
+        assert compiled.cpds.initial_state().shared == INIT
+
+    def test_violates_fcr_like_the_paper_model(self, compiled):
+        assert not check_fcr(compiled.cpds).holds
+
+    def test_symbolic_analysis_proves_safe(self, compiled):
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=10)
+        assert report.verdict is Verdict.SAFE
+        assert report.winner == "alg3(T(Sk))"
+
+    def test_descriptions(self, compiled):
+        q = (0, 0, None, (1,))
+        assert compiled.describe_shared(q) == "{x=1}"
+        assert compiled.describe_shared(ERR) == "ERR"
+        symbol = ("foo", 0, ())
+        assert compiled.describe_symbol(symbol) == "foo@0"
+
+
+class TestAssertions:
+    def test_failing_assert_reaches_err(self):
+        source = """
+        decl flag;
+        void setter() { flag := 1; }
+        void checker() { assert (!flag); }
+        void main() { thread_create(&setter); thread_create(&checker); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=10)
+        assert report.verdict is Verdict.UNSAFE
+        assert report.result.witness.shared == ERR
+        assert report.result.trace is not None
+
+    def test_passing_assert_proved_safe(self):
+        source = """
+        decl flag;
+        void setter() { flag := 1; assert (flag); }
+        void main() { thread_create(&setter); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=10)
+        assert report.verdict is Verdict.SAFE
+
+    def test_assert_with_nondet_is_violable(self):
+        source = """
+        void w() { assert (*); }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source)
+        result = scheme1_rk(compiled.cpds, compiled.prop)
+        assert result.verdict is Verdict.UNSAFE
+
+
+class TestSequentialSemantics:
+    def run_states(self, source, levels=6, **kw):
+        compiled = compile_source(source, **kw)
+        engine = ExplicitReach(compiled.cpds, track_traces=False)
+        engine.ensure_level(levels)
+        return compiled, engine
+
+    def test_assignment_and_if(self):
+        source = """
+        decl a, b;
+        void w() {
+          a := 1;
+          if (a) { b := 1; } else { b := 0; }
+          assert (b);
+        }
+        void main() { thread_create(&w); }
+        """
+        compiled, engine = self.run_states(source)
+        shareds = {state.shared for state in engine.first_seen}
+        assert ERR not in shareds
+        assert (0, 0, None, (1, 1)) in shareds
+
+    def test_while_loop_terminates_analysis(self):
+        source = """
+        decl done;
+        void w() {
+          while (!done) { done := 1; }
+          assert (done);
+        }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=10)
+        assert report.verdict is Verdict.SAFE
+
+    def test_constrain_filters_transitions(self):
+        source = """
+        decl p, q;
+        void w() {
+          p, q := *, * constrain p != q;
+          assert (p != q);
+        }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=10)
+        assert report.verdict is Verdict.SAFE
+
+    def test_goto_nondeterminism(self):
+        source = """
+        decl hit_a, hit_b;
+        void w() {
+          goto a, b;
+          a: hit_a := 1;
+          return;
+          b: hit_b := 1;
+        }
+        void main() { thread_create(&w); }
+        """
+        compiled, engine = self.run_states(source)
+        vals = {state.shared[3] for state in engine.first_seen if isinstance(state.shared, tuple)}
+        assert (1, 0) in vals
+        assert (0, 1) in vals
+        assert (1, 1) not in vals  # return before b, no fallthrough to b
+
+
+class TestCallsAndReturns:
+    def test_value_call_round_trip(self):
+        source = """
+        decl out;
+        bool negate(p) { return !p; }
+        void w() {
+          decl t;
+          t := call negate(0);
+          out := t;
+          assert (out);
+        }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=12)
+        assert report.verdict is Verdict.SAFE
+
+    def test_recursive_bool_function(self):
+        # flip(1, 1) = flip(!1, 0) = 0: one recursion level negates once.
+        source = """
+        decl out;
+        bool flip(p, depth) {
+          decl t;
+          if (depth) { t := call flip(!p, 0); return t; }
+          return p;
+        }
+        void w() {
+          decl t;
+          t := call flip(1, 1);
+          out := t;
+          assert (!out);
+        }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=12)
+        assert report.verdict is Verdict.SAFE
+
+    def test_handoff_not_corrupted_by_other_thread(self):
+        # While a return value is in flight the other thread is frozen,
+        # so the asserted equality can't be broken mid-handoff.
+        source = """
+        decl shared_val;
+        bool get() { return shared_val; }
+        void reader() {
+          decl t;
+          t := call get();
+          assert (t = shared_val | !t | t);
+        }
+        void writer() { shared_val := 1; shared_val := 0; }
+        void main() { thread_create(&reader); thread_create(&writer); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=12)
+        assert report.verdict is Verdict.SAFE
+
+
+class TestAtomicAndLock:
+    def test_atomic_check_then_set_is_safe(self):
+        source = """
+        decl balance, busy;
+        void w1() {
+          atomic { assume (!busy); busy := 1; }
+          assert (!balance);
+          balance := 1;
+          balance := 0;
+          busy := 0;
+        }
+        void w2() {
+          atomic { assume (!busy); busy := 1; }
+          assert (!balance);
+          balance := 1;
+          balance := 0;
+          busy := 0;
+        }
+        void main() { thread_create(&w1); thread_create(&w2); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=20)
+        assert report.verdict is Verdict.SAFE
+
+    def test_unprotected_version_is_unsafe(self):
+        source = """
+        decl balance;
+        void w1() { assert (!balance); balance := 1; balance := 0; }
+        void w2() { assert (!balance); balance := 1; balance := 0; }
+        void main() { thread_create(&w1); thread_create(&w2); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=20)
+        assert report.verdict is Verdict.UNSAFE
+
+    def test_lock_protects_critical_section(self):
+        source = """
+        decl balance;
+        void w1() { lock; assert (!balance); balance := 1; balance := 0; unlock; }
+        void w2() { lock; assert (!balance); balance := 1; balance := 0; unlock; }
+        void main() { thread_create(&w1); thread_create(&w2); }
+        """
+        compiled = compile_source(source)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=20)
+        assert report.verdict is Verdict.SAFE
+
+
+class TestTranslationErrors:
+    def test_unknown_init_variable(self):
+        with pytest.raises(TranslationError):
+            compile_source(
+                "void w() { skip; } void main() { thread_create(&w); }",
+                init={"ghost": 1},
+            )
+
+    def test_nondet_locals_entry_needs_bottom(self):
+        source = """
+        void w() { decl t; assert (t | !t); }
+        void main() { thread_create(&w); }
+        """
+        with pytest.raises(TranslationError):
+            compile_source(source, nondet_locals=True)
+
+    def test_nondet_locals_with_bottom_ok(self):
+        source = """
+        decl x;
+        void w() { decl t; assert (t | !t); }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source, init={"x": "*"}, nondet_locals=True)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=10)
+        assert report.verdict is Verdict.SAFE
+
+
+class TestInitialValues:
+    def test_concrete_init(self):
+        source = """
+        decl x;
+        void w() { assert (x); }
+        void main() { thread_create(&w); }
+        """
+        safe = compile_source(source, init={"x": 1})
+        assert Cuba(safe.cpds, safe.prop).verify().verdict is Verdict.SAFE
+        unsafe = compile_source(source, init={"x": 0})
+        assert Cuba(unsafe.cpds, unsafe.prop).verify().verdict is Verdict.UNSAFE
+
+    def test_nondet_init_explores_both(self):
+        source = """
+        decl x;
+        void w() { assert (x); }
+        void main() { thread_create(&w); }
+        """
+        compiled = compile_source(source, init={"x": "*"})
+        report = Cuba(compiled.cpds, compiled.prop).verify()
+        assert report.verdict is Verdict.UNSAFE  # x = 0 branch fails

@@ -1,0 +1,68 @@
+"""Unit tests for safety property classes."""
+
+from repro.core import AlwaysSafe, MutualExclusion, SharedStateReachability, VisiblePredicate
+from repro.cpds import VisibleState
+from repro.pds import EMPTY
+
+
+def vs(shared, *tops):
+    return VisibleState(shared, tuple(tops))
+
+
+class TestSharedStateReachability:
+    def test_violated_by_bad_shared(self):
+        prop = SharedStateReachability({"err"})
+        assert prop.violated_by(vs("err", 1, 2))
+        assert not prop.violated_by(vs("ok", 1, 2))
+
+    def test_find_violation_returns_first(self):
+        prop = SharedStateReachability({9})
+        found = prop.find_violation([vs(0, 1), vs(9, 2), vs(9, 3)])
+        assert found == vs(9, 2)
+
+    def test_find_violation_none(self):
+        prop = SharedStateReachability({9})
+        assert prop.find_violation([vs(0, 1), vs(1, 2)]) is None
+
+    def test_describe_lists_states(self):
+        assert "err" in SharedStateReachability({"err"}).describe()
+
+
+class TestMutualExclusion:
+    def test_two_threads_in_critical(self):
+        prop = MutualExclusion({0: {"cs"}, 1: {"cs"}})
+        assert prop.violated_by(vs(0, "cs", "cs"))
+
+    def test_one_thread_alone_is_fine(self):
+        prop = MutualExclusion({0: {"cs"}, 1: {"cs"}})
+        assert not prop.violated_by(vs(0, "cs", "idle"))
+        assert not prop.violated_by(vs(0, "idle", "cs"))
+
+    def test_different_critical_symbols(self):
+        prop = MutualExclusion({0: {5}, 1: {9}})
+        assert prop.violated_by(vs(1, 5, 9))
+        assert not prop.violated_by(vs(1, 5, 8))
+
+    def test_empty_top_never_critical(self):
+        prop = MutualExclusion({0: {5}, 1: {9}})
+        assert not prop.violated_by(vs(0, EMPTY, 9))
+
+    def test_three_thread_quorum(self):
+        prop = MutualExclusion({0: {"c"}, 1: {"c"}, 2: {"c"}})
+        assert prop.violated_by(vs(0, "c", "c", "idle"))
+        assert not prop.violated_by(vs(0, "c", "idle", "idle"))
+
+
+class TestVisiblePredicate:
+    def test_custom_predicate(self):
+        prop = VisiblePredicate(lambda v: v.tops[0] == "boom", "no boom")
+        assert prop.violated_by(vs(0, "boom"))
+        assert not prop.violated_by(vs(0, "calm"))
+        assert prop.describe() == "no boom"
+
+
+class TestAlwaysSafe:
+    def test_never_violated(self):
+        prop = AlwaysSafe()
+        assert not prop.violated_by(vs("anything", 1, EMPTY))
+        assert prop.find_violation([vs(0, 1)]) is None

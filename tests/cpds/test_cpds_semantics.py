@@ -1,0 +1,116 @@
+"""Unit tests for the CPDS container and asynchronous semantics."""
+
+import pytest
+
+from repro.errors import ContextExplosionError, ModelError
+from repro.cpds import (
+    CPDS,
+    GlobalState,
+    context_post,
+    global_successors,
+    thread_context_post,
+    with_thread_state,
+)
+from repro.models import fig1_cpds, fig2_cpds
+from repro.pds import PDS, PDSState
+
+
+class TestCPDSContainer:
+    def test_fig1_shape(self):
+        cpds = fig1_cpds()
+        assert cpds.n_threads == 2
+        assert cpds.shared_states == frozenset({0, 1, 2, 3})
+        assert cpds.alphabet(0) == frozenset({1, 2})
+        assert cpds.alphabet(1) == frozenset({4, 5, 6})
+        assert cpds.initial_state() == GlobalState(0, ((1,), (4,)))
+
+    def test_validate(self):
+        fig1_cpds().validate()
+        fig2_cpds().validate()
+
+    def test_requires_threads(self):
+        with pytest.raises(ModelError):
+            CPDS([])
+
+    def test_initial_shared_must_agree(self):
+        one = PDS(initial_shared=0)
+        two = PDS(initial_shared=1)
+        with pytest.raises(ModelError):
+            CPDS([one, two])
+
+    def test_stack_count_must_match(self):
+        pds = PDS(initial_shared=0)
+        with pytest.raises(ModelError):
+            CPDS([pds], initial_stacks=[(), ()])
+
+    def test_initial_stack_symbols_checked(self):
+        pds = PDS(initial_shared=0)
+        with pytest.raises(ModelError):
+            CPDS([pds], initial_stacks=[("zz",)])
+
+
+class TestGlobalSuccessors:
+    def test_fig1_initial_successors(self):
+        cpds = fig1_cpds()
+        moves = {
+            (thread, action.label, str(state))
+            for thread, action, state in global_successors(cpds, cpds.initial_state())
+        }
+        assert moves == {
+            (0, "f1", "⟨1|2,4⟩"),
+            (1, "b1", "⟨0|1,ε⟩"),
+        }
+
+    def test_with_thread_state(self):
+        state = GlobalState(0, ((1,), (4,)))
+        updated = with_thread_state(state, 1, PDSState(2, (5,)))
+        assert updated == GlobalState(2, ((1,), (5,)))
+
+
+class TestThreadContextPost:
+    def test_zero_steps_included(self):
+        cpds = fig1_cpds()
+        initial = cpds.initial_state()
+        assert initial in thread_context_post(cpds, initial, 0)
+
+    def test_thread1_context_from_initial(self):
+        cpds = fig1_cpds()
+        reached = thread_context_post(cpds, cpds.initial_state(), 0)
+        assert reached == {
+            GlobalState(0, ((1,), (4,))),
+            GlobalState(1, ((2,), (4,))),
+        }
+
+    def test_thread2_runs_to_completion(self):
+        # From ⟨3|2,46⟩ thread 1 fires f2 then f1 — one context, two steps.
+        cpds = fig1_cpds()
+        start = GlobalState(3, ((2,), (4, 6)))
+        reached = thread_context_post(cpds, start, 0)
+        assert reached == {
+            start,
+            GlobalState(0, ((1,), (4, 6))),
+            GlobalState(1, ((2,), (4, 6))),
+        }
+
+    def test_context_post_unions_threads(self):
+        cpds = fig1_cpds()
+        both = context_post(cpds, cpds.initial_state())
+        assert GlobalState(1, ((2,), (4,))) in both
+        assert GlobalState(0, ((1,), ())) in both
+        assert len(both) == 3
+
+    def test_parents_recorded(self):
+        cpds = fig1_cpds()
+        parents = {cpds.initial_state(): None}
+        thread_context_post(cpds, cpds.initial_state(), 0, parents=parents)
+        successor = GlobalState(1, ((2,), (4,)))
+        prev, thread, action = parents[successor]
+        assert prev == cpds.initial_state()
+        assert thread == 0
+        assert action.label == "f1"
+
+    def test_divergence_guard_on_fig2(self):
+        # foo's recursion pumps the stack inside one context (no FCR).
+        cpds = fig2_cpds()
+        with pytest.raises(ContextExplosionError):
+            thread_context_post(cpds, cpds.initial_state(), 0, max_states=500)

@@ -1,0 +1,144 @@
+"""Tests for the textual CPDS format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.cpds import format_cpds, parse_cpds
+from repro.models import fig1_cpds, fig2_cpds
+
+FIG1_TEXT = """
+# Fig. 1 of the paper
+cpds fig1
+shared: 0 1 2 3
+init: 0
+thread P1
+  stack: 1
+  rule f1: (0, 1) -> (1, 2)
+  rule f2: (3, 2) -> (0, 1)
+thread P2
+  stack: 4
+  rule b1: (0, 4) -> (0, -)
+  rule b2: (1, 4) -> (2, 5)
+  rule b3: (2, 5) -> (3, 4 6)
+"""
+
+
+class TestParse:
+    def test_parse_fig1(self):
+        cpds = parse_cpds(FIG1_TEXT)
+        assert cpds.name == "fig1"
+        assert cpds.n_threads == 2
+        assert cpds.shared_states == frozenset({0, 1, 2, 3})
+        assert cpds.initial_state() == fig1_cpds().initial_state()
+        labels = [a.label for a in cpds.thread(1).actions]
+        assert labels == ["b1", "b2", "b3"]
+
+    def test_pop_rule_shape(self):
+        cpds = parse_cpds(FIG1_TEXT)
+        pop = cpds.thread(1).actions[0]
+        assert pop.read == (4,)
+        assert pop.write == ()
+
+    def test_push_rule_shape(self):
+        cpds = parse_cpds(FIG1_TEXT)
+        push = cpds.thread(1).actions[2]
+        assert push.write == (4, 6)
+
+    def test_empty_read_rule(self):
+        text = "init: 0\nthread T\n  rule (0, -) -> (1, a)\n"
+        cpds = parse_cpds(text)
+        action = cpds.thread(0).actions[0]
+        assert action.read == ()
+        assert action.write == ("a",)
+
+    def test_string_and_int_atoms(self):
+        text = "init: q0\nthread T\n  rule (q0, 7) -> (q1, sym)\n"
+        cpds = parse_cpds(text)
+        action = cpds.thread(0).actions[0]
+        assert action.from_shared == "q0"
+        assert action.read == (7,)
+        assert action.write == ("sym",)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hi\n\ninit: 0 # inline\nthread T\n  rule (0, a) -> (0, a)\n"
+        assert parse_cpds(text).n_threads == 1
+
+    def test_unlabeled_rule(self):
+        text = "init: 0\nthread T\n  rule (0, a) -> (0, b)\n"
+        assert parse_cpds(text).thread(0).actions[0].label == ""
+
+
+class TestParseErrors:
+    def test_missing_init(self):
+        with pytest.raises(FormatError):
+            parse_cpds("thread T\n  rule (0, a) -> (0, b)\n")
+
+    def test_no_threads(self):
+        with pytest.raises(FormatError):
+            parse_cpds("init: 0\n")
+
+    def test_rule_outside_thread(self):
+        with pytest.raises(FormatError):
+            parse_cpds("init: 0\nrule (0, a) -> (0, b)\n")
+
+    def test_bad_rule_syntax_reports_line(self):
+        with pytest.raises(FormatError) as err:
+            parse_cpds("init: 0\nthread T\n  rule (0 a) - (0, b)\n")
+        assert err.value.line == 3
+
+    def test_garbage_line(self):
+        with pytest.raises(FormatError):
+            parse_cpds("init: 0\nwhatever\n")
+
+    def test_three_symbol_write_rejected(self):
+        with pytest.raises(FormatError):
+            parse_cpds("init: 0\nthread T\n  rule (0, a) -> (0, a b c)\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [fig1_cpds, fig2_cpds])
+    def test_format_then_parse_preserves_structure(self, builder):
+        original = builder()
+        reparsed = parse_cpds(format_cpds(original))
+        assert reparsed.n_threads == original.n_threads
+        assert reparsed.initial_state() == original.initial_state()
+        for index in range(original.n_threads):
+            assert set(reparsed.thread(index).actions) == set(
+                original.thread(index).actions
+            )
+
+    def test_formatted_text_is_stable(self):
+        text = format_cpds(fig1_cpds())
+        assert format_cpds(parse_cpds(text)) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_random_cpds_round_trip(data):
+    from repro.cpds import CPDS
+    from repro.pds import PDS
+
+    n_threads = data.draw(st.integers(min_value=1, max_value=3))
+    threads = []
+    for t in range(n_threads):
+        pds = PDS(initial_shared=0, shared_states={0, 1}, name=f"T{t}")
+        for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+            read = data.draw(st.sampled_from([None, "a", "b"]))
+            if read is None:
+                write = data.draw(st.sampled_from([(), ("a",)]))
+            else:
+                write = data.draw(st.sampled_from([(), ("a",), ("b", "a")]))
+            pds.rule(
+                data.draw(st.sampled_from([0, 1])),
+                read,
+                data.draw(st.sampled_from([0, 1])),
+                write,
+            )
+        threads.append(pds)
+    original = CPDS(threads)
+    reparsed = parse_cpds(format_cpds(original))
+    assert reparsed.n_threads == original.n_threads
+    for index in range(original.n_threads):
+        assert set(reparsed.thread(index).actions) == set(original.thread(index).actions)

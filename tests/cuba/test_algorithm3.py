@@ -1,0 +1,122 @@
+"""Tests for Alg. 3 — the Ex. 14 run is reproduced exactly."""
+
+import pytest
+
+from repro.core import AlwaysSafe, MutualExclusion, SharedStateReachability, Verdict
+from repro.cpds import VisibleState
+from repro.cuba import algorithm3
+from repro.models import fig1_cpds, fig2_cpds
+from repro.pds import EMPTY
+from repro.reach import ExplicitReach, SymbolicReach
+
+
+def vs(shared, *tops):
+    return VisibleState(shared, tuple(tops))
+
+
+class TestExample14:
+    """Alg. 3 on Fig. 1: plateau at 2 rejected, collapse proved at 5."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return algorithm3(fig1_cpds(), AlwaysSafe(), engine="explicit", max_rounds=20)
+
+    def test_safe_at_bound_5(self, result):
+        assert result.verdict is Verdict.SAFE
+        assert result.bound == 5
+
+    def test_first_plateau_rejected_with_missing_generator(self, result):
+        rejected = result.stats["plateaus_rejected"]
+        assert len(rejected) == 1
+        assert rejected[0]["k"] == 2
+        assert rejected[0]["missing"] == frozenset({vs(0, 1, 6)})
+
+    def test_generator_set_sizes(self, result):
+        assert result.stats["Z"] == 8      # Ex. 13
+        assert result.stats["G∩Z"] == 2    # Ex. 14
+
+    def test_symbolic_engine_agrees(self):
+        result = algorithm3(fig1_cpds(), AlwaysSafe(), engine="symbolic", max_rounds=20)
+        assert result.verdict is Verdict.SAFE
+        assert result.bound == 5
+
+
+class TestUnsafeDetection:
+    def test_error_reported_at_minimal_bound(self):
+        # Shared state 3 first appears in R2 (Fig. 1 table).
+        result = algorithm3(
+            fig1_cpds(), SharedStateReachability({3}), engine="explicit"
+        )
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2
+        assert result.witness == vs(3, 2, 4)
+
+    def test_explicit_unsafe_carries_trace(self):
+        result = algorithm3(
+            fig1_cpds(), SharedStateReachability({3}), engine="explicit"
+        )
+        assert result.trace is not None
+        assert result.trace.target.visible() == result.witness
+
+    def test_symbolic_unsafe_same_bound(self):
+        result = algorithm3(
+            fig1_cpds(), SharedStateReachability({3}), engine="symbolic"
+        )
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2
+
+    def test_initial_violation(self):
+        result = algorithm3(
+            fig1_cpds(), SharedStateReachability({0}), engine="explicit"
+        )
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 0
+
+
+class TestFig2Symbolic:
+    """The non-FCR program: only the symbolic engine concludes."""
+
+    def test_explicit_engine_reports_divergence(self):
+        result = algorithm3(
+            fig2_cpds(),
+            AlwaysSafe(),
+            engine="explicit",
+            max_states_per_context=500,
+        )
+        assert result.verdict is Verdict.UNKNOWN
+        assert "diverged" in result.message
+
+    def test_symbolic_converges(self):
+        result = algorithm3(fig2_cpds(), AlwaysSafe(), engine="symbolic", max_rounds=12)
+        assert result.verdict is Verdict.SAFE
+        # T(Sk) collapses at k = 2 with our encoding (Ex. 8: R2 = R3).
+        assert result.bound == 2
+
+    def test_race_freedom_property(self):
+        # foo poised to set x:=1 (top 5) and bar poised to set x:=0
+        # (top 9) can never be armed simultaneously.
+        prop = MutualExclusion({0: {5}, 1: {9}})
+        result = algorithm3(fig2_cpds(), prop, engine="symbolic", max_rounds=12)
+        assert result.verdict is Verdict.SAFE
+
+    def test_reachable_visible_state_refuted(self):
+        # ⟨1|4,9⟩ is reachable (Ex. 8) — property claiming otherwise fails.
+        prop = MutualExclusion({0: {4}, 1: {9}})
+        result = algorithm3(fig2_cpds(), prop, engine="symbolic", max_rounds=12)
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2
+
+
+class TestEngineParameter:
+    def test_prepared_engine_accepted(self):
+        engine = ExplicitReach(fig1_cpds())
+        result = algorithm3(fig1_cpds(), AlwaysSafe(), engine=engine)
+        assert result.verdict is Verdict.SAFE
+
+    def test_unknown_engine_name_rejected(self):
+        with pytest.raises(ValueError):
+            algorithm3(fig1_cpds(), AlwaysSafe(), engine="quantum")
+
+    def test_budget_exhaustion_returns_unknown(self):
+        result = algorithm3(fig1_cpds(), AlwaysSafe(), engine="explicit", max_rounds=2)
+        assert result.verdict is Verdict.UNKNOWN

@@ -1,0 +1,69 @@
+"""Tests for the FCR condition — golden verdicts from Fig. 4 / Ex. 15."""
+
+from repro.cpds import CPDS
+from repro.cuba import check_fcr, thread_shallow_psa
+from repro.models import fig1_cpds, fig2_cpds
+from repro.pds import PDS
+
+
+class TestFig4Verdicts:
+    def test_fig1_satisfies_fcr(self):
+        report = check_fcr(fig1_cpds())
+        assert report.holds
+        assert report.thread_finite == (True, True)
+        # Fig. 4 (left two): the PSAs are loop-free.
+        assert report.thread_has_loop == (False, False)
+
+    def test_fig2_violates_fcr(self):
+        report = check_fcr(fig2_cpds())
+        assert not report.holds
+        assert report.thread_finite == (False, False)
+        # Fig. 4 (right two): self-loops in both automata.
+        assert report.thread_has_loop == (True, True)
+
+    def test_report_str(self):
+        assert "holds" in str(check_fcr(fig1_cpds()))
+        assert "fails" in str(check_fcr(fig2_cpds()))
+
+
+class TestShallowPsa:
+    def test_fig1_thread_languages_finite(self):
+        for pds in fig1_cpds().threads:
+            assert thread_shallow_psa(pds).language_is_finite()
+
+    def test_fig2_thread_languages_infinite(self):
+        for pds in fig2_cpds().threads:
+            assert not thread_shallow_psa(pds).language_is_finite()
+
+    def test_shallow_psa_accepts_seed_configs(self):
+        pds = fig1_cpds().thread(1)
+        psa = thread_shallow_psa(pds)
+        for shared in pds.shared_states:
+            assert psa.accepts_config(shared, ())
+            for symbol in pds.alphabet:
+                assert psa.accepts_config(shared, (symbol,))
+
+
+class TestMixedCases:
+    def test_one_bad_thread_spoils_fcr(self):
+        good = PDS(initial_shared=0, shared_states={0, 1})
+        good.rule(0, "a", 1, ("b",))
+        bad = PDS(initial_shared=0, shared_states={0, 1})
+        bad.rule(0, "x", 0, ("x", "x"))  # pumps within one context
+        report = check_fcr(CPDS([good, bad], initial_stacks=[("a",), ("x",)]))
+        assert report.thread_finite == (True, False)
+        assert not report.holds
+
+    def test_recursion_with_bounded_depth_is_fcr(self):
+        # Pushes exist but every push is immediately popped: depth ≤ 2.
+        pds = PDS(initial_shared=0, shared_states={0, 1})
+        pds.rule(0, "a", 1, ("c", "b"))  # call
+        pds.rule(1, "c", 0, ())          # immediate return
+        report = check_fcr(CPDS([pds], initial_stacks=[("a",)]))
+        assert report.holds
+
+    def test_non_recursive_threads_trivially_fcr(self):
+        pds = PDS(initial_shared=0, shared_states={0, 1})
+        pds.rule(0, "a", 1, ("b",))
+        pds.rule(1, "b", 0, ("a",))
+        assert check_fcr(CPDS([pds], initial_stacks=[("a",)])).holds

@@ -1,0 +1,199 @@
+"""Tests for Alg. 2 / Z — golden values from Fig. 3 and Ex. 13,
+plus a property-based check of Lemma 12 (T(R) ⊆ Z)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpds import CPDS, VisibleState
+from repro.cuba import build_abstraction, compute_z
+from repro.errors import ContextExplosionError
+from repro.models import fig1_cpds, fig2_cpds
+from repro.pds import EMPTY, PDS
+from repro.reach import ExplicitReach
+
+
+def vs(shared, *tops):
+    return VisibleState(shared, tuple(tops))
+
+
+class TestBuildAbstractionFig1:
+    def test_thread1_matches_fig3(self):
+        abstraction = build_abstraction(fig1_cpds().thread(0))
+        assert abstraction.transitions == {
+            (0, 1): frozenset({(1, 2)}),
+            (3, 2): frozenset({(0, 1)}),
+        }
+        assert abstraction.emerging == frozenset()
+
+    def test_thread2_matches_fig3(self):
+        abstraction = build_abstraction(fig1_cpds().thread(1))
+        assert abstraction.emerging == frozenset({6})
+        assert abstraction.transitions == {
+            (0, 4): frozenset({(0, EMPTY), (0, 6)}),  # f1/f2 of Fig. 3
+            (1, 4): frozenset({(2, 5)}),              # f3
+            (2, 5): frozenset({(3, 4)}),              # f4
+        }
+
+    def test_transition_count(self):
+        abstraction = build_abstraction(fig1_cpds().thread(1))
+        assert abstraction.n_transitions() == 4
+
+
+class TestComputeZFig1:
+    def test_z_matches_ex13(self):
+        expected = {
+            vs(0, 1, 4),
+            vs(1, 2, 4),
+            vs(2, 2, 5),
+            vs(3, 2, 4),
+            vs(0, 1, EMPTY),
+            vs(1, 2, EMPTY),
+            vs(0, 1, 6),
+            vs(1, 2, 6),
+        }
+        assert compute_z(fig1_cpds()) == expected
+
+
+class TestLemma12OnPaperModels:
+    def test_fig1_visible_reach_inside_z(self):
+        cpds = fig1_cpds()
+        z = compute_z(cpds)
+        engine = ExplicitReach(cpds, track_traces=False)
+        engine.ensure_level(8)
+        assert engine.visible_up_to() <= z
+
+    def test_fig2_z_is_finite_superset_of_samples(self):
+        # Fig. 2 has no FCR, but Z is still finite and must contain the
+        # visible states of known reachable states (Ex. 8's witness).
+        z = compute_z(fig2_cpds())
+        assert vs("⊥", 2, 6) in z
+        assert vs(1, 4, 9) in z  # projection of ⟨1|4,9⟩
+        assert len(z) < 3 * 5 * 5  # bounded by Q × Σ≤1 × Σ≤1
+
+
+class TestEmergingOnEmptyWrite:
+    def test_pop_gets_emerging_expansion(self):
+        pds = PDS(initial_shared=0)
+        pds.rule(0, "a", 1, ())             # pop
+        pds.rule(1, "b", 1, ("c", "d"))     # push: d emerges
+        abstraction = build_abstraction(pds)
+        assert abstraction.transitions[(0, "a")] == frozenset(
+            {(1, EMPTY), (1, "d")}
+        )
+
+    def test_no_pushes_no_expansion(self):
+        pds = PDS(initial_shared=0)
+        pds.rule(0, "a", 1, ())
+        abstraction = build_abstraction(pds)
+        assert abstraction.transitions[(0, "a")] == frozenset({(1, EMPTY)})
+
+
+# ---------------------------------------------------------------------------
+# Lemma 12 as a property: T(Rk) ⊆ Z on random CPDS.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_cpds(draw):
+    threads = []
+    stacks = []
+    for _t in range(draw(st.integers(min_value=1, max_value=2))):
+        pds = PDS(initial_shared=0, shared_states={0, 1}, alphabet={"a", "b"})
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            read = draw(st.sampled_from([None, "a", "b"]))
+            if read is None:
+                write = draw(st.sampled_from([(), ("a",), ("b",)]))
+            else:
+                write = draw(
+                    st.sampled_from([(), ("a",), ("b",), ("a", "b"), ("b", "a")])
+                )
+            pds.rule(
+                draw(st.sampled_from([0, 1])),
+                read,
+                draw(st.sampled_from([0, 1])),
+                write,
+            )
+        threads.append(pds)
+        stacks.append(tuple(draw(st.lists(st.sampled_from(["a", "b"]), max_size=1))))
+    return CPDS(threads, initial_stacks=stacks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cpds())
+def test_lemma12_on_random_cpds(cpds):
+    z = compute_z(cpds)
+    engine = ExplicitReach(cpds, max_states_per_context=3000, track_traces=False)
+    try:
+        engine.ensure_level(4)
+    except ContextExplosionError:
+        pass  # partial levels still satisfy the lemma
+    assert engine.visible_up_to() <= z
+
+
+class TestAbstractSequence:
+    """The stratified abstraction (A_k): T(Rk) ⊆ A_k, limit = Z."""
+
+    def test_limit_is_z(self):
+        from repro.cuba import abstract_visible_levels
+
+        cpds = fig1_cpds()
+        levels = abstract_visible_levels(cpds)
+        assert levels[-1] == compute_z(cpds)
+
+    def test_monotone(self):
+        from repro.cuba import abstract_visible_levels
+
+        levels = abstract_visible_levels(fig1_cpds())
+        for earlier, later in zip(levels, levels[1:]):
+            assert earlier < later  # cumulative and strictly growing
+
+    def test_dominates_concrete_levels_on_fig1(self):
+        from repro.cuba import abstract_visible_levels
+
+        cpds = fig1_cpds()
+        levels = abstract_visible_levels(cpds)
+        engine = ExplicitReach(cpds, track_traces=False)
+        engine.ensure_level(6)
+        for k in range(min(len(levels), 7)):
+            assert engine.visible_up_to(k) <= levels[k], f"k={k}"
+
+    def test_bug_lower_bound_tight_on_fig1(self):
+        from repro.core import SharedStateReachability
+        from repro.cuba import abstract_bug_lower_bound
+
+        # Shared 3 is truly reachable at bound 2; the abstraction agrees.
+        bound = abstract_bug_lower_bound(fig1_cpds(), SharedStateReachability({3}))
+        assert bound == 2
+
+    def test_bug_lower_bound_none_means_safe(self):
+        from repro.core import SharedStateReachability
+        from repro.cuba import abstract_bug_lower_bound
+
+        assert abstract_bug_lower_bound(
+            fig1_cpds(), SharedStateReachability({99})
+        ) is None
+
+    def test_lower_bound_sound_on_fig2(self):
+        from repro.core import MutualExclusion
+        from repro.cuba import abstract_bug_lower_bound
+        from repro.models import fig2_cpds
+
+        # ⟨1|4,9⟩ reachable at real bound 2; abstract bound must be ≤ 2.
+        prop = MutualExclusion({0: {4}, 1: {9}})
+        bound = abstract_bug_lower_bound(fig2_cpds(), prop)
+        assert bound is not None and bound <= 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_cpds())
+def test_abstract_levels_dominate_concrete(cpds):
+    from repro.cuba import abstract_visible_levels
+
+    levels = abstract_visible_levels(cpds)
+    engine = ExplicitReach(cpds, max_states_per_context=3000, track_traces=False)
+    try:
+        engine.ensure_level(3)
+    except ContextExplosionError:
+        return
+    for k in range(4):
+        abstract = levels[min(k, len(levels) - 1)]
+        assert engine.visible_up_to(k) <= abstract, f"k={k}"

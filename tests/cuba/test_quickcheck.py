@@ -1,0 +1,36 @@
+"""Tests for the Z-based quick check (Lemma 12 as a verifier)."""
+
+from repro.core import AlwaysSafe, SharedStateReachability, Verdict
+from repro.cuba import quick_check
+from repro.models import fig1_cpds, fig2_cpds
+
+
+class TestQuickCheck:
+    def test_trivial_property_proved_instantly(self):
+        result = quick_check(fig1_cpds(), AlwaysSafe())
+        assert result.verdict is Verdict.SAFE
+        assert result.stats["Z"] == 8  # Ex. 13
+
+    def test_unreachable_shared_state_proved(self):
+        # Z for Fig. 1 never contains a shared state outside {0,1,2,3}.
+        result = quick_check(fig1_cpds(), SharedStateReachability({99}))
+        assert result.verdict is Verdict.SAFE
+
+    def test_never_answers_unsafe(self):
+        # Shared 3 IS reachable, but quick check must only say UNKNOWN.
+        result = quick_check(fig1_cpds(), SharedStateReachability({3}))
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.stats["abstract_witness"].shared == 3
+
+    def test_spurious_witness_stays_unknown(self):
+        # ⟨1|2,6⟩ ∈ Z is reachable, but Z also holds unreachable junk on
+        # other programs; either way UNKNOWN is the only honest answer.
+        result = quick_check(fig2_cpds(), SharedStateReachability({0}))
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_works_without_fcr(self):
+        # Fig. 2 violates FCR; the quick check never explores, so it
+        # still concludes for properties Z settles.
+        result = quick_check(fig2_cpds(), SharedStateReachability({"nope"}))
+        assert result.verdict is Verdict.SAFE
+        assert result.bound == 0

@@ -1,0 +1,112 @@
+"""Tests for Scheme 1(Rk)."""
+
+from repro.core import AlwaysSafe, MutualExclusion, SharedStateReachability, Verdict
+from repro.cpds import CPDS
+from repro.cuba import scheme1_rk, scheme1_sk
+from repro.models import fig1_cpds, fig2_cpds
+from repro.pds import PDS
+
+
+def two_phase_cpds():
+    """A tiny terminating CPDS: thread 1 flips 0→1, thread 2 then 1→2."""
+    one = PDS(initial_shared=0, shared_states={0, 1, 2})
+    one.rule(0, "a", 1, ("a",))
+    two = PDS(initial_shared=0, shared_states={0, 1, 2})
+    two.rule(1, "x", 2, ("y",))
+    return CPDS([one, two], initial_stacks=[("a",), ("x",)])
+
+
+class TestSafeAndUnsafe:
+    def test_finite_program_proved_safe(self):
+        result = scheme1_rk(two_phase_cpds(), AlwaysSafe())
+        assert result.verdict is Verdict.SAFE
+        # R3 = R2: both threads done after two contexts.
+        assert result.bound == 3
+
+    def test_unsafe_reports_bound_and_witness(self):
+        result = scheme1_rk(two_phase_cpds(), SharedStateReachability({2}))
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2  # needs both threads: two contexts
+        assert result.witness.shared == 2
+
+    def test_unsafe_carries_replayable_trace(self):
+        result = scheme1_rk(two_phase_cpds(), SharedStateReachability({2}))
+        assert result.trace is not None
+        assert result.trace.n_contexts <= 2
+        assert result.trace.target.visible() == result.witness
+
+    def test_violation_at_initial_state(self):
+        result = scheme1_rk(two_phase_cpds(), SharedStateReachability({0}))
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 0
+
+    def test_stats_populated(self):
+        result = scheme1_rk(two_phase_cpds(), AlwaysSafe())
+        assert result.stats["global_states"] >= 3
+        assert result.stats["levels"][0] == 1
+
+
+class TestDivergence:
+    def test_fig1_diverges(self):
+        # Ex. 5: (Rk) diverges on Fig. 1 — stacks grow forever.
+        result = scheme1_rk(fig1_cpds(), AlwaysSafe(), max_rounds=10)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.bound == 10
+
+    def test_fig2_trips_fcr_guard(self):
+        # Fig. 2 violates FCR: a single context already explodes.
+        result = scheme1_rk(
+            fig2_cpds(), AlwaysSafe(), max_rounds=5, max_states_per_context=500
+        )
+        assert result.verdict is Verdict.UNKNOWN
+        assert "diverged" in result.message
+
+    def test_unsafe_found_before_divergence(self):
+        # Fig. 1 reaches shared state 3 at bound 2 even though the
+        # sequence as a whole diverges.
+        result = scheme1_rk(fig1_cpds(), SharedStateReachability({3}), max_rounds=10)
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2
+        assert str(result.trace).count("-->") == len(result.trace.steps)
+
+
+class TestScheme1Symbolic:
+    """scheme1_sk — Scheme 1 over symbolic state sets (extension)."""
+
+    def test_safe_without_fcr(self):
+        # Fig. 2 violates FCR, yet the symbolic state set collapses
+        # (Ex. 8: R2 = R3; dedup detects it a couple of rounds later).
+        result = scheme1_sk(fig2_cpds(), AlwaysSafe(), max_rounds=10)
+        assert result.verdict is Verdict.SAFE
+        assert result.bound <= 6
+        assert result.stats["symbolic_states"] > 0
+
+    def test_diverges_on_growing_languages(self):
+        # Fig. 1's thread-2 stack language grows forever: no collapse.
+        result = scheme1_sk(fig1_cpds(), AlwaysSafe(), max_rounds=8)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_refutes_with_minimal_bound(self):
+        result = scheme1_sk(fig1_cpds(), SharedStateReachability({3}), max_rounds=8)
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2
+
+    def test_refutes_fig2_race(self):
+        prop = MutualExclusion({0: {4}, 1: {9}})  # ⟨1|4,9⟩ is reachable
+        result = scheme1_sk(fig2_cpds(), prop, max_rounds=8)
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 2
+
+    def test_violation_at_initial_state(self):
+        from repro.models.figure2 import BOTTOM
+
+        result = scheme1_sk(fig2_cpds(), SharedStateReachability({BOTTOM}))
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 0
+
+    def test_agrees_with_explicit_on_terminating_program(self):
+        cpds = two_phase_cpds()
+        explicit = scheme1_rk(cpds, AlwaysSafe())
+        symbolic = scheme1_sk(cpds, AlwaysSafe())
+        assert explicit.verdict is Verdict.SAFE
+        assert symbolic.verdict is Verdict.SAFE

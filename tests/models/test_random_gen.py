@@ -1,0 +1,61 @@
+"""Tests for the seeded random CPDS generator."""
+
+import pytest
+
+from repro.models import RandomSpec, random_cpds, random_cpds_batch
+
+
+class TestDeterminism:
+    def test_same_seed_same_system(self):
+        one = random_cpds(42)
+        two = random_cpds(42)
+        assert one.initial_state() == two.initial_state()
+        for a, b in zip(one.threads, two.threads):
+            assert a.actions == b.actions
+
+    def test_different_seeds_differ_somewhere(self):
+        batch = random_cpds_batch(10)
+        actions = {tuple(t.actions for t in cpds.threads) for cpds in batch}
+        assert len(actions) > 1
+
+
+class TestShape:
+    def test_spec_respected(self):
+        spec = RandomSpec(n_threads=3, n_shared=4, n_symbols=2, rules_per_thread=5)
+        cpds = random_cpds(0, spec)
+        assert cpds.n_threads == 3
+        assert cpds.shared_states <= frozenset(range(4))
+        for pds in cpds.threads:
+            assert len(pds.actions) == 5
+
+    def test_alphabets_disjoint_across_threads(self):
+        cpds = random_cpds(1)
+        assert not (cpds.alphabet(0) & cpds.alphabet(1))
+
+    def test_generated_systems_validate(self):
+        for cpds in random_cpds_batch(20):
+            cpds.validate()
+
+    def test_no_pushes_when_bias_zero(self):
+        from repro.pds import ActionKind
+
+        spec = RandomSpec(push_bias=0.0, empty_read_bias=0.0, rules_per_thread=10)
+        cpds = random_cpds(5, spec)
+        for pds in cpds.threads:
+            assert all(a.kind is not ActionKind.PUSH for a in pds.actions)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSpec(n_threads=0)
+        with pytest.raises(ValueError):
+            RandomSpec(push_bias=1.5)
+
+
+class TestUsableByEngines:
+    def test_symbolic_engine_runs_on_corpus(self):
+        from repro.reach import SymbolicReach
+
+        for cpds in random_cpds_batch(5):
+            engine = SymbolicReach(cpds)
+            engine.ensure_level(2)
+            assert engine.visible_up_to()

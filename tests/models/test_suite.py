@@ -1,0 +1,104 @@
+"""The Table 2 suite as a test: every row's verdict and FCR status.
+
+This is the integration heart of the reproduction — each benchmark must
+produce the paper's qualitative result (safe/unsafe, FCR holds/fails)
+through the full Cuba front-end.
+"""
+
+import pytest
+
+from repro.core import Verdict
+from repro.cuba import Cuba, check_fcr
+from repro.models import runnable_benchmarks
+
+LIGHT_ROWS = [
+    b for b in runnable_benchmarks() if b.name not in ("4/BST-Insert [2+2]",)
+]
+HEAVY_ROWS = [
+    b for b in runnable_benchmarks() if b.name in ("4/BST-Insert [2+2]",)
+]
+
+
+@pytest.mark.parametrize("bench", LIGHT_ROWS, ids=lambda b: b.name)
+def test_table2_row(bench):
+    cpds, prop = bench.build()
+    cpds.validate()
+    assert check_fcr(cpds).holds == bench.fcr, "FCR status mismatch"
+    report = Cuba(cpds, prop).verify(max_rounds=bench.max_rounds)
+    expected = Verdict.SAFE if bench.safe else Verdict.UNSAFE
+    assert report.verdict is expected, report.result.message
+
+
+@pytest.mark.parametrize("bench", HEAVY_ROWS, ids=lambda b: b.name)
+def test_table2_heavy_row(bench):
+    cpds, prop = bench.build()
+    report = Cuba(cpds, prop).verify(max_rounds=bench.max_rounds)
+    expected = Verdict.SAFE if bench.safe else Verdict.UNSAFE
+    assert report.verdict is expected
+
+
+class TestRegistryShape:
+    def test_covers_all_paper_rows(self):
+        from repro.models import TABLE2
+
+        rows = {b.row for b in TABLE2}
+        assert rows == {
+            "1/Bluetooth-1", "2/Bluetooth-2", "3/Bluetooth-3",
+            "4/BST-Insert", "5/FileCrawler", "6/K-Induction",
+            "7/Proc-2", "8/Stefan-1", "9/Dekker",
+        }
+        assert len(TABLE2) == 19  # every thread instantiation of Table 2
+
+    def test_oom_row_marked(self):
+        from repro.models import TABLE2
+
+        skipped = [b for b in TABLE2 if b.skip_run]
+        assert [b.name for b in skipped] == ["8/Stefan-1 [8]"]
+
+    def test_fig5_rows_subset(self):
+        from repro.models import fig5_benchmarks
+
+        assert all(not b.skip_run for b in fig5_benchmarks())
+        assert len(fig5_benchmarks()) == 14
+
+
+class TestUnsafeBounds:
+    """Bug-revealing context bounds stay small (Table 2: 3–4)."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_bluetooth_bug_bound(self, version):
+        from repro.models import bluetooth
+
+        compiled = bluetooth(version, 1, 1)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=15)
+        assert report.verdict is Verdict.UNSAFE
+        assert report.result.bound <= 4
+        assert report.result.trace is not None
+
+    def test_bluetooth_v3_has_no_bug_at_any_bound(self):
+        from repro.models import bluetooth
+
+        compiled = bluetooth(3, 1, 1)
+        report = Cuba(compiled.cpds, compiled.prop).verify(max_rounds=15)
+        assert report.verdict is Verdict.SAFE
+
+
+class TestConvergenceBounds:
+    """Collapse bounds kmax stay small (the paper's headline insight)."""
+
+    def test_all_safe_rows_converge_below_10(self):
+        for benchmark in LIGHT_ROWS:
+            if not benchmark.safe:
+                continue
+            cpds, prop = benchmark.build()
+            report = Cuba(cpds, prop).verify(max_rounds=benchmark.max_rounds)
+            bound = report.trk_bound if report.trk_bound is not None else report.rk_bound
+            assert bound is not None and bound <= 10, benchmark.name
+
+    def test_stefan_matches_paper_kmax_exactly(self):
+        from repro.models import stefan
+
+        for n, expected in ((2, 2), (4, 4)):
+            cpds, prop = stefan(n)
+            report = Cuba(cpds, prop).verify(max_rounds=10)
+            assert report.trk_bound == expected, f"stefan-{n}"

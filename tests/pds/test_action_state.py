@@ -1,0 +1,90 @@
+"""Unit tests for PDS actions and states."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pds import EMPTY, Action, ActionKind, PDSState, format_stack, format_top
+
+
+class TestActionClassification:
+    def test_pop(self):
+        assert Action.make(0, "a", 1, ()).kind is ActionKind.POP
+
+    def test_overwrite(self):
+        assert Action.make(0, "a", 1, ("b",)).kind is ActionKind.OVERWRITE
+
+    def test_push(self):
+        assert Action.make(0, "a", 1, ("b", "c")).kind is ActionKind.PUSH
+
+    def test_empty_overwrite(self):
+        assert Action.make(0, None, 1, ()).kind is ActionKind.EMPTY_OVERWRITE
+
+    def test_empty_push(self):
+        assert Action.make(0, None, 1, ("a",)).kind is ActionKind.EMPTY_PUSH
+
+    def test_empty_stack_cannot_push_two(self):
+        with pytest.raises(ModelError):
+            Action.make(0, None, 1, ("a", "b"))
+
+    def test_cannot_write_three(self):
+        with pytest.raises(ModelError):
+            Action.make(0, "a", 1, ("x", "y", "z"))
+
+    def test_cannot_read_two(self):
+        with pytest.raises(ModelError):
+            Action(0, ("a", "b"), 1, ())
+
+    def test_reads_empty_stack_flag(self):
+        assert ActionKind.EMPTY_PUSH.reads_empty_stack
+        assert ActionKind.EMPTY_OVERWRITE.reads_empty_stack
+        assert not ActionKind.PUSH.reads_empty_stack
+
+    def test_label_not_part_of_equality(self):
+        one = Action.make(0, "a", 1, (), label="x")
+        two = Action.make(0, "a", 1, (), label="y")
+        assert one == two
+
+    def test_make_accepts_sequence_read(self):
+        assert Action.make(0, ["a"], 1, ()).read == ("a",)
+
+    def test_str_shows_label_and_shape(self):
+        action = Action.make(0, "a", 1, ("b", "c"), label="f1")
+        assert str(action) == "f1: (0,a)→(1,bc)"
+
+    def test_str_empty_read(self):
+        assert str(Action.make(0, None, 1, ())) == "(0,ε)→(1,ε)"
+
+
+class TestPDSState:
+    def test_top_of_nonempty(self):
+        assert PDSState(0, ("a", "b")).top == "a"
+
+    def test_top_of_empty_is_EMPTY(self):
+        assert PDSState(0, ()).top is EMPTY
+
+    def test_visible_projection(self):
+        assert PDSState(1, ("x", "y", "z")).visible() == (1, "x")
+        assert PDSState(1, ()).visible() == (1, EMPTY)
+
+    def test_stack_coerced_to_tuple(self):
+        state = PDSState(0, ["a", "b"])
+        assert isinstance(state.stack, tuple)
+        assert hash(state)  # must stay hashable
+
+    def test_str(self):
+        assert str(PDSState(0, ("1", "2"))) == "⟨0|12⟩"
+        assert str(PDSState(3, ())) == "⟨3|ε⟩"
+
+    def test_equality_and_hash(self):
+        assert PDSState(0, ("a",)) == PDSState(0, ("a",))
+        assert len({PDSState(0, ("a",)), PDSState(0, ("a",))}) == 1
+
+
+class TestFormatting:
+    def test_format_top(self):
+        assert format_top(EMPTY) == "ε"
+        assert format_top("a") == "a"
+
+    def test_format_stack(self):
+        assert format_stack(()) == "ε"
+        assert format_stack(("a", "b")) == "ab"

@@ -1,0 +1,98 @@
+"""Tests for pre* saturation (backward reachability)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pds import PDS, PDSState, post_star, pre_star, psa_for_configs
+
+
+def fig7_pds():
+    pds = PDS(initial_shared="q0")
+    pds.rule("q0", "s0", "q1", ("s1", "s0"))
+    pds.rule("q1", "s1", "q2", ("s2", "s0"))
+    pds.rule("q2", "s2", "q0", ("s1",))
+    pds.rule("q0", "s1", "q0", ())
+    return pds
+
+
+class TestPreStarFig7:
+    def test_predecessors_of_intermediate_state(self):
+        pds = fig7_pds()
+        target = PDSState("q1", ("s1", "s0"))
+        pre = pre_star(pds, psa_for_configs(pds, [target]))
+        assert pre.accepts(target)                       # reflexive
+        assert pre.accepts(PDSState("q0", ("s0",)))      # one push away
+        # The cycle makes even "downstream" states predecessors again:
+        assert pre.accepts(PDSState("q2", ("s2", "s0")))
+        # ⟨q1|s0⟩ is stuck (no rule for (q1, s0)): not a predecessor.
+        assert not pre.accepts(PDSState("q1", ("s0",)))
+
+    def test_predecessors_through_pop(self):
+        pds = fig7_pds()
+        target = PDSState("q0", ("s0", "s0"))
+        pre = pre_star(pds, psa_for_configs(pds, [target]))
+        # ⟨q0|s1 s0 s0⟩ pops to the target.
+        assert pre.accepts(PDSState("q0", ("s1", "s0", "s0")))
+        # and the full cycle from ⟨q0|s0⟩ reaches it as well.
+        assert pre.accepts(PDSState("q0", ("s0",)))
+
+    def test_default_target_is_initial_state(self):
+        pds = fig7_pds()
+        pre = pre_star(pds)
+        assert pre.accepts(PDSState("q0", ()))
+
+
+class TestEmptyStackRules:
+    def test_empty_push_pre_image(self):
+        pds = PDS(initial_shared=0, shared_states={0, 1})
+        pds.rule(0, None, 1, ("a",))
+        target = PDSState(1, ("a",))
+        pre = pre_star(pds, psa_for_configs(pds, [target]))
+        assert pre.accepts(PDSState(0, ()))
+
+    def test_empty_overwrite_chain(self):
+        pds = PDS(initial_shared=0, shared_states={0, 1, 2})
+        pds.rule(0, None, 1, ())
+        pds.rule(1, None, 2, ())
+        pre = pre_star(pds, psa_for_configs(pds, [PDSState(2, ())]))
+        assert pre.accepts(PDSState(0, ()))
+        assert pre.accepts(PDSState(1, ()))
+
+
+SYMBOLS = ("a", "b")
+SHARED = (0, 1)
+
+
+@st.composite
+def random_pds_and_pair(draw):
+    pds = PDS(initial_shared=0, shared_states=SHARED, alphabet=SYMBOLS)
+    for _ in range(draw(st.integers(min_value=1, max_value=7))):
+        read = draw(st.sampled_from([None, "a", "b"]))
+        if read is None:
+            write = draw(st.sampled_from([(), ("a",), ("b",)]))
+        else:
+            write = draw(
+                st.sampled_from([(), ("a",), ("b",), ("a", "b"), ("b", "a")])
+            )
+        pds.rule(
+            draw(st.sampled_from(SHARED)), read, draw(st.sampled_from(SHARED)), write
+        )
+    source = PDSState(
+        draw(st.sampled_from(SHARED)),
+        tuple(draw(st.lists(st.sampled_from(SYMBOLS), max_size=2))),
+    )
+    target = PDSState(
+        draw(st.sampled_from(SHARED)),
+        tuple(draw(st.lists(st.sampled_from(SYMBOLS), max_size=2))),
+    )
+    return pds, source, target
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_pds_and_pair())
+def test_pre_post_duality(case):
+    """target ∈ post*({source})  ⟺  source ∈ pre*({target})."""
+    pds, source, target = case
+    forward = post_star(pds, psa_for_configs(pds, [source]))
+    backward = pre_star(pds, psa_for_configs(pds, [target]))
+    assert forward.accepts(target) == backward.accepts(source)

@@ -1,0 +1,110 @@
+"""CLI tests (driven through main() with captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+from repro.cpds import format_cpds
+from repro.models import fig1_cpds
+
+FIG1 = format_cpds(fig1_cpds())
+
+BAD_BP = """
+decl flag;
+void setter() { flag := 1; }
+void checker() { assert (!flag); }
+void main() { thread_create(&setter); thread_create(&checker); }
+"""
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.cpds"
+    path.write_text(FIG1)
+    return str(path)
+
+
+@pytest.fixture
+def bad_bp_file(tmp_path):
+    path = tmp_path / "bad.bp"
+    path.write_text(BAD_BP)
+    return str(path)
+
+
+class TestVerify:
+    def test_safe_cpds_exit_zero(self, fig1_file, capsys):
+        code = main(["verify", fig1_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FCR: holds" in out
+        assert "safe" in out
+
+    def test_unsafe_property_exit_one(self, fig1_file, capsys):
+        code = main(["verify", fig1_file, "--property", "shared:3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unsafe" in out
+        assert "witness trace" in out
+
+    def test_explicit_engine_diverges_exit_two(self, fig1_file, capsys):
+        code = main(["verify", fig1_file, "--engine", "explicit", "--max-rounds", "5"])
+        assert code == 2
+
+    def test_symbolic_engine(self, fig1_file, capsys):
+        code = main(["verify", fig1_file, "--engine", "symbolic"])
+        assert code == 0
+
+    def test_boolean_program(self, bad_bp_file, capsys):
+        code = main(["verify", bad_bp_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ERR" in out
+
+    def test_boolean_init_flag(self, tmp_path, capsys):
+        path = tmp_path / "p.bp"
+        path.write_text(
+            "decl x; void w() { assert (x); } void main() { thread_create(&w); }"
+        )
+        assert main(["verify", str(path), "--init", "x=1"]) == 0
+        assert main(["verify", str(path), "--init", "x=*"]) == 1
+
+    def test_bad_property_spec(self, fig1_file):
+        with pytest.raises(SystemExit):
+            main(["verify", fig1_file, "--property", "nonsense"])
+
+    def test_missing_file_exit_three(self, capsys):
+        assert main(["verify", "/nonexistent.cpds"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFcr:
+    def test_fcr_holds(self, fig1_file, capsys):
+        assert main(["fcr", fig1_file]) == 0
+        out = capsys.readouterr().out
+        assert "FCR holds" in out
+        assert "loop-free" in out
+
+    def test_fcr_fails(self, tmp_path, capsys):
+        path = tmp_path / "pump.cpds"
+        path.write_text(
+            "init: 0\nthread T\n  stack: a\n  rule (0, a) -> (0, a a)\n"
+        )
+        assert main(["fcr", str(path)]) == 1
+        assert "infinite" in capsys.readouterr().out
+
+
+class TestTable:
+    def test_fig1_table(self, fig1_file, capsys):
+        assert main(["table", fig1_file, "--levels", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "⟨0|1,4⟩" in out
+        assert "⟨3|2,46⟩" in out  # new at k = 2
+        # Plateau row at k = 3 in the visible column: marker for "empty".
+        assert "·" in out
+
+
+class TestBench:
+    def test_single_row(self, capsys):
+        assert main(["bench", "--rows", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "9/Dekker" in out
+        assert "safe" in out

@@ -1,0 +1,63 @@
+"""Tests for the report renderer (and its CLI hook)."""
+
+import pytest
+
+from repro.core import AlwaysSafe, SharedStateReachability
+from repro.cuba import Cuba
+from repro.models import fig1_cpds, fig2_cpds
+from repro.report import render_report
+
+
+class TestRenderReport:
+    def test_safe_report_sections(self):
+        cpds = fig1_cpds()
+        prop = AlwaysSafe()
+        report = Cuba(cpds, prop).verify(max_rounds=20)
+        text = render_report(report, cpds, prop)
+        assert "CUBA verification report — fig1" in text
+        assert "threads:        2" in text
+        assert "loop-free" in text
+        assert "Alg. 3(T(Rk)) ∥ Scheme 1(Rk)" in text
+        assert "SAFE" in text
+        assert "kmax (T(Rk)):   5" in text
+        assert "EVERY number of contexts" in text
+
+    def test_unsafe_report_has_trace_with_context_switches(self):
+        cpds = fig1_cpds()
+        prop = SharedStateReachability({3})
+        report = Cuba(cpds, prop).verify()
+        text = render_report(report, cpds, prop)
+        assert "UNSAFE" in text
+        assert "bug bound:      2" in text
+        assert text.count("context switch") == 2  # T1 run, then T2 run
+        assert "b3" in text
+
+    def test_symbolic_route_reported(self):
+        cpds = fig2_cpds()
+        prop = AlwaysSafe()
+        report = Cuba(cpds, prop).verify(max_rounds=10)
+        text = render_report(report, cpds, prop)
+        assert "INFINITE" in text
+        assert "Alg. 3(T(Sk))" in text
+
+    def test_unknown_report(self):
+        cpds = fig1_cpds()
+        prop = AlwaysSafe()
+        report = Cuba(cpds, prop).verify(max_rounds=2)
+        text = render_report(report, cpds, prop)
+        assert "UNKNOWN" in text
+        assert "explored up to" in text
+
+
+class TestCliReportFlag:
+    def test_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.cpds import format_cpds
+
+        path = tmp_path / "fig1.cpds"
+        path.write_text(format_cpds(fig1_cpds()))
+        code = main(["verify", str(path), "--report"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CUBA verification report" in out
+        assert "Outcome" in out

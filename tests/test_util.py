@@ -1,0 +1,49 @@
+"""Tests for measurement and table utilities."""
+
+import time
+
+from repro.util import Measurement, measure, render_table
+
+
+class TestMeasure:
+    def test_returns_value(self):
+        outcome = measure(lambda: 42)
+        assert outcome.value == 42
+
+    def test_times_the_call(self):
+        outcome = measure(lambda: time.sleep(0.05))
+        assert outcome.seconds >= 0.04
+
+    def test_tracks_peak_memory(self):
+        outcome = measure(lambda: [0] * 500_000)
+        assert outcome.peak_mb > 1.0
+
+    def test_str_format(self):
+        text = str(Measurement(None, 1.234, 5.678))
+        assert text == "1.23s / 5.68MB"
+
+    def test_nested_measure(self):
+        outer = measure(lambda: measure(lambda: [0] * 100_000))
+        assert outer.value.peak_mb > 0
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "long"], [[1, 2], ["wider", 3]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a    ")
+        assert lines[1].startswith("-----")
+        assert "wider" in lines[3]
+
+    def test_separator_matches_width(self):
+        table = render_table(["col"], [["wide value"]])
+        header, sep, row = table.splitlines()
+        assert len(sep) == len("wide value")
+
+    def test_empty_rows(self):
+        table = render_table(["x", "y"], [])
+        assert table.splitlines()[0] == "x  y"
+
+    def test_values_stringified(self):
+        table = render_table(["n"], [[None], [1.5]])
+        assert "None" in table and "1.5" in table
