@@ -1,0 +1,70 @@
+"""Experiment E-sat — worklist ``post*`` engine vs the naive oracle.
+
+For the smallest configuration of each Table 2 suite, saturate every
+thread's initial configuration with the production worklist engine
+(:func:`repro.pds.post_star`) and the sweep-until-fixpoint oracle
+(:func:`repro.pds.post_star_naive`), reporting wall-clock time and the
+:data:`repro.util.METER` work counters side by side.  The engine's
+contract — strictly fewer rule applications — is asserted here as well
+as in tier-1 (``tests/pds/test_saturation_meter.py``); this harness adds
+the measured table to the terminal summary.
+
+Marked ``quick``: this file is the CI benchmark smoke lane
+(``pytest benchmarks -m quick``).
+"""
+
+import time
+
+import pytest
+
+from repro.models.registry import smallest_per_row
+from repro.pds import PDSState, post_star, post_star_naive, psa_for_configs
+from repro.pds.saturation import format_saturation_stats
+from repro.util import scoped
+
+BENCHES = smallest_per_row()
+
+
+@pytest.mark.quick
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.row)
+def test_saturation_engine_vs_naive(bench, report_sink):
+    rows = report_sink(
+        "post* saturation — worklist engine vs naive oracle",
+        [
+            "program", "thread", "worklist rules", "naive rules",
+            "ratio", "worklist t(ms)", "naive t(ms)", "detail",
+        ],
+    )
+    cpds, _prop = bench.build()
+    initial = cpds.initial_state()
+    for index, pds in enumerate(cpds.threads):
+        psa = psa_for_configs(pds, [PDSState(initial.shared, initial.stacks[index])])
+
+        start = time.perf_counter()
+        with scoped() as work:
+            fast = post_star(pds, psa)
+        fast_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with scoped() as oracle_work:
+            slow = post_star_naive(pds, psa)
+        slow_seconds = time.perf_counter() - start
+
+        fast_apps = work.get("post_star.rule_applications", 0)
+        slow_apps = oracle_work.get("post_star_naive.rule_applications", 0)
+        assert fast_apps < slow_apps, (bench.row, index)
+        for shared in pds.shared_states:
+            assert fast.tops(shared) == slow.tops(shared)
+
+        rows.append(
+            [
+                bench.row,
+                f"P{index + 1}",
+                fast_apps,
+                slow_apps,
+                f"{slow_apps / max(fast_apps, 1):.1f}x",
+                f"{fast_seconds * 1e3:.2f}",
+                f"{slow_seconds * 1e3:.2f}",
+                format_saturation_stats(work),
+            ]
+        )

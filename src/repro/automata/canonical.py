@@ -1,4 +1,4 @@
-"""Canonical, hashable signatures for automata languages.
+"""Canonical, hashable signatures for automata languages — memoized.
 
 The symbolic engine (paper Sec. 6, approach 3) must decide whether a
 freshly computed symbolic state ``⟨q|A1..An⟩`` was already seen.  Automata
@@ -7,22 +7,87 @@ to the unique minimal complete DFA and number its states by a breadth-first
 traversal that visits alphabet symbols in a fixed order.  Two automata get
 the same signature exactly if they accept the same language over the given
 alphabet.
+
+Canonicalization (determinize → complete → minimize → renumber) dominates
+the symbolic engine's per-expansion cost, and the same automaton structure
+recurs constantly across context expansions, so results are memoized in a
+bounded LRU cache keyed by a *structural hash*: the exact set of
+transitions reachable from the entry states, the reachable accepting
+states, and the target alphabet.  A cache hit returns the previously built
+``(dfa, signature)`` pair — the *identical* objects, so callers must treat
+the returned automaton as immutable (every in-library caller does; copy
+first if you need to mutate).  Mutating an *input* automaton is safe: its
+structural key changes, so stale entries can never be served.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Hashable, Iterable
 
 from repro.automata.nfa import NFA
 from repro.automata.ops import _sort_key, minimize
+from repro.util.meter import METER
 
 Symbol = Hashable
 
-#: Signature type: (accepting-bitmap, transition table) over BFS-numbered
-#: states.  ``None`` entries mark transitions into unreachable territory
-#: (cannot occur for complete DFAs but kept for robustness).
+#: Signature type: (alphabet, accepting-bitmap, transition table) over
+#: BFS-numbered states.  ``None`` entries mark transitions into
+#: unreachable territory (cannot occur for complete DFAs but kept for
+#: robustness).
 Signature = tuple
+
+#: Bound on the number of memoized canonicalizations (LRU eviction).
+CANONICAL_CACHE_SIZE = 4096
+
+_cache: OrderedDict[tuple, tuple[NFA, Signature]] = OrderedDict()
+# Per-cache hit/miss totals: kept here (not read back from METER) so the
+# info dict stays consistent with the cache even if METER is reset.
+_hits = 0
+_misses = 0
+
+
+def canonical_cache_clear() -> None:
+    """Drop every memoized canonicalization and its hit/miss totals
+    (test isolation)."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def canonical_cache_info() -> dict[str, int]:
+    """Current size and hit/miss totals (since the last clear) of the
+    memo cache."""
+    return {
+        "size": len(_cache),
+        "maxsize": CANONICAL_CACHE_SIZE,
+        "hits": _hits,
+        "misses": _misses,
+    }
+
+
+def _structural_key(nfa: NFA, symbols: tuple, entry: frozenset) -> tuple:
+    """Exact fingerprint of the part of ``nfa`` a canonicalization sees:
+    every edge reachable from ``entry`` (ε included), the reachable
+    accepting states, and the target alphabet."""
+    seen = set(entry)
+    work = deque(entry)
+    edges: list[tuple] = []
+    while work:
+        state = work.popleft()
+        for label in nfa.labels_from(state):
+            for target in nfa.targets(state, label):
+                edges.append((state, label, target))
+                if target not in seen:
+                    seen.add(target)
+                    work.append(target)
+    return (
+        entry,
+        symbols,
+        frozenset(edges),
+        frozenset(nfa.accepting & seen),
+    )
 
 
 def _bfs_numbering(dfa: NFA, symbols: list) -> tuple[dict, list]:
@@ -45,40 +110,9 @@ def _bfs_numbering(dfa: NFA, symbols: list) -> tuple[dict, list]:
     return numbering, order
 
 
-def canonical_signature(
-    nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
-) -> Signature:
-    """Return a hashable value identifying ``L(nfa)`` over ``alphabet``.
-
-    ``initial`` overrides the automaton's entry states (forwarded to
-    :func:`~repro.automata.ops.minimize`)."""
-    symbols = sorted(set(alphabet), key=_sort_key)
-    dfa = minimize(nfa, symbols, initial=initial)
-    numbering, order = _bfs_numbering(dfa, symbols)
-    accepting = tuple(state in dfa.accepting for state in order)
-    table = tuple(
-        tuple(
-            numbering[next(iter(dfa.targets(state, symbol)))]
-            if dfa.targets(state, symbol)
-            else None
-            for symbol in symbols
-        )
-        for state in order
-    )
-    return (tuple(symbols), accepting, table)
-
-
-def canonical_nfa(
-    nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
+def _canonicalize(
+    nfa: NFA, symbols: list, initial: Iterable | None
 ) -> tuple[NFA, Signature]:
-    """Minimal complete DFA with integer states in canonical BFS order.
-
-    Returns the rebuilt automaton together with its signature.  Two
-    automata with equal languages yield structurally identical results,
-    which keeps long-running symbolic exploration from accumulating
-    ever-deeper nested state names.
-    """
-    symbols = sorted(set(alphabet), key=_sort_key)
     dfa = minimize(nfa, symbols, initial=initial)
     numbering, order = _bfs_numbering(dfa, symbols)
     rebuilt = NFA(initial=[0])
@@ -101,3 +135,51 @@ def canonical_nfa(
         table.append(tuple(row))
     signature = (tuple(symbols), tuple(accepting_bits), tuple(table))
     return rebuilt, signature
+
+
+def canonical_nfa(
+    nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
+) -> tuple[NFA, Signature]:
+    """Minimal complete DFA with integer states in canonical BFS order.
+
+    Returns the rebuilt automaton together with its signature.  Two
+    automata with equal languages yield structurally identical results,
+    which keeps long-running symbolic exploration from accumulating
+    ever-deeper nested state names.
+
+    Results are memoized by structural hash (see the module docstring):
+    a repeated call with the same reachable structure returns the cached
+    ``(dfa, signature)`` pair itself.  Treat the returned automaton as
+    read-only.
+    """
+    symbols = tuple(sorted(set(alphabet), key=_sort_key))
+    if initial is not None:
+        initial = list(initial)
+    entry = frozenset(nfa.initial if initial is None else initial)
+    key = _structural_key(nfa, symbols, entry)
+    global _hits, _misses
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        _hits += 1
+        METER.bump("canonical.cache_hits")
+        return cached
+    _misses += 1
+    METER.bump("canonical.cache_misses")
+    result = _canonicalize(nfa, list(symbols), initial)
+    _cache[key] = result
+    while len(_cache) > CANONICAL_CACHE_SIZE:
+        _cache.popitem(last=False)
+    return result
+
+
+def canonical_signature(
+    nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
+) -> Signature:
+    """Return a hashable value identifying ``L(nfa)`` over ``alphabet``.
+
+    ``initial`` overrides the automaton's entry states (forwarded to
+    :func:`~repro.automata.ops.minimize`).  Shares the memo cache with
+    :func:`canonical_nfa`.
+    """
+    return canonical_nfa(nfa, alphabet, initial=initial)[1]

@@ -54,6 +54,11 @@ class NFA:
         self._accepting: set[State] = set(accepting)
         self._states |= self._initial | self._accepting
         self._delta: dict[State, dict[Symbol, set[State]]] = {}
+        # ε-closure cache: state -> (version, closure).  Entries are valid
+        # while no new ε-edge has been added since they were computed;
+        # non-ε additions never invalidate (they cannot change a closure).
+        self._eps_version: int = 0
+        self._eps_memo: dict[State, tuple[int, frozenset[State]]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -78,6 +83,8 @@ class NFA:
         if dst in targets:
             return False
         targets.add(dst)
+        if label is EPSILON:
+            self._eps_version += 1
         return True
 
     def copy(self) -> "NFA":
@@ -137,16 +144,42 @@ class NFA:
     # Core queries
     # ------------------------------------------------------------------
     def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
-        """All states reachable from ``states`` via ε-transitions only."""
-        closure: set[State] = set(states)
-        work = deque(closure)
+        """All states reachable from ``states`` via ε-transitions only.
+
+        Closures are memoized per state and invalidated whenever a new
+        ε-edge appears; the closure of a set is the union of the member
+        closures, so repeated queries (saturation, ``tops``, word runs)
+        cost one dict lookup per state after the first computation.
+        """
+        states = list(states)
+        if len(states) == 1:
+            return self._closure_of(states[0])
+        closure: set[State] = set()
+        for state in states:
+            closure |= self._closure_of(state)
+        return frozenset(closure)
+
+    def _closure_of(self, state: State) -> frozenset[State]:
+        version = self._eps_version
+        cached = self._eps_memo.get(state)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        closure: set[State] = {state}
+        work = deque([state])
         while work:
-            state = work.popleft()
-            for nxt in self._delta.get(state, {}).get(EPSILON, ()):
-                if nxt not in closure:
+            current = work.popleft()
+            for nxt in self._delta.get(current, {}).get(EPSILON, ()):
+                if nxt in closure:
+                    continue
+                hit = self._eps_memo.get(nxt)
+                if hit is not None and hit[0] == version:
+                    closure |= hit[1]
+                else:
                     closure.add(nxt)
                     work.append(nxt)
-        return frozenset(closure)
+        result = frozenset(closure)
+        self._eps_memo[state] = (version, result)
+        return result
 
     def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
         """ε-closed move: close ``states``, read ``symbol``, close again."""

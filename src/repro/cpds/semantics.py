@@ -5,7 +5,15 @@ enabled actions on the shared state and that thread's stack.  A *context*
 (Sec. 2.3) is a maximal run of steps by one thread; the context-bounded
 sets ``Rk`` are built by closing states under single-thread runs, which
 :func:`thread_context_post` computes explicitly (it terminates exactly
-when the per-context reachable set is finite — the FCR situation)."""
+when the per-context reachable set is finite — the FCR situation).
+
+A context only reads and writes ``(shared, stack_i)`` — the other
+threads' stacks are frozen — so the single-thread BFS tree depends on the
+local view alone.  Passing a ``cache`` dict to
+:func:`thread_context_post` memoizes these trees per
+``(thread, local state)``; the explicit engine does this to reuse work
+across context expansions, where the same local view recurs under many
+different global states."""
 
 from __future__ import annotations
 
@@ -18,6 +26,11 @@ from repro.cpds.state import GlobalState
 from repro.pds.action import Action
 from repro.pds.semantics import DEFAULT_STATE_LIMIT, step as pds_step, successors as pds_successors
 from repro.pds.state import PDSState
+from repro.util.meter import METER
+
+#: One node of a memoized local context tree: the reached local state,
+#: its BFS predecessor (None for the root), and the action taken.
+ContextTreeEntry = tuple[PDSState, PDSState | None, Action | None]
 
 
 def thread_state(state: GlobalState, index: int) -> PDSState:
@@ -42,12 +55,38 @@ def global_successors(
             yield index, action, with_thread_state(state, index, local_next)
 
 
+def _local_context_tree(
+    pds, start: PDSState, max_states: int, index: int, origin: GlobalState
+) -> tuple[ContextTreeEntry, ...]:
+    """BFS tree of all local states thread ``index`` reaches in one
+    context from local view ``start``, in discovery order."""
+    entries: list[ContextTreeEntry] = [(start, None, None)]
+    seen_local: set[PDSState] = {start}
+    work: deque[PDSState] = deque([start])
+    while work:
+        local = work.popleft()
+        for action, local_next in pds_successors(pds, local):
+            if local_next in seen_local:
+                continue
+            seen_local.add(local_next)
+            if len(seen_local) > max_states:
+                raise ContextExplosionError(
+                    f"context of thread {index} from {origin} exceeded "
+                    f"{max_states} states; the program likely violates FCR",
+                    states_seen=len(seen_local),
+                )
+            entries.append((local_next, local, action))
+            work.append(local_next)
+    return tuple(entries)
+
+
 def thread_context_post(
     cpds: CPDS,
     state: GlobalState,
     index: int,
     max_states: int = DEFAULT_STATE_LIMIT,
     parents: dict | None = None,
+    cache: dict | None = None,
 ) -> set[GlobalState]:
     """All global states reachable by letting thread ``index`` run any
     number of steps (≥ 0) from ``state`` — one scheduling context.
@@ -57,35 +96,41 @@ def thread_context_post(
     reconstruction (existing entries are never overwritten, preserving
     shortest-context discovery order across calls).
 
+    When ``cache`` is given, the single-thread BFS tree is memoized per
+    ``(index, local view)`` and replayed for later global states sharing
+    that view — exact, because a context never looks at the other
+    threads' stacks.  Only successful runs are cached; a divergence
+    (below) is recomputed and re-raised.
+
     Raises :class:`ContextExplosionError` past ``max_states`` distinct
     states — the divergence guard for non-FCR programs.
     """
     pds = cpds.thread(index)
     start = thread_state(state, index)
-    seen_local: set[PDSState] = {start}
-    work: deque[PDSState] = deque([start])
-    result: set[GlobalState] = {state}
-    while work:
-        local = work.popleft()
-        for action, local_next in pds_successors(pds, local):
-            if local_next in seen_local:
-                continue
-            seen_local.add(local_next)
-            if len(seen_local) > max_states:
-                raise ContextExplosionError(
-                    f"context of thread {index} from {state} exceeded "
-                    f"{max_states} states; the program likely violates FCR",
-                    states_seen=len(seen_local),
-                )
-            global_next = with_thread_state(state, index, local_next)
-            result.add(global_next)
-            if parents is not None and global_next not in parents:
-                parents[global_next] = (
-                    with_thread_state(state, index, local),
-                    index,
-                    action,
-                )
-            work.append(local_next)
+    entries: tuple[ContextTreeEntry, ...] | None = None
+    if cache is not None:
+        entries = cache.get((index, start))
+        if entries is not None:
+            METER.bump("explicit.context_cache_hits")
+    if entries is None:
+        entries = _local_context_tree(pds, start, max_states, index, state)
+        if cache is not None:
+            METER.bump("explicit.context_cache_misses")
+            cache[(index, start)] = entries
+    result: set[GlobalState] = set()
+    for local, parent_local, action in entries:
+        global_next = with_thread_state(state, index, local)
+        result.add(global_next)
+        if (
+            parents is not None
+            and parent_local is not None
+            and global_next not in parents
+        ):
+            parents[global_next] = (
+                with_thread_state(state, index, parent_local),
+                index,
+                action,
+            )
     return result
 
 

@@ -20,6 +20,7 @@ from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach.base import ReachabilityEngine
 from repro.reach.explicit import ExplicitReach
 from repro.reach.symbolic import SymbolicReach
+from repro.util.meter import METER
 
 
 def context_bounded_analysis(
@@ -28,6 +29,7 @@ def context_bounded_analysis(
     bound: int,
     engine: ReachabilityEngine | str = "symbolic",
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
+    incremental: bool = True,
 ) -> VerificationResult:
     """Check ``prop`` for executions with at most ``bound`` contexts.
 
@@ -35,12 +37,23 @@ def context_bounded_analysis(
     message "no violation within k contexts" — never SAFE, because CBA
     underapproximates (Sec. 7: "a bug which requires more than that
     bound to manifest will slip through").
+
+    ``incremental`` enables cross-expansion reuse in the engine
+    constructed here (context-tree memoization for explicit, expansion
+    memoization for symbolic); it is ignored when a prepared engine
+    instance is passed.  The UNKNOWN result's ``stats["meter"]`` records
+    the saturation/cache work counters this analysis produced.
     """
+    meter_before = METER.snapshot()
     if isinstance(engine, str):
         if engine == "explicit":
-            engine = ExplicitReach(cpds, max_states_per_context=max_states_per_context)
+            engine = ExplicitReach(
+                cpds,
+                max_states_per_context=max_states_per_context,
+                incremental=incremental,
+            )
         elif engine == "symbolic":
-            engine = SymbolicReach(cpds)
+            engine = SymbolicReach(cpds, incremental=incremental)
         else:
             raise ValueError(f"unknown engine {engine!r}")
     method = f"cba(k={bound})"
@@ -68,5 +81,8 @@ def context_bounded_analysis(
     return VerificationResult(
         Verdict.UNKNOWN, bound=bound, method=method,
         message=f"no violation within {bound} contexts (CBA cannot prove safety)",
-        stats={"visible_states": len(engine.visible_up_to())},
+        stats={
+            "visible_states": len(engine.visible_up_to()),
+            "meter": METER.delta(meter_before),
+        },
     )

@@ -20,6 +20,7 @@ from repro.cpds.state import VisibleState
 from repro.pds.action import ActionKind
 from repro.pds.pds import PDS
 from repro.pds.state import EMPTY
+from repro.util.meter import METER
 
 Shared = Hashable
 Symbol = Hashable
@@ -99,6 +100,7 @@ def abstract_visible_levels(cpds: CPDS, max_levels: int = 64) -> list[frozenset[
         work = deque([state])
         while work:
             current = work.popleft()
+            METER.bump("overapprox.abstract_steps")
             local = (current.shared, current.tops[index])
             for shared, top in abstraction.successors(local):
                 tops = list(current.tops)
@@ -155,6 +157,7 @@ def compute_z(cpds: CPDS) -> frozenset[VisibleState]:
     work: deque[VisibleState] = deque([initial])
     while work:
         current = work.popleft()
+        METER.bump("overapprox.abstract_steps")
         for index, abstraction in enumerate(abstractions):
             local = (current.shared, current.tops[index])
             for shared, top in abstraction.successors(local):

@@ -16,6 +16,7 @@ from repro.cpds.state import VisibleState
 from repro.errors import ContextExplosionError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach.explicit import ExplicitReach
+from repro.util.meter import METER
 
 
 class RkSequence(ObservationSequence):
@@ -46,15 +47,27 @@ def scheme1_rk(
     max_rounds: int = 50,
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
     engine: ExplicitReach | None = None,
+    incremental: bool = True,
 ) -> VerificationResult:
     """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
 
     Returns UNSAFE with the revealing bound and a witness trace, SAFE
     with the collapse bound ``k0`` (then ``Rk = Rk0`` for all k ≥ k0),
-    or UNKNOWN when the budget runs out / FCR is violated.
+    or UNKNOWN when the budget runs out / FCR is violated.  Every
+    result's ``stats["meter"]`` carries the work counters (context-cache
+    hits, saturation work) accumulated during this run.
+
+    ``incremental`` configures the engine constructed here; it is
+    ignored when a prepared ``engine`` instance is passed (configure
+    that engine at construction instead).
     """
+    meter_before = METER.snapshot()
     if engine is None:
-        engine = ExplicitReach(cpds, max_states_per_context=max_states_per_context)
+        engine = ExplicitReach(
+            cpds,
+            max_states_per_context=max_states_per_context,
+            incremental=incremental,
+        )
     method = "scheme1(Rk)"
 
     def check(bound: int) -> VerificationResult | None:
@@ -70,7 +83,7 @@ def scheme1_rk(
             message=f"violation of '{prop.describe()}'",
             witness=witness,
             trace=trace,
-            stats=_stats(engine),
+            stats=_stats(engine, meter_before),
         )
 
     result = check(0)
@@ -89,7 +102,7 @@ def scheme1_rk(
                     bound=k,
                     method=method,
                     message="(Rk) collapsed (stutter-free plateau, Lemma 7)",
-                    stats=_stats(engine),
+                    stats=_stats(engine, meter_before),
                 )
     except ContextExplosionError as explosion:
         return VerificationResult(
@@ -97,22 +110,23 @@ def scheme1_rk(
             bound=engine.k,
             method=method,
             message=f"explicit engine diverged: {explosion}",
-            stats=_stats(engine),
+            stats=_stats(engine, meter_before),
         )
     return VerificationResult(
         Verdict.UNKNOWN,
         bound=engine.k,
         method=method,
         message=f"no conclusion within {max_rounds} rounds",
-        stats=_stats(engine),
+        stats=_stats(engine, meter_before),
     )
 
 
-def _stats(engine: ExplicitReach) -> dict:
+def _stats(engine: ExplicitReach, meter_before: dict) -> dict:
     return {
         "global_states": len(engine.first_seen),
         "visible_states": len(engine.visible_up_to()),
         "levels": [len(level) for level in engine.levels],
+        "meter": METER.delta(meter_before),
     }
 
 
@@ -120,6 +134,7 @@ def scheme1_sk(
     cpds: CPDS,
     prop: Property,
     max_rounds: int = 50,
+    incremental: bool = True,
 ) -> VerificationResult:
     """Scheme 1 over the symbolic state sets ``Sk`` — a library
     extension beyond the paper's three approaches.
@@ -134,7 +149,7 @@ def scheme1_sk(
     """
     from repro.reach.symbolic import SymbolicReach
 
-    engine = SymbolicReach(cpds)
+    engine = SymbolicReach(cpds, incremental=incremental)
     method = "scheme1(Sk)"
 
     def check(bound: int) -> VerificationResult | None:

@@ -132,3 +132,21 @@ def fig5_benchmarks() -> tuple[Benchmark, ...]:
 
 def runnable_benchmarks() -> tuple[Benchmark, ...]:
     return tuple(b for b in TABLE2 if not b.skip_run)
+
+
+def smallest_per_row(predicate=None) -> tuple[Benchmark, ...]:
+    """The first-listed (smallest) runnable configuration of each Table 2
+    row, optionally filtered by ``predicate``.
+
+    Shared by the test/benchmark harnesses that sweep the whole suite but
+    must keep tier-1 runtimes bounded: larger configurations of a row
+    change constants, not semantics (they instantiate the same thread
+    programs)."""
+    chosen: dict[str, Benchmark] = {}
+    for bench in TABLE2:
+        if bench.skip_run or bench.row in chosen:
+            continue
+        if predicate is not None and not predicate(bench):
+            continue
+        chosen[bench.row] = bench
+    return tuple(chosen.values())

@@ -12,7 +12,14 @@ from repro.pds.state import EMPTY, PDSState, format_stack, format_top
 from repro.pds.pds import PDS
 from repro.pds.semantics import enabled_actions, post_star_explicit, step, successors
 from repro.pds.psa import PSA
-from repro.pds.saturation import post_star, post_star_naive, pre_star, psa_for_configs
+from repro.pds.saturation import (
+    PostStarEngine,
+    format_saturation_stats,
+    post_star,
+    post_star_naive,
+    pre_star,
+    psa_for_configs,
+)
 
 __all__ = [
     "Action",
@@ -21,6 +28,8 @@ __all__ = [
     "PDS",
     "PDSState",
     "PSA",
+    "PostStarEngine",
+    "format_saturation_stats",
     "enabled_actions",
     "format_stack",
     "format_top",

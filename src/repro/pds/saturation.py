@@ -22,14 +22,76 @@ reachable from ``p`` by ``ε* γ ε*``" in the *current* automaton:
 where ``sink`` is a dedicated accepting state without outgoing edges, so
 the last two rules add exactly the configurations ``⟨p'|ε⟩`` / ``⟨p'|σ⟩``.
 
-The loop naively re-applies all rules until no edge is added; edge count
-is bounded by ``(|S|·(|Σ|+1)·|S|)``, so termination is guaranteed.  This
-favors clarity over Schwoon's worklist optimization — benchmark automata
-in this domain are small.
+The production implementation is the worklist engine
+:class:`PostStarEngine` (wrapped by :func:`post_star`); the direct
+transcription of the rules survives as :func:`post_star_naive`, the
+differential-testing oracle.
+
+Performance notes
+-----------------
+The worklist engine maintains three invariants that together make every
+piece of work happen exactly once:
+
+1. **Each transition is processed once.**  New transitions enter a FIFO
+   frontier guarded by the ``seen`` set; processing a popped transition
+   applies every Δ-rule it can serve as a premise for, looked up through
+   the PDS's ``(control, top-symbol)`` trigger index
+   (:meth:`repro.pds.pds.PDS.actions_for`) — no scan over Δ ever happens.
+2. **ε-closure is materialized, not queried.**  The two-premise join
+   "``p --ε--> q`` and ``q --x--> r`` yields ``p --x--> r``" is applied
+   from both sides (when the ε-edge pops, against the processed
+   out-edges ``rel[q]``; when the out-edge pops, against the processed
+   ε-predecessors ``eps_into[q]``), so the relation ``p --γ--> q`` used
+   by the saturation rules is always a *direct* edge and rules fire on
+   edge labels alone.  The oracle instead re-resolves ε-closure on every
+   query (now cached inside :class:`~repro.automata.nfa.NFA`, but still
+   re-queried every sweep).
+3. **The paper's empty-stack rules fire on evidence.**  ``⟨p|ε⟩`` is
+   accepted exactly when a (derived) ε-edge connects control ``p`` to an
+   accepting state; the rules fire when such an edge pops, never by
+   polling.
+
+Because saturation is a monotone closure operator, the engine supports
+*incremental resaturation*: after :meth:`PostStarEngine.saturate`, extra
+initial edges or configurations can be injected
+(:meth:`~PostStarEngine.add_transition`, :meth:`~PostStarEngine.add_config`)
+and a further :meth:`~PostStarEngine.saturate` propagates exactly the new
+consequences — the result equals a cold saturation of the enlarged
+initial set (confluence), at the cost of only the new frontier.  Note the
+warm start grows the *initial set*; re-entering the same saturated
+automaton from a different control state is **not** a sound warm start,
+because edges derived for the old entry would pollute the new entry's
+language.  Cross-expansion reuse in the reachability engines therefore
+happens at the level of whole expansions, keyed by canonical automaton
+signature (:mod:`repro.reach.symbolic`) or by local thread view
+(:mod:`repro.reach.explicit`).
+
+All engines report algorithmic work through
+:data:`repro.util.meter.METER`:
+
+=====================================  =============================================
+counter                                meaning
+=====================================  =============================================
+``post_star.rule_applications``        Δ-rule × premise pairs processed (worklist)
+``post_star.edges_added``              distinct automaton edges discovered
+``post_star.eps_propagations``         derived-edge joins through ε-edges
+``post_star.resaturations``            warm-start :meth:`~PostStarEngine.saturate` calls
+``post_star_naive.rule_applications``  Δ-rule × premise pairs processed (oracle)
+``post_star_naive.sweeps``             full passes over Δ until the fixpoint
+=====================================  =============================================
+
+A *rule application* counts one attempt to apply one Δ-rule to one
+premise.  The worklist engine touches each (rule, premise) pair exactly
+once; the oracle re-touches all of them every sweep and needs a final
+no-change sweep to detect the fixpoint, so on any input needing ≥ 2
+sweeps the worklist performs strictly fewer rule applications — the
+benchmarked invariant in ``tests/pds/test_saturation_meter.py``.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from collections.abc import Hashable, Iterable, Sequence
 
 from repro.automata import EPSILON, NFA
@@ -38,9 +100,25 @@ from repro.pds.action import ActionKind
 from repro.pds.pds import PDS
 from repro.pds.psa import FINAL_SINK, PSA
 from repro.pds.state import PDSState
+from repro.util.meter import METER
 
 Shared = Hashable
 Symbol = Hashable
+
+
+def _config_edges(state: PDSState, fresh) -> Iterable[tuple]:
+    """The chain edges encoding one configuration ``⟨q|w⟩``: read ``w``
+    from ``q`` through fresh chain states (supplied by ``fresh()``) into
+    the accepting sink; an empty stack becomes a single ε-edge."""
+    if not state.stack:
+        yield (state.shared, EPSILON, FINAL_SINK)
+        return
+    source = state.shared
+    for symbol in state.stack[:-1]:
+        chain_state = fresh()
+        yield (source, symbol, chain_state)
+        source = chain_state
+    yield (source, state.stack[-1], FINAL_SINK)
 
 
 def psa_for_configs(pds: PDS, configs: Iterable[PDSState | tuple]) -> PSA:
@@ -51,21 +129,15 @@ def psa_for_configs(pds: PDS, configs: Iterable[PDSState | tuple]) -> PSA:
     keep the "no transitions into control states" precondition.
     """
     nfa = NFA(states=pds.shared_states, accepting=[FINAL_SINK])
-    counter = 0
+    counter = itertools.count()
     for config in configs:
         state = config if isinstance(config, PDSState) else PDSState(*config)
         if state.shared not in pds.shared_states:
             raise ModelError(f"config {state} has unknown shared state")
-        if not state.stack:
-            nfa.add_transition(state.shared, EPSILON, FINAL_SINK)
-            continue
-        source = state.shared
-        for symbol in state.stack[:-1]:
-            chain_state = ("__chain__", counter)
-            counter += 1
-            nfa.add_transition(source, symbol, chain_state)
-            source = chain_state
-        nfa.add_transition(source, state.stack[-1], FINAL_SINK)
+        for src, label, dst in _config_edges(
+            state, lambda: ("__chain__", next(counter))
+        ):
+            nfa.add_transition(src, label, dst)
     return PSA(nfa, pds.shared_states)
 
 
@@ -82,99 +154,191 @@ def _check_preconditions(psa: PSA) -> None:
             raise ModelError("control states must not be accepting initially")
 
 
+def _helper(to_shared: Shared, pushed: Symbol):
+    """Schwoon's per-(p', ρ0) midpoint state ``q_{p'ρ0}``."""
+    return ("__push__", to_shared, pushed)
+
+
+class PostStarEngine:
+    """Worklist-based ``post*`` saturation with incremental resaturation.
+
+    The engine owns the growing edge relation.  Typical one-shot use is
+    ``PostStarEngine(pds, initial).saturate()`` (what :func:`post_star`
+    does); incremental use saturates, injects extra initial edges or
+    configurations, and saturates again::
+
+        engine = PostStarEngine(pds, psa_for_configs(pds, base))
+        psa0 = engine.saturate()
+        engine.add_config(extra_state)      # warm start: only the new
+        psa1 = engine.saturate()            # consequences propagate
+
+    ``psa1`` equals a cold ``post_star`` over ``base + [extra_state]``
+    (see the module's Performance notes).  The input PSA is never
+    mutated; every :meth:`saturate`/:meth:`psa` call snapshots a fresh
+    automaton.
+    """
+
+    def __init__(
+        self, pds: PDS, initial: PSA | None = None, *, validate: bool = True
+    ) -> None:
+        if initial is None:
+            initial = psa_for_configs(pds, [pds.initial_state()])
+        if validate:
+            _check_preconditions(initial)
+        self.pds = pds
+        self.controls = frozenset(initial.control_states) | frozenset(
+            pds.shared_states
+        )
+        self.accepting = frozenset(initial.automaton.accepting) | {FINAL_SINK}
+
+        self._seen: set[tuple] = set()
+        self._frontier: deque[tuple] = deque()
+        #: processed edges: src -> label -> set of dst
+        self._rel: dict = {}
+        #: processed ε-edges, reversed: state -> set of ε-predecessors
+        self._eps_into: dict = {}
+        #: fresh-chain-state counter for :meth:`add_config`
+        self._chain = 0
+
+        for src, label, dst in initial.automaton.transitions():
+            self._push(src, label, dst)
+        # Unconditional skeleton edges p' --ρ0--> m for every push rule.
+        for action in pds.actions:
+            if action.kind is ActionKind.PUSH:
+                rho0 = action.write[0]
+                self._push(action.to_shared, rho0, _helper(action.to_shared, rho0))
+        self._saturated_once = False
+
+    # ------------------------------------------------------------------
+    # Frontier
+    # ------------------------------------------------------------------
+    def _push(self, src, label, dst) -> None:
+        transition = (src, label, dst)
+        if transition not in self._seen:
+            self._seen.add(transition)
+            self._frontier.append(transition)
+            METER.bump("post_star.edges_added")
+
+    def add_transition(self, src, label, dst) -> None:
+        """Inject an extra initial edge (warm-start entry point).
+
+        The edge must satisfy the P-automaton preconditions (it must not
+        point into a control state); consequences propagate on the next
+        :meth:`saturate`.
+        """
+        if dst in self.controls:
+            raise ModelError("cannot add a transition into a control state")
+        self._push(src, label, dst)
+
+    def add_config(self, config: PDSState | tuple) -> None:
+        """Inject an extra initial configuration (as fresh chain edges)."""
+        state = config if isinstance(config, PDSState) else PDSState(*config)
+        if state.shared not in self.pds.shared_states:
+            raise ModelError(f"config {state} has unknown shared state")
+        for src, label, dst in _config_edges(state, self._fresh_chain):
+            self._push(src, label, dst)
+
+    def _fresh_chain(self):
+        chain_state = ("__chain_inc__", self._chain)
+        self._chain += 1
+        return chain_state
+
+    # ------------------------------------------------------------------
+    # Saturation
+    # ------------------------------------------------------------------
+    def saturate(self) -> PSA:
+        """Drain the frontier to the fixpoint and snapshot the PSA.
+
+        Idempotent; after extra edges/configs were injected this is a
+        warm start that processes only the new frontier.  Use
+        :meth:`drain` instead when more injections follow and the
+        intermediate snapshot would be discarded.
+        """
+        self.drain()
+        return self.psa()
+
+    def drain(self) -> "PostStarEngine":
+        """Saturate in place without building a PSA snapshot."""
+        if self._saturated_once and self._frontier:
+            METER.bump("post_star.resaturations")
+        rel = self._rel
+        eps_into = self._eps_into
+        actions_for = self.pds.actions_for
+        accepting = self.accepting
+        controls = self.controls
+        frontier = self._frontier
+
+        while frontier:
+            src, label, dst = frontier.popleft()
+            rel.setdefault(src, {}).setdefault(label, set()).add(dst)
+
+            # ε-predecessors of src read `label` through src as well.
+            predecessors = eps_into.get(src)
+            if predecessors:
+                METER.bump("post_star.eps_propagations", len(predecessors))
+                for predecessor in predecessors:
+                    self._push(predecessor, label, dst)
+
+            if label is EPSILON:
+                eps_into.setdefault(dst, set()).add(src)
+                # Derive src --x--> r for everything dst already reads.
+                for label2, dsts2 in rel.get(dst, {}).items():
+                    METER.bump("post_star.eps_propagations", len(dsts2))
+                    for dst2 in dsts2:
+                        self._push(src, label2, dst2)
+                # ⟨src|ε⟩ is accepted: the paper's empty-stack rules fire.
+                if dst in accepting and src in controls:
+                    for action in actions_for(src, None):
+                        METER.bump("post_star.rule_applications")
+                        if action.kind is ActionKind.EMPTY_OVERWRITE:
+                            self._push(action.to_shared, EPSILON, FINAL_SINK)
+                        else:  # EMPTY_PUSH
+                            self._push(action.to_shared, action.write[0], FINAL_SINK)
+                continue
+
+            # Real symbol: saturation rules for actions triggered by
+            # (src, label); src is a control state whenever any match.
+            matching = actions_for(src, label)
+            if matching:
+                METER.bump("post_star.rule_applications", len(matching))
+            for action in matching:
+                kind = action.kind
+                if kind is ActionKind.POP:
+                    self._push(action.to_shared, EPSILON, dst)
+                elif kind is ActionKind.OVERWRITE:
+                    self._push(action.to_shared, action.write[0], dst)
+                else:  # PUSH: write = (ρ0, ρ1)
+                    rho0, rho1 = action.write
+                    mid = _helper(action.to_shared, rho0)
+                    self._push(action.to_shared, rho0, mid)
+                    self._push(mid, rho1, dst)
+
+        self._saturated_once = True
+        return self
+
+    def psa(self) -> PSA:
+        """Snapshot the current (saturated or partial) automaton."""
+        nfa = NFA(states=self.controls, accepting=self.accepting)
+        for src, label, dst in self._seen:
+            nfa.add_transition(src, label, dst)
+        return PSA(nfa, self.controls)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PostStarEngine(edges={len(self._seen)}, "
+            f"pending={len(self._frontier)}, controls={len(self.controls)})"
+        )
+
+
 def post_star(pds: PDS, initial: PSA | None = None, *, validate: bool = True) -> PSA:
     """Saturate ``initial`` into a PSA for ``post*(L(initial))``.
 
     When ``initial`` is omitted, the start set is the singleton
     ``{⟨qI|ε⟩}`` (the paper's initial PDS state).  The input PSA is not
-    mutated.
-
-    This is a worklist formulation in the style of Schwoon's efficient
-    algorithm: each transition is processed once, ε-closure is made
-    explicit by *derived* transitions (``p --ε--> q --x--> r`` yields
-    ``p --x--> r``), and the paper's empty-stack rules fire whenever an
-    ε-transition into an accepting state shows that ``⟨p|ε⟩`` is
-    accepted.  See :func:`post_star_naive` for the direct transcription
-    of the saturation rules, against which this one is differentially
-    tested.
+    mutated.  This is the one-shot wrapper around :class:`PostStarEngine`;
+    see :func:`post_star_naive` for the differential-testing oracle.
     """
-    if initial is None:
-        initial = psa_for_configs(pds, [pds.initial_state()])
-    if validate:
-        _check_preconditions(initial)
-
-    controls = frozenset(initial.control_states) | frozenset(pds.shared_states)
-    accepting = set(initial.automaton.accepting) | {FINAL_SINK}
-
-    def helper(to_shared: Shared, pushed: Symbol):
-        return ("__push__", to_shared, pushed)
-
-    from collections import deque
-
-    seen: set[tuple] = set()
-    worklist: deque[tuple] = deque()
-
-    def add(src, label, dst) -> None:
-        transition = (src, label, dst)
-        if transition not in seen:
-            seen.add(transition)
-            worklist.append(transition)
-
-    for src, label, dst in initial.automaton.transitions():
-        add(src, label, dst)
-    # Unconditional skeleton edges p' --ρ0--> m for every push rule.
-    for action in pds.actions:
-        if action.kind is ActionKind.PUSH:
-            rho0 = action.write[0]
-            add(action.to_shared, rho0, helper(action.to_shared, rho0))
-
-    rel: dict = {}           # src -> label -> set of dst
-    eps_into: dict = {}      # state -> set of ε-predecessors
-
-    def fire_empty_rules(control) -> None:
-        for action in pds.actions_for(control, None):
-            if action.kind is ActionKind.EMPTY_OVERWRITE:
-                add(action.to_shared, EPSILON, FINAL_SINK)
-            else:  # EMPTY_PUSH
-                add(action.to_shared, action.write[0], FINAL_SINK)
-
-    while worklist:
-        src, label, dst = worklist.popleft()
-        rel.setdefault(src, {}).setdefault(label, set()).add(dst)
-
-        # ε-predecessors of src read `label` through src as well.
-        for predecessor in eps_into.get(src, ()):
-            add(predecessor, label, dst)
-
-        if label is EPSILON:
-            eps_into.setdefault(dst, set()).add(src)
-            # Derive src --x--> r for everything dst already reads.
-            for label2, dsts2 in rel.get(dst, {}).items():
-                for dst2 in dsts2:
-                    add(src, label2, dst2)
-            # ⟨src|ε⟩ is accepted: the paper's empty-stack rules fire.
-            if dst in accepting and src in controls:
-                fire_empty_rules(src)
-            continue
-
-        # Real symbol: saturation rules for actions triggered by
-        # (src, label); src is a control state whenever any match.
-        for action in pds.actions_for(src, label):
-            kind = action.kind
-            if kind is ActionKind.POP:
-                add(action.to_shared, EPSILON, dst)
-            elif kind is ActionKind.OVERWRITE:
-                add(action.to_shared, action.write[0], dst)
-            else:  # PUSH: write = (ρ0, ρ1)
-                rho0, rho1 = action.write
-                mid = helper(action.to_shared, rho0)
-                add(action.to_shared, rho0, mid)
-                add(mid, rho1, dst)
-
-    nfa = NFA(states=controls, accepting=accepting)
-    for src, label, dst in seen:
-        nfa.add_transition(src, label, dst)
-    return PSA(nfa, controls)
+    return PostStarEngine(pds, initial, validate=validate).saturate()
 
 
 def post_star_naive(
@@ -183,7 +347,9 @@ def post_star_naive(
     """Reference implementation: re-apply all saturation rules until no
     transition is added, resolving ε-closure on every query.  Quadratic
     and slow, but a direct transcription of the rules — kept as the
-    differential-testing oracle for :func:`post_star`."""
+    differential-testing oracle for :func:`post_star` and
+    :class:`PostStarEngine` (see ``tests/pds/test_saturation_differential``).
+    """
     if initial is None:
         initial = psa_for_configs(pds, [pds.initial_state()])
     if validate:
@@ -195,22 +361,21 @@ def post_star_naive(
     for shared in controls:
         nfa.add_state(shared)
 
-    def helper(to_shared: Shared, pushed: Symbol):
-        return ("__push__", to_shared, pushed)
-
     # Unconditional skeleton edges p' --ρ0--> m for every push rule.
     for action in pds.actions:
         if action.kind is ActionKind.PUSH:
             rho0 = action.write[0]
-            nfa.add_transition(action.to_shared, rho0, helper(action.to_shared, rho0))
+            nfa.add_transition(action.to_shared, rho0, _helper(action.to_shared, rho0))
 
     changed = True
     while changed:
         changed = False
+        METER.bump("post_star_naive.sweeps")
         for action in pds.actions:
             kind = action.kind
             if kind.reads_empty_stack:
                 # ⟨p|ε⟩ accepted iff accepting state in ε-closure of p.
+                METER.bump("post_star_naive.rule_applications")
                 closure = nfa.epsilon_closure([action.from_shared])
                 if not (closure & nfa.accepting):
                     continue
@@ -224,6 +389,7 @@ def post_star_naive(
 
             gamma = action.read[0]
             for target in nfa.reads(action.from_shared, gamma):
+                METER.bump("post_star_naive.rule_applications")
                 if kind is ActionKind.POP:
                     changed |= nfa.add_transition(action.to_shared, EPSILON, target)
                 elif kind is ActionKind.OVERWRITE:
@@ -232,10 +398,30 @@ def post_star_naive(
                     )
                 else:  # PUSH: write = (ρ0, ρ1)
                     rho0, rho1 = action.write
-                    mid = helper(action.to_shared, rho0)
+                    mid = _helper(action.to_shared, rho0)
                     changed |= nfa.add_transition(action.to_shared, rho0, mid)
                     changed |= nfa.add_transition(mid, rho1, target)
     return PSA(nfa, frozenset(controls))
+
+
+def format_saturation_stats(stats: dict) -> str:
+    """One-line rendering of a meter delta for benchmark tables.
+
+    Picks out the saturation counters documented in the module's
+    Performance notes; unknown keys are ignored.
+    """
+    parts = []
+    for key, label in (
+        ("post_star.rule_applications", "rules"),
+        ("post_star.edges_added", "edges"),
+        ("post_star.eps_propagations", "ε-joins"),
+        ("post_star.resaturations", "warm-starts"),
+        ("post_star_naive.rule_applications", "naive-rules"),
+        ("post_star_naive.sweeps", "naive-sweeps"),
+    ):
+        if stats.get(key):
+            parts.append(f"{label}={stats[key]}")
+    return " ".join(parts) if parts else "no saturation work"
 
 
 def pre_star(pds: PDS, targets: PSA | None = None, *, validate: bool = True) -> PSA:
@@ -247,6 +433,10 @@ def pre_star(pds: PDS, targets: PSA | None = None, *, validate: bool = True) -> 
     ``p' --w'--> q`` in the current automaton, add ``p --γ--> q``.  The
     paper's empty-stack rules contribute ``⟨p|ε⟩ ∈ pre*`` whenever their
     right-hand configuration is already accepted.
+
+    ``pre*`` is off the hot path (no reachability engine calls it per
+    context), so it intentionally keeps the sweep formulation; the NFA's
+    ε-closure cache still removes the worst of the re-query cost.
 
     When ``targets`` is omitted, the target set is ``{⟨qI|ε⟩}``.
     """
@@ -311,11 +501,15 @@ def shallow_configs_psa(pds: PDS) -> PSA:
     """PSA for ``post*(Q × Σ≤1)`` — the FCR premise of Lemma 16/Thm 17.
 
     Initial set: every shared state with an empty stack or any single
-    stack symbol.
+    stack symbol.  Built incrementally as a demonstration of the warm
+    start: the empty-stack configurations are saturated first, then the
+    Σ-singletons are injected and only their consequences propagate.
     """
-    configs: list[PDSState] = []
+    engine = PostStarEngine(
+        pds, psa_for_configs(pds, [PDSState(shared, ()) for shared in pds.shared_states])
+    )
+    engine.drain()
     for shared in pds.shared_states:
-        configs.append(PDSState(shared, ()))
         for symbol in pds.alphabet:
-            configs.append(PDSState(shared, (symbol,)))
-    return post_star(pds, psa_for_configs(pds, configs))
+            engine.add_config(PDSState(shared, (symbol,)))
+    return engine.saturate()

@@ -10,6 +10,12 @@ Explicit enumeration requires every ``Rk`` to be finite — the finite
 context reachability condition (Sec. 5).  Programs violating FCR trip
 the per-context divergence guard with
 :class:`~repro.errors.ContextExplosionError`.
+
+With ``incremental=True`` (default) the engine memoizes the per-thread
+local BFS trees behind :func:`~repro.cpds.semantics.thread_context_post`,
+reusing work across context expansions: distinct global states frequently
+share the moving thread's ``(shared, stack)`` view, and one context
+depends on nothing else.
 """
 
 from __future__ import annotations
@@ -31,10 +37,15 @@ class ExplicitReach(ReachabilityEngine):
         cpds: CPDS,
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
         track_traces: bool = True,
+        incremental: bool = True,
     ) -> None:
         super().__init__()
         self.cpds = cpds
         self.max_states_per_context = max_states_per_context
+        #: Memoized local context trees, shared across all expansions
+        #: (``incremental=True``): a context depends only on the moving
+        #: thread's local view, which recurs under many global states.
+        self._context_cache: dict | None = {} if incremental else None
         #: ``levels[k]`` = global states first reached at bound k.
         self.levels: list[frozenset[GlobalState]] = []
         #: state -> level at which it was first reached.
@@ -64,6 +75,7 @@ class ExplicitReach(ReachabilityEngine):
                     index,
                     max_states=self.max_states_per_context,
                     parents=self._parents,
+                    cache=self._context_cache,
                 )
                 for nxt in reached:
                     if nxt not in self.first_seen:

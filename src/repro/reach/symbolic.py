@@ -13,6 +13,15 @@ Thread automata are kept in canonical minimal-DFA form
 their growth across contexts and makes symbolic states hashable for
 frontier dedup, so plateau detection on ``T(Sk)`` terminates.
 
+Canonical signatures also drive cross-expansion reuse: the result of
+expanding thread ``i`` from ``⟨q|Ai⟩`` depends only on ``(i, q, L(Ai))``,
+so saturations are memoized per ``(thread, shared, signature)`` instead
+of being recomputed from scratch whenever the same thread view recurs at
+a later context bound (``incremental=True``, the default).  This is the
+sound granularity for reuse — warm-starting one saturated PSA from a
+different entry control would mix languages (see the Performance notes
+in :mod:`repro.pds.saturation`).
+
 Unlike the explicit engine this one does not require finite context
 reachability: the sets ``γ(Sk)`` may be infinite (e.g. Stefan-1, whose
 stack pumps within one context)."""
@@ -30,6 +39,7 @@ from repro.pds.psa import FINAL_SINK, PSA
 from repro.pds.saturation import post_star
 from repro.pds.state import EMPTY
 from repro.reach.base import ReachabilityEngine
+from repro.util.meter import METER
 
 Shared = Hashable
 Symbol = Hashable
@@ -105,13 +115,17 @@ class SymbolicState:
 class SymbolicReach(ReachabilityEngine):
     """Frontier-based symbolic engine for ``(Sk)`` and ``(T(Sk))``."""
 
-    def __init__(self, cpds: CPDS) -> None:
+    def __init__(self, cpds: CPDS, *, incremental: bool = True) -> None:
         super().__init__()
         self.cpds = cpds
         self._alphabets = [cpds.alphabet(i) for i in range(cpds.n_threads)]
         #: ``levels[k]`` = symbolic states first produced at bound k.
         self.levels: list[frozenset[SymbolicState]] = []
         self._seen: set[SymbolicState] = set()
+        #: Cross-expansion memo: (thread, shared, signature) -> splice
+        #: parts (new shared, canonical automaton, signature) — exact,
+        #: because an expansion depends on nothing else (see module doc).
+        self._expansions: dict[tuple, tuple] | None = {} if incremental else None
 
         automata = []
         signatures = []
@@ -158,23 +172,42 @@ class SymbolicReach(ReachabilityEngine):
     # ------------------------------------------------------------------
     def _expand(self, symbolic: SymbolicState, index: int) -> Iterator[SymbolicState]:
         """One context of thread ``index`` from ``symbolic``."""
+        key = (index, symbolic.shared, symbolic.signatures[index])
+        if self._expansions is not None:
+            parts = self._expansions.get(key)
+            if parts is not None:
+                METER.bump("symbolic.expansion_cache_hits")
+                yield from self._splice(symbolic, index, parts)
+                return
+        parts = self._expand_parts(symbolic.shared, symbolic.automata[index], index)
+        if self._expansions is not None:
+            self._expansions[key] = parts
+        yield from self._splice(symbolic, index, parts)
+
+    def _expand_parts(
+        self, shared_from: Shared, automaton: NFA, index: int
+    ) -> tuple[tuple[Shared, NFA, tuple], ...]:
+        """Saturate one context of thread ``index`` entered at
+        ``shared_from`` with stack language ``L(automaton)``; return the
+        per-resulting-shared-state canonical automata."""
+        METER.bump("symbolic.expansions")
         pds = self.cpds.thread(index)
         controls = self.cpds.shared_states
 
         # P-automaton for the config set {(q, w) : w ∈ L(Ai)}: embed the
         # thread automaton disjointly and enter it from control q by ε.
         embedded = NFA(states=controls)
-        source_automaton = symbolic.automata[index]
-        rename = {state: ("emb", state) for state in source_automaton.states}
-        for src, label, dst in source_automaton.transitions():
+        rename = {state: ("emb", state) for state in automaton.states}
+        for src, label, dst in automaton.transitions():
             embedded.add_transition(rename[src], label, rename[dst])
-        for accepting in source_automaton.accepting:
+        for accepting in automaton.accepting:
             embedded.add_accepting(rename[accepting])
-        for start in source_automaton.initial:
-            embedded.add_transition(symbolic.shared, EPSILON, rename[start])
+        for start in automaton.initial:
+            embedded.add_transition(shared_from, EPSILON, rename[start])
 
         saturated = post_star(pds, PSA(embedded, controls), validate=False)
 
+        parts = []
         for shared in controls:
             if not saturated.nonempty_from(shared):
                 continue
@@ -182,6 +215,14 @@ class SymbolicReach(ReachabilityEngine):
             canonical, signature = canonical_nfa(
                 saturated.automaton, self._alphabets[index], initial=[shared]
             )
+            parts.append((shared, canonical, signature))
+        return tuple(parts)
+
+    @staticmethod
+    def _splice(
+        symbolic: SymbolicState, index: int, parts
+    ) -> Iterator[SymbolicState]:
+        for shared, canonical, signature in parts:
             automata = list(symbolic.automata)
             signatures = list(symbolic.signatures)
             automata[index] = canonical

@@ -1,6 +1,6 @@
 """Measurement and reporting utilities for the benchmark harnesses."""
 
-from repro.util.meter import Measurement, measure
+from repro.util.meter import METER, Counters, Measurement, measure, scoped
 from repro.util.table import render_table
 
-__all__ = ["Measurement", "measure", "render_table"]
+__all__ = ["METER", "Counters", "Measurement", "measure", "render_table", "scoped"]

@@ -1,12 +1,88 @@
-"""Wall-clock and peak-memory measurement (Table 2's Time/Mem columns)."""
+"""Measurement: wall clock, peak memory, and named work counters.
+
+:func:`measure` backs Table 2's Time/Mem columns.  :class:`Counters` is a
+registry of named monotone counters threaded through the hot paths (the
+``post*`` saturation engine, canonicalization, the abstract explorers) so
+benchmarks can report algorithmic work — rule applications, edges added,
+cache hits — alongside wall-clock numbers.  The module-level :data:`METER`
+is the default registry; :func:`scoped` captures the delta produced by a
+region of code without disturbing concurrent totals.
+"""
 
 from __future__ import annotations
 
 import time
 import tracemalloc
-from collections.abc import Callable
+from collections import Counter
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any
+
+
+class Counters:
+    """Named monotone counters (``name -> int``).
+
+    Names are dotted strings, e.g. ``"post_star.rule_applications"``.
+    Counters only ever grow; consumers interested in one region of code
+    take a :meth:`snapshot` before and :meth:`delta` after (or use the
+    :func:`scoped` context manager on the global :data:`METER`).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (must be ≥ 0)."""
+        if amount < 0:
+            raise ValueError("counters are monotone; amount must be >= 0")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Immutable view of all current totals."""
+        return dict(self._counts)
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Per-counter growth relative to an earlier :meth:`snapshot`,
+        omitting counters that did not move."""
+        out: dict[str, int] = {}
+        for name, value in self._counts.items():
+            grown = value - since.get(name, 0)
+            if grown:
+                out[name] = grown
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation; production code never calls
+        this)."""
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counters({dict(self._counts)!r})"
+
+
+#: Process-wide default registry used by the library's instrumented paths.
+METER = Counters()
+
+
+@contextmanager
+def scoped(meter: Counters = METER) -> Iterator[dict[str, int]]:
+    """Context manager yielding a dict that, on exit, holds the counter
+    deltas produced inside the ``with`` block::
+
+        with scoped() as work:
+            post_star(pds)
+        work["post_star.rule_applications"]
+    """
+    before = meter.snapshot()
+    delta: dict[str, int] = {}
+    try:
+        yield delta
+    finally:
+        delta.update(meter.delta(before))
 
 
 @dataclass(frozen=True, slots=True)

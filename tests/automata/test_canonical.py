@@ -1,9 +1,16 @@
-"""Tests for canonical language signatures."""
+"""Tests for canonical language signatures and their memoization."""
+
+import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.automata import EPSILON, NFA, canonical_signature, determinize, language_equal
+from repro.automata.canonical import (
+    canonical_cache_clear,
+    canonical_cache_info,
+    canonical_nfa,
+)
 
 ALPHABET = ("a", "b")
 
@@ -70,3 +77,78 @@ def random_nfa(draw):
 def test_signature_equality_iff_language_equality(left, right):
     same_sig = canonical_signature(left, ALPHABET) == canonical_signature(right, ALPHABET)
     assert same_sig == language_equal(left, right, ALPHABET)
+
+
+# ---------------------------------------------------------------------------
+# Memoization: structural-hash cache of canonical_nfa/canonical_signature.
+# ---------------------------------------------------------------------------
+
+
+def _words(max_len=4, alphabet=ALPHABET):
+    for length in range(max_len + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+class TestCanonicalMemoization:
+    def test_second_call_returns_identical_cached_objects(self):
+        canonical_cache_clear()
+        dfa1, sig1 = canonical_nfa(ends_in_b(), ALPHABET)
+        dfa2, sig2 = canonical_nfa(ends_in_b(), ALPHABET)
+        assert dfa1 is dfa2
+        assert sig1 is sig2
+
+    def test_cache_hit_counted(self):
+        canonical_cache_clear()
+        before = canonical_cache_info()["hits"]
+        canonical_nfa(ends_in_b(), ALPHABET)
+        canonical_nfa(ends_in_b(), ALPHABET)
+        assert canonical_cache_info()["hits"] == before + 1
+
+    def test_clear_forces_recomputation_with_equal_results(self):
+        canonical_cache_clear()
+        dfa1, sig1 = canonical_nfa(ends_in_b(), ALPHABET)
+        canonical_cache_clear()
+        dfa2, sig2 = canonical_nfa(ends_in_b(), ALPHABET)
+        assert dfa1 is not dfa2  # fresh computation...
+        assert sig1 == sig2      # ...same canonical result
+        accepted1 = {w for w in _words() if dfa1.accepts(w)}
+        accepted2 = {w for w in _words() if dfa2.accepts(w)}
+        assert accepted1 == accepted2
+
+    def test_mutating_input_changes_key_not_stale_result(self):
+        canonical_cache_clear()
+        nfa = ends_in_b()
+        _, sig_before = canonical_nfa(nfa, ALPHABET)
+        nfa.add_transition("q0", "a", "q1")  # language changes
+        _, sig_after = canonical_nfa(nfa, ALPHABET)
+        assert sig_before != sig_after
+
+    def test_distinct_initial_views_cached_separately(self):
+        canonical_cache_clear()
+        nfa = ends_in_b()
+        dfa_q0, sig_q0 = canonical_nfa(nfa, ALPHABET, initial=["q0"])
+        dfa_q1, sig_q1 = canonical_nfa(nfa, ALPHABET, initial=["q1"])
+        assert sig_q0 != sig_q1
+        # Each view hits its own entry on repetition.
+        assert canonical_nfa(nfa, ALPHABET, initial=["q0"])[0] is dfa_q0
+        assert canonical_nfa(nfa, ALPHABET, initial=["q1"])[0] is dfa_q1
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_nfa())
+def test_cache_hits_never_change_the_accepted_language(nfa):
+    """Property: the memoized result accepts exactly the input language
+    (up to bounded word length), and a repeat call — a guaranteed cache
+    hit — returns the identical object."""
+    cold, sig = canonical_nfa(nfa, ALPHABET)
+    warm, sig2 = canonical_nfa(nfa, ALPHABET)
+    assert warm is cold and sig2 is sig
+    for word in _words():
+        assert cold.accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_nfa())
+def test_signature_function_shares_cache_with_canonical_nfa(nfa):
+    dfa, sig_pair = canonical_nfa(nfa, ALPHABET)
+    assert canonical_signature(nfa, ALPHABET) is sig_pair

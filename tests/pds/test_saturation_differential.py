@@ -3,12 +3,30 @@
 The production :func:`post_star` (worklist, derived ε-closure) and
 :func:`post_star_naive` (direct rule transcription, fixpoint) must
 accept exactly the same configurations for any PDS and initial set.
+
+Two generators feed the harness: hypothesis strategies (shrinking,
+adversarial) and the library's own seeded generator
+:mod:`repro.models.random_gen` (reproducible bulk — 200+ systems per
+run, including empty-stack actions and multi-config initial sets).  The
+incremental warm start of :class:`repro.pds.PostStarEngine` is checked
+against a cold saturation of the same enlarged initial set.
 """
 
+import random
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pds import PDS, PDSState, post_star, post_star_naive, psa_for_configs
+from repro.models.random_gen import RandomSpec, random_cpds
+from repro.pds import (
+    PDS,
+    PDSState,
+    PostStarEngine,
+    post_star,
+    post_star_naive,
+    psa_for_configs,
+)
 
 SYMBOLS = ("a", "b")
 SHARED = (0, 1, 2)
@@ -59,3 +77,102 @@ def test_worklist_matches_naive_on_long_stacks(case):
     fast = post_star(pds, psa_for_configs(pds, configs))
     slow = post_star_naive(pds, psa_for_configs(pds, configs))
     assert set(fast.enumerate_states(5)) == set(slow.enumerate_states(5))
+
+
+# ---------------------------------------------------------------------------
+# Bulk randomized harness over the library's seeded generator.
+# ---------------------------------------------------------------------------
+
+#: Shape chosen so empty-stack actions, pushes, and multi-symbol stacks
+#: all occur regularly (empty_read_bias well above the generator default).
+_SPEC = RandomSpec(
+    n_threads=1,
+    n_shared=3,
+    n_symbols=2,
+    rules_per_thread=7,
+    push_bias=0.35,
+    empty_read_bias=0.25,
+    max_initial_stack=2,
+)
+
+N_RANDOM_SYSTEMS = 200
+
+
+def _random_case(seed: int) -> tuple[PDS, list[PDSState]]:
+    """Reproducible random PDS + initial config set for one seed."""
+    pds = random_cpds(seed, _SPEC).thread(0)
+    rng = random.Random(seed * 7919 + 17)
+    shared = sorted(pds.shared_states)
+    symbols = sorted(pds.alphabet)
+    configs = []
+    for _ in range(rng.randint(1, 3)):
+        stack = tuple(
+            rng.choice(symbols) for _ in range(rng.randint(0, 2))
+        )
+        configs.append(PDSState(rng.choice(shared), stack))
+    return pds, configs
+
+
+def _accepted_sets(psa, shared_states, depth=4):
+    return {
+        "tops": {shared: psa.tops(shared) for shared in shared_states},
+        "states": set(psa.enumerate_states(depth)),
+    }
+
+
+@pytest.mark.parametrize("seed", range(N_RANDOM_SYSTEMS))
+def test_randomized_differential(seed):
+    """Worklist ≡ naive on 200 seeded random PDSs (zero divergences)."""
+    pds, configs = _random_case(seed)
+    fast = post_star(pds, psa_for_configs(pds, configs))
+    slow = post_star_naive(pds, psa_for_configs(pds, configs))
+    shared = sorted(pds.shared_states)
+    assert _accepted_sets(fast, shared) == _accepted_sets(slow, shared), (
+        f"divergence on seed {seed}: {pds!r}, configs {configs}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(0, N_RANDOM_SYSTEMS, 4))
+def test_incremental_warm_start_matches_cold(seed):
+    """Saturate a prefix of the configs, inject the rest, resaturate —
+    must equal a cold saturation of the full set (and the oracle)."""
+    pds, configs = _random_case(seed)
+    extra = [PDSState(sorted(pds.shared_states)[0], ())]
+    all_configs = configs + extra
+
+    engine = PostStarEngine(pds, psa_for_configs(pds, configs[:1]))
+    engine.saturate()
+    for config in configs[1:] + extra:
+        engine.add_config(config)
+    warm = engine.saturate()
+
+    cold = post_star(pds, psa_for_configs(pds, all_configs))
+    oracle = post_star_naive(pds, psa_for_configs(pds, all_configs))
+    shared = sorted(pds.shared_states)
+    warm_sets = _accepted_sets(warm, shared)
+    assert warm_sets == _accepted_sets(cold, shared)
+    assert warm_sets == _accepted_sets(oracle, shared)
+
+
+@pytest.mark.parametrize("seed", range(0, N_RANDOM_SYSTEMS, 8))
+def test_incremental_edge_injection_matches_cold(seed):
+    """Warm-starting with raw extra edges (not whole configs) also equals
+    cold saturation over the union automaton."""
+    pds, configs = _random_case(seed)
+    symbols = sorted(pds.alphabet)
+    shared = sorted(pds.shared_states)
+
+    engine = PostStarEngine(pds, psa_for_configs(pds, configs))
+    engine.saturate()
+    # Extra edge: another entry reading symbols[0] straight to the sink,
+    # i.e. the config ⟨shared[-1]|symbols[0]⟩.
+    from repro.pds.psa import FINAL_SINK
+
+    engine.add_transition(shared[-1], symbols[0], FINAL_SINK)
+    warm = engine.saturate()
+
+    cold = post_star(
+        pds,
+        psa_for_configs(pds, configs + [PDSState(shared[-1], (symbols[0],))]),
+    )
+    assert _accepted_sets(warm, shared) == _accepted_sets(cold, shared)

@@ -1,0 +1,64 @@
+"""Work-counter comparison: worklist post* vs the naive oracle.
+
+Acceptance invariant for the worklist engine (see the Performance notes
+in :mod:`repro.pds.saturation`): on the paper's benchmark workloads
+(Fig. 5 / Table 2 programs) the worklist engine performs *strictly
+fewer* rule applications than :func:`repro.pds.post_star_naive`, as
+measured by the :data:`repro.util.METER` counters — while producing the
+same language.
+"""
+
+import pytest
+
+from repro.models.registry import smallest_per_row
+from repro.pds import PDSState, post_star, post_star_naive, psa_for_configs
+from repro.util import scoped
+
+# Smallest configuration of each Fig. 5 / Table 2 suite (keeps the
+# naive oracle's quadratic sweeps affordable in tier-1 time).
+BENCHES = smallest_per_row()
+
+
+def _initial_psas(cpds):
+    """One initial P-automaton per thread: the thread's view of the CPDS
+    initial state (exactly what a first context expansion saturates)."""
+    initial = cpds.initial_state()
+    for index, pds in enumerate(cpds.threads):
+        yield index, pds, psa_for_configs(
+            pds, [PDSState(initial.shared, initial.stacks[index])]
+        )
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.row)
+def test_worklist_strictly_fewer_rule_applications(bench):
+    cpds, _prop = bench.build()
+    for index, pds, psa in _initial_psas(cpds):
+        with scoped() as work:
+            fast = post_star(pds, psa)
+        with scoped() as oracle_work:
+            slow = post_star_naive(pds, psa)
+
+        fast_apps = work.get("post_star.rule_applications", 0)
+        slow_apps = oracle_work.get("post_star_naive.rule_applications", 0)
+        assert slow_apps > 0, f"{bench.row} thread {index}: oracle did no work"
+        assert fast_apps < slow_apps, (
+            f"{bench.row} thread {index}: worklist used {fast_apps} rule "
+            f"applications, naive {slow_apps} — worklist must be strictly lower"
+        )
+        # Same language, or the comparison is meaningless.
+        for shared in pds.shared_states:
+            assert fast.tops(shared) == slow.tops(shared)
+
+
+@pytest.mark.parametrize("bench", BENCHES[:3], ids=lambda b: b.row)
+def test_counters_present_and_monotone(bench):
+    cpds, _prop = bench.build()
+    _index, pds, psa = next(_initial_psas(cpds))
+    with scoped() as work:
+        post_star(pds, psa)
+    assert work.get("post_star.edges_added", 0) > 0
+    assert work.get("post_star.rule_applications", 0) >= 0
+    # A second identical run adds its own work on top (monotone METER).
+    with scoped() as again:
+        post_star(pds, psa)
+    assert again.get("post_star.edges_added", 0) == work["post_star.edges_added"]
