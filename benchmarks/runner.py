@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the BENCH perf-trajectory runner.
+
+Usage (from the repo root)::
+
+    python benchmarks/runner.py --quick            # CI smoke lane
+    python benchmarks/runner.py                    # full Table 2 sweep
+    python benchmarks/runner.py --quick --compare BENCH_<stamp>.json
+
+Thin wrapper around :mod:`repro.bench.runner` (also reachable as
+``cuba bench --json``); it only makes ``src/`` importable when the
+package is not installed.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.runner import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Experiment E-bench — the BENCH perf-trajectory runner, smoke-tested.
+
+Runs :mod:`repro.bench.runner` on a two-row subset in quick mode,
+validates the ``cuba-bench/1`` payload schema (the contract ROADMAP.md
+documents and CI's bench lane consumes), exercises the regression gate,
+and asserts the memory discipline of this PR: the automaton and
+saturation record classes are ``__slots__``-only — no stray per-instance
+``__dict__`` on the objects the engines allocate by the thousand.
+
+Marked ``quick``: part of the CI benchmark smoke lane
+(``pytest benchmarks -m quick``).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import (
+    compare_bench,
+    merge_modes,
+    run_suite,
+    write_bench_json,
+)
+
+pytestmark = pytest.mark.quick
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_suite(quick=True, rows={"6", "9"}, max_rounds=4, repeats=1)
+
+
+class TestRunnerPayload:
+    def test_schema_and_metadata(self, payload):
+        assert payload["schema"] == "cuba-bench/1"
+        assert payload["quick"] is True
+        assert payload["calibration_seconds"] > 0
+        assert payload["python"]
+
+    def test_workloads_cover_both_engines_and_micro(self, payload):
+        lanes = {(w["name"], w["lane"]) for w in payload["workloads"]}
+        names = {name for name, _ in lanes}
+        assert any(name.startswith("6/") for name in names)
+        assert any(name.startswith("9/") for name in names)
+        assert ("9/Dekker [2•]", "explicit") in lanes  # Dekker satisfies FCR
+        assert any(lane == "canonical-micro" for _, lane in lanes)
+
+    def test_modes_record_time_and_meter(self, payload):
+        for workload in payload["workloads"]:
+            for mode, record in workload["modes"].items():
+                assert record["seconds"] >= 0, (workload["name"], mode)
+                assert isinstance(record["meter"], dict)
+            if workload["lane"] == "symbolic":
+                meter = workload["modes"]["optimized"]["meter"]
+                assert meter.get("symbolic.expansions", 0) > 0
+                # Batching invariant, persisted: never more saturations
+                # than unique frontier views.
+                assert meter["symbolic.expansions"] <= meter.get(
+                    "symbolic.level_unique_views", 0
+                )
+
+    def test_totals_sum_workloads(self, payload):
+        total = sum(w["modes"]["optimized"]["seconds"] for w in payload["workloads"])
+        assert payload["totals"]["optimized_seconds"] == pytest.approx(
+            total, abs=1e-3
+        )
+
+    def test_written_file_round_trips(self, payload, tmp_path):
+        path = write_bench_json(payload, tmp_path)
+        assert path.name == f"BENCH_{payload['stamp']}.json"
+        assert json.loads(path.read_text())["totals"] == payload["totals"]
+
+
+class TestRegressionGate:
+    def test_self_comparison_passes(self, payload):
+        ok, messages = compare_bench(payload, payload, tolerance=0.25)
+        assert ok, messages
+
+    @staticmethod
+    def _scaled(payload, factor):
+        scaled = json.loads(json.dumps(payload))
+        for workload in scaled["workloads"]:
+            for record in workload["modes"].values():
+                record["seconds"] *= factor
+        return scaled
+
+    def test_regression_detected(self, payload):
+        slower = self._scaled(payload, 2.0)
+        ok, messages = compare_bench(slower, payload, tolerance=0.25)
+        assert not ok
+        assert any("REGRESSION" in m for m in messages)
+
+    def test_calibration_normalizes_machine_speed(self, payload):
+        # Same workload numbers on a machine measured 2x slower overall
+        # must NOT read as a regression once normalized.
+        slower_machine = self._scaled(payload, 2.0)
+        slower_machine["calibration_seconds"] *= 2.0
+        ok, _messages = compare_bench(slower_machine, payload, tolerance=0.25)
+        assert ok
+
+    def test_extra_workloads_compare_shared_only(self, payload):
+        """A same-config baseline with extra workloads must not skew the
+        gate: only shared workloads are summed."""
+        bigger = json.loads(json.dumps(payload))
+        bigger["workloads"].append(
+            {
+                "name": "999/Imaginary [9+9]",
+                "lane": "symbolic",
+                "modes": {"optimized": {"seconds": 1e6, "meter": {}}},
+            }
+        )
+        ok, messages = compare_bench(payload, bigger, tolerance=0.25)
+        assert ok, messages
+        assert any("excluded" in m for m in messages)
+        # And a regression within the shared set is still caught.
+        ok, _messages = compare_bench(self._scaled(payload, 2.0), bigger)
+        assert not ok
+
+    def test_mismatched_configuration_refuses_comparison(self, payload):
+        """A full-run baseline must not silently neutralize the quick
+        gate: mismatched configurations fail loudly."""
+        full = json.loads(json.dumps(payload))
+        full["quick"] = False
+        ok, messages = compare_bench(payload, full, tolerance=0.25)
+        assert not ok
+        assert any("NOT COMPARABLE" in m for m in messages)
+
+    def test_latest_comparable_baseline_skips_mismatched(self, payload, tmp_path):
+        from repro.bench.runner import latest_comparable_baseline
+
+        matching = json.loads(json.dumps(payload))
+        matching["stamp"] = "20000101T000000Z"
+        write_bench_json(matching, tmp_path)
+        full = json.loads(json.dumps(payload))
+        full["quick"] = False
+        full["stamp"] = "20990101T000000Z"  # newer but incomparable
+        write_bench_json(full, tmp_path)
+        chosen = latest_comparable_baseline(payload, tmp_path)
+        assert chosen is not None and "20000101" in chosen.name
+        assert latest_comparable_baseline(full | {"max_rounds": 99}, tmp_path) is None
+
+    def test_merge_before_grafts_mode(self, payload):
+        other = json.loads(json.dumps(payload))
+        merged = merge_modes(payload, other, "before")
+        assert merged == len(payload["workloads"])
+        assert payload["totals"]["before_seconds"] > 0
+        assert "speedup_vs_before" in payload["totals"]
+
+
+class TestMemoryDiscipline:
+    """The satellite's memory assertion: hot-path records are slotted."""
+
+    SLOTTED = [
+        "repro.automata.nfa:NFA",
+        "repro.automata.canonical:CanonicalNFA",
+        "repro.automata.canonical:Signature",
+        "repro.automata.intern:SymbolTable",
+        "repro.pds.saturation:PostStarEngine",
+        "repro.pds.action:Action",
+        "repro.reach.symbolic:SymbolicState",
+    ]
+
+    @pytest.mark.parametrize("spec", SLOTTED)
+    def test_no_instance_dict(self, spec):
+        module_name, class_name = spec.split(":")
+        module = __import__(module_name, fromlist=[class_name])
+        cls = getattr(module, class_name)
+        assert "__dict__" not in dir(cls) or not hasattr(
+            _instantiate(cls), "__dict__"
+        ), f"{spec} instances carry a __dict__ — __slots__ chain is broken"
+
+    def test_nfa_instance_rejects_adhoc_attributes(self):
+        from repro.automata.nfa import NFA
+
+        nfa = NFA(initial=[0])
+        with pytest.raises(AttributeError):
+            nfa.scratch = 1  # type: ignore[attr-defined]
+
+
+def _instantiate(cls):
+    from repro.automata.canonical import CanonicalNFA, Signature
+    from repro.automata.intern import SymbolTable
+    from repro.automata.nfa import NFA
+    from repro.pds.action import Action
+    from repro.pds.pds import PDS
+    from repro.pds.saturation import PostStarEngine
+    from repro.reach.symbolic import SymbolicState
+
+    if cls is NFA:
+        return NFA(initial=[0])
+    if cls is CanonicalNFA:
+        return CanonicalNFA()
+    if cls is Signature:
+        return Signature((("a",), (False,), ((0,),)), 0)
+    if cls is SymbolTable:
+        return SymbolTable(["a"])
+    if cls is PostStarEngine:
+        pds = PDS(0)
+        pds.rule(0, "a", 0, ["a"])
+        return PostStarEngine(pds)
+    if cls is Action:
+        return Action(0, ("a",), 0, ("a",))
+    if cls is SymbolicState:
+        return SymbolicState(0, (NFA(initial=[0]),), (None,))
+    raise AssertionError(f"no instantiation recipe for {cls}")

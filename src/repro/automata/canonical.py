@@ -1,4 +1,4 @@
-"""Canonical, hashable signatures for automata languages — memoized.
+"""Canonical, hashable signatures for automata languages — hash-consed.
 
 The symbolic engine (paper Sec. 6, approach 3) must decide whether a
 freshly computed symbolic state ``⟨q|A1..An⟩`` was already seen.  Automata
@@ -8,76 +8,215 @@ traversal that visits alphabet symbols in a fixed order.  Two automata get
 the same signature exactly if they accept the same language over the given
 alphabet.
 
-Canonicalization (determinize → complete → minimize → renumber) dominates
-the symbolic engine's per-expansion cost, and the same automaton structure
-recurs constantly across context expansions, so results are memoized in a
-bounded LRU cache keyed by a *structural hash*: the exact set of
-transitions reachable from the entry states, the reachable accepting
-states, and the target alphabet.  A cache hit returns the previously built
-``(dfa, signature)`` pair — the *identical* objects, so callers must treat
-the returned automaton as immutable (every in-library caller does; copy
-first if you need to mutate).  Mutating an *input* automaton is safe: its
-structural key changes, so stale entries can never be served.
+Performance notes
+-----------------
+Canonicalization dominates the symbolic engine's per-expansion cost, and
+the same languages recur constantly across context expansions, so three
+layers keep it cheap:
+
+1. **Structural memo (LRU).**  Calls are keyed by a *structural hash* —
+   the exact edge set reachable from the entry states, the reachable
+   accepting states, and the target alphabet — in a bounded LRU
+   (:data:`CANONICAL_CACHE_SIZE`).  A hit skips canonicalization
+   entirely.  Mutating an *input* automaton is safe: its structural key
+   changes, so stale entries can never be served.
+2. **Dense fused pipeline.**  Misses run the fused subset-construction →
+   completion → Hopcroft O(n log n) minimization of
+   :mod:`repro.automata.dense` over contiguous int tables; the seed's
+   determinize → complete → Moore path (kept as the ``"moore"`` backend,
+   see :func:`set_backend`) built three intermediate automata per call
+   and re-sorted symbols by ``repr()``.  Symbol order now comes from the
+   intern tables of :mod:`repro.automata.intern`.
+3. **Hash-consing.**  Every canonical result is interned by its canonical
+   table: language-equal automata — even ones with *different* structural
+   keys — share one immutable :class:`CanonicalNFA` and one
+   :class:`Signature` object.  Signature hashes are precomputed and
+   equality short-circuits on identity, so symbolic-state dedup degrades
+   to pointer/int comparisons.  The interned DFA also memoizes the
+   per-language analyses (``coreachable_states``, the engines'
+   ``nfa_tops``) that App. E's ``T(Ai)`` projection needs: they are
+   computed once per *language*, not once per call.
+
+Callers must treat returned automata as immutable (every in-library
+caller does; copy first if you need to mutate).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
 from collections.abc import Hashable, Iterable
+from contextlib import contextmanager
+from itertools import count
 
+from repro.automata import dense
+from repro.automata.intern import SymbolTable, sort_symbols
 from repro.automata.nfa import NFA
-from repro.automata.ops import _sort_key, minimize
+from repro.automata.ops import minimize
 from repro.util.meter import METER
 
 Symbol = Hashable
 
-#: Signature type: (alphabet, accepting-bitmap, transition table) over
-#: BFS-numbered states.  ``None`` entries mark transitions into
-#: unreachable territory (cannot occur for complete DFAs but kept for
-#: robustness).
-Signature = tuple
-
-#: Bound on the number of memoized canonicalizations (LRU eviction).
+#: Bound on the number of memoized canonicalizations (LRU eviction).  The
+#: hash-cons table is *not* bounded: it holds one small DFA per distinct
+#: language ever seen, and stable identity is the point.
 CANONICAL_CACHE_SIZE = 4096
 
-_cache: OrderedDict[tuple, tuple[NFA, Signature]] = OrderedDict()
+_NO_EDGES: dict = {}
+
+_cache: OrderedDict[tuple, tuple["CanonicalNFA", "Signature"]] = OrderedDict()
+#: Hash-cons table: canonical (symbols, bits, table) -> interned pair.
+_interned: dict[tuple, tuple["CanonicalNFA", "Signature"]] = {}
+_token = count()
 # Per-cache hit/miss totals: kept here (not read back from METER) so the
 # info dict stays consistent with the cache even if METER is reset.
 _hits = 0
 _misses = 0
 
+#: Active minimization backend: "dense" (Hopcroft, default) or "moore"
+#: (the seed pipeline, kept for differential tests and benchmarking).
+_backend = "dense"
+
+
+class Signature:
+    """Hash-consed identity of a language over a fixed alphabet.
+
+    ``key`` is the canonical ``(symbols, accepting bits, transition
+    table)`` tuple; ``token`` a small per-process serial.  The hash is
+    precomputed at intern time and equality short-circuits on identity,
+    so container operations on signatures cost O(1) after interning.
+    Signatures with equal keys compare equal even across
+    :func:`canonical_cache_clear` (tokens then differ — compare
+    signatures, never tokens, across clears).
+    """
+
+    __slots__ = ("key", "token", "_hash")
+
+    def __init__(self, key: tuple, token: int) -> None:
+        self.key = key
+        self.token = token
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Signature):
+            return self.key == other.key
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signature(token={self.token}, states={len(self.key[2])})"
+
+
+class CanonicalNFA(NFA):
+    """An interned canonical minimal complete DFA.
+
+    Immutable by convention; carries its :class:`Signature` and lazily
+    caches the per-language analyses the reachability engines keep
+    asking for (``coreachable_states``; the tops cache is filled by
+    :func:`repro.reach.symbolic.nfa_tops`)."""
+
+    __slots__ = ("signature", "_tops", "_coreach", "_useful_edges")
+
+    def __init__(self) -> None:
+        super().__init__(initial=[0])
+        self.signature: Signature | None = None
+        self._tops = None
+        self._coreach = None
+        self._useful_edges = None
+
+    def coreachable_states(self) -> frozenset:
+        if self._coreach is None:
+            self._coreach = super().coreachable_states()
+        return self._coreach
+
+    def useful_edges(self) -> tuple[tuple, ...]:
+        """Transitions between coreachable states, cached.
+
+        A canonical DFA is complete, so it carries a dead sink and every
+        transition into it; consumers embedding the automaton for
+        language-preserving constructions (the symbolic engine's context
+        expansion) only need the useful part.  All states are reachable
+        by construction, so useful == coreachable here.
+        """
+        if self._useful_edges is None:
+            keep = self.coreachable_states()
+            self._useful_edges = tuple(
+                edge
+                for edge in self.transitions()
+                if edge[0] in keep and edge[2] in keep
+            )
+        return self._useful_edges
+
+
+#: Legacy alias for the signature payload type.
+SignatureKey = tuple
+
+
+def set_backend(name: str) -> str:
+    """Select the minimization backend (``"dense"`` or ``"moore"``);
+    returns the previous one.  Both produce identical canonical forms
+    (property-tested) and share the memo and hash-cons tables."""
+    global _backend
+    if name not in ("dense", "moore"):
+        raise ValueError(f"unknown canonicalization backend {name!r}")
+    previous = _backend
+    _backend = name
+    return previous
+
+
+def get_backend() -> str:
+    return _backend
+
+
+@contextmanager
+def backend(name: str):
+    """Temporarily switch the minimization backend (benchmark harness)."""
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
 
 def canonical_cache_clear() -> None:
-    """Drop every memoized canonicalization and its hit/miss totals
-    (test isolation)."""
+    """Drop every memoized canonicalization, the hash-cons table, and the
+    hit/miss totals (test isolation)."""
     global _hits, _misses
     _cache.clear()
+    _interned.clear()
     _hits = 0
     _misses = 0
 
 
 def canonical_cache_info() -> dict[str, int]:
     """Current size and hit/miss totals (since the last clear) of the
-    memo cache."""
+    memo cache, plus the number of hash-consed distinct languages."""
     return {
         "size": len(_cache),
         "maxsize": CANONICAL_CACHE_SIZE,
         "hits": _hits,
         "misses": _misses,
+        "interned": len(_interned),
     }
 
 
 def _structural_key(nfa: NFA, symbols: tuple, entry: frozenset) -> tuple:
     """Exact fingerprint of the part of ``nfa`` a canonicalization sees:
     every edge reachable from ``entry`` (ε included), the reachable
-    accepting states, and the target alphabet."""
+    accepting states, and the target alphabet.  The traversal emits each
+    edge exactly once (deduplicated by construction); the key uses a
+    frozenset so automata built with different insertion orders — hence
+    different traversal orders — still share one cache entry."""
     seen = set(entry)
     work = deque(entry)
     edges: list[tuple] = []
     while work:
         state = work.popleft()
-        for label in nfa.labels_from(state):
-            for target in nfa.targets(state, label):
+        for label, targets in nfa._delta.get(state, _NO_EDGES).items():
+            for target in targets:
                 edges.append((state, label, target))
                 if target not in seen:
                     seen.add(target)
@@ -90,8 +229,10 @@ def _structural_key(nfa: NFA, symbols: tuple, entry: frozenset) -> tuple:
     )
 
 
-def _bfs_numbering(dfa: NFA, symbols: list) -> tuple[dict, list]:
-    """Canonical state numbering by BFS in fixed symbol order."""
+def _canonical_form_moore(nfa: NFA, symbols: list, initial):
+    """The seed pipeline (determinize → complete → Moore → BFS renumber)
+    emitting the same ``(bits, table)`` form as the dense path."""
+    dfa = minimize(nfa, symbols, initial=initial)
     start = next(iter(dfa.initial))
     numbering = {start: 0}
     order = [start]
@@ -107,52 +248,54 @@ def _bfs_numbering(dfa: NFA, symbols: list) -> tuple[dict, list]:
                 numbering[target] = len(numbering)
                 order.append(target)
                 work.append(target)
-    return numbering, order
+    bits = tuple(state in dfa.accepting for state in order)
+    table = tuple(
+        tuple(numbering[next(iter(dfa.targets(state, symbol)))] for symbol in symbols)
+        for state in order
+    )
+    return bits, table
 
 
-def _canonicalize(
-    nfa: NFA, symbols: list, initial: Iterable | None
-) -> tuple[NFA, Signature]:
-    dfa = minimize(nfa, symbols, initial=initial)
-    numbering, order = _bfs_numbering(dfa, symbols)
-    rebuilt = NFA(initial=[0])
-    accepting_bits = []
-    table = []
-    for state in order:
-        number = numbering[state]
-        accepting_bits.append(state in dfa.accepting)
-        if state in dfa.accepting:
-            rebuilt.add_accepting(number)
-        row = []
-        for symbol in symbols:
-            targets = dfa.targets(state, symbol)
-            if targets:
-                target_number = numbering[next(iter(targets))]
-                rebuilt.add_transition(number, symbol, target_number)
-                row.append(target_number)
-            else:
-                row.append(None)
-        table.append(tuple(row))
-    signature = (tuple(symbols), tuple(accepting_bits), tuple(table))
-    return rebuilt, signature
+def _intern(symbols: tuple, bits: tuple, table: tuple):
+    """Hash-cons a canonical form into its unique (DFA, signature) pair."""
+    key = (symbols, bits, table)
+    pair = _interned.get(key)
+    if pair is not None:
+        METER.bump("canonical.intern_hits")
+        return pair
+    dfa = CanonicalNFA()
+    for state, (accepting, row) in enumerate(zip(bits, table)):
+        dfa.add_state(state)
+        if accepting:
+            dfa.add_accepting(state)
+        for symbol, target in zip(symbols, row):
+            dfa.add_transition(state, symbol, target)
+    signature = Signature(key, next(_token))
+    dfa.signature = signature
+    pair = (dfa, signature)
+    _interned[key] = pair
+    return pair
 
 
 def canonical_nfa(
     nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
-) -> tuple[NFA, Signature]:
+) -> tuple[CanonicalNFA, Signature]:
     """Minimal complete DFA with integer states in canonical BFS order.
 
-    Returns the rebuilt automaton together with its signature.  Two
-    automata with equal languages yield structurally identical results,
-    which keeps long-running symbolic exploration from accumulating
-    ever-deeper nested state names.
+    Returns the interned automaton together with its signature: automata
+    with equal languages over ``alphabet`` yield the *identical* pair of
+    objects (see the module's Performance notes), which keeps
+    long-running symbolic exploration from accumulating ever-deeper
+    nested state names and makes symbolic-state dedup cheap.  Treat the
+    returned automaton as read-only.
 
-    Results are memoized by structural hash (see the module docstring):
-    a repeated call with the same reachable structure returns the cached
-    ``(dfa, signature)`` pair itself.  Treat the returned automaton as
-    read-only.
+    Passing the alphabet as a :class:`~repro.automata.intern.SymbolTable`
+    skips the sort entirely (the table is already in canonical order).
     """
-    symbols = tuple(sorted(set(alphabet), key=_sort_key))
+    if isinstance(alphabet, SymbolTable):
+        symbols = alphabet.symbols
+    else:
+        symbols = tuple(sort_symbols(alphabet))
     if initial is not None:
         initial = list(initial)
     entry = frozenset(nfa.initial if initial is None else initial)
@@ -166,7 +309,11 @@ def canonical_nfa(
         return cached
     _misses += 1
     METER.bump("canonical.cache_misses")
-    result = _canonicalize(nfa, list(symbols), initial)
+    if _backend == "dense":
+        bits, table = dense.canonical_form(nfa, symbols, initial=initial)
+    else:
+        bits, table = _canonical_form_moore(nfa, list(symbols), initial)
+    result = _intern(symbols, bits, table)
     _cache[key] = result
     while len(_cache) > CANONICAL_CACHE_SIZE:
         _cache.popitem(last=False)
@@ -178,8 +325,8 @@ def canonical_signature(
 ) -> Signature:
     """Return a hashable value identifying ``L(nfa)`` over ``alphabet``.
 
-    ``initial`` overrides the automaton's entry states (forwarded to
-    :func:`~repro.automata.ops.minimize`).  Shares the memo cache with
+    ``initial`` overrides the automaton's entry states (forwarded to the
+    subset construction).  Shares the memo and hash-cons tables with
     :func:`canonical_nfa`.
     """
     return canonical_nfa(nfa, alphabet, initial=initial)[1]

@@ -41,7 +41,22 @@ class NFA:
 
     Transitions are stored as ``state -> label -> set of states``.  All
     query methods tolerate states that were never explicitly added.
+
+    The class is slotted: reachability engines hold thousands of small
+    automata alive at once (one per symbolic-state thread slot, plus the
+    saturation snapshots), and the per-instance ``__dict__`` was pure
+    overhead.  Subclasses must declare ``__slots__`` themselves to stay
+    dict-free (:class:`repro.automata.canonical.CanonicalNFA` does).
     """
+
+    __slots__ = (
+        "_states",
+        "_initial",
+        "_accepting",
+        "_delta",
+        "_eps_version",
+        "_eps_memo",
+    )
 
     def __init__(
         self,
@@ -87,12 +102,28 @@ class NFA:
             self._eps_version += 1
         return True
 
+    def add_transitions(self, edges: Iterable[tuple[State, Symbol, State]]) -> None:
+        """Bulk-add ``(src, label, dst)`` edges.
+
+        Equivalent to calling :meth:`add_transition` per edge but with
+        one ε-version bump and no per-edge call overhead — the fast path
+        for snapshotting saturation results.
+        """
+        states = self._states
+        delta = self._delta
+        saw_epsilon = False
+        for src, label, dst in edges:
+            states.add(src)
+            states.add(dst)
+            delta.setdefault(src, {}).setdefault(label, set()).add(dst)
+            if label is EPSILON:
+                saw_epsilon = True
+        if saw_epsilon:
+            self._eps_version += 1
+
     def copy(self) -> "NFA":
         clone = NFA(self._states, self._initial, self._accepting)
-        for src, by_label in self._delta.items():
-            for label, targets in by_label.items():
-                for dst in targets:
-                    clone.add_transition(src, label, dst)
+        clone.add_transitions(self.transitions())
         return clone
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable, Iterable
 
+from repro.automata.intern import sort_symbols
 from repro.automata.nfa import EPSILON, NFA
 
 Symbol = Hashable
@@ -21,13 +22,15 @@ DEAD = ("__dead__",)
 
 
 def _sort_key(symbol: Symbol):
-    """Stable ordering for arbitrary hashable symbols."""
+    """Repr-based ordering — the fallback used to order symbols that were
+    never interned (see :mod:`repro.automata.intern`, which now provides
+    the int-keyed hot-path order)."""
     return (type(symbol).__qualname__, repr(symbol))
 
 
 def _sorted_alphabet(nfa: NFA, alphabet: Iterable[Symbol] | None) -> list[Symbol]:
-    symbols = set(nfa.alphabet()) if alphabet is None else set(alphabet)
-    return sorted(symbols, key=_sort_key)
+    symbols = nfa.alphabet() if alphabet is None else alphabet
+    return sort_symbols(symbols)
 
 
 def determinize(
@@ -67,7 +70,7 @@ def complete(dfa: NFA, alphabet: Iterable[Symbol]) -> NFA:
     """Return a total version of a deterministic automaton: every state
     has exactly one outgoing transition per alphabet symbol (a dead sink
     is added when needed)."""
-    symbols = sorted(set(alphabet), key=_sort_key)
+    symbols = sort_symbols(alphabet)
     total = dfa.copy()
     need_dead = False
     for state in list(total.states):

@@ -1,0 +1,13 @@
+"""Benchmark runner subsystem: the repo's measured perf trajectory.
+
+:mod:`repro.bench.runner` executes the Table 2 / Fig. 5 registry
+workloads under both reachability engines, records wall time, peak
+memory, and METER work counters, and writes a ``BENCH_<stamp>.json``
+snapshot at the repo root.  Every perf-focused PR is judged against the
+latest committed snapshot — see the BENCH section in ROADMAP.md for the
+file format and how to read the trajectory.
+"""
+
+from repro.bench.runner import run_suite, write_bench_json, compare_bench
+
+__all__ = ["run_suite", "write_bench_json", "compare_bench"]

@@ -7,6 +7,7 @@ Subcommands::
     cuba fcr file.cpds
     cuba table file.cpds [--levels 6]      # Fig. 1 style reachability table
     cuba bench [--rows 1,2,9]              # Table 2 reproduction
+    cuba bench --json [--quick] [--compare BENCH_x.json]  # perf trajectory
 
 ``verify`` exits 0 when the property is proved, 1 when refuted, and 2
 when no conclusion was reached within the round budget.
@@ -131,6 +132,23 @@ def cmd_table(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.json:
+        from repro.bench.runner import main as bench_main
+
+        forward = []
+        if args.quick:
+            forward.append("--quick")
+        if args.rows:
+            forward.extend(["--rows", args.rows])
+        if args.out:
+            forward.extend(["--out", args.out])
+        if args.compare:
+            forward.extend(["--compare", args.compare])
+            forward.extend(["--tolerance", str(args.tolerance)])
+        if args.merge_before:
+            forward.extend(["--merge-before", args.merge_before])
+        return bench_main(forward)
+
     from repro.models.registry import runnable_benchmarks
     from repro.util.meter import measure
 
@@ -198,6 +216,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="run the Table 2 benchmark suite")
     bench.add_argument("--rows", help="comma-separated row numbers, e.g. 1,5,9")
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="run the BENCH perf-trajectory runner and write BENCH_<stamp>.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="with --json: smallest config per row"
+    )
+    bench.add_argument("--out", help="with --json: output directory (default: cwd)")
+    bench.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="with --json: baseline BENCH file; exit 1 on perf regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="with --compare: allowed wall-time regression fraction (default 0.25)",
+    )
+    bench.add_argument(
+        "--merge-before",
+        metavar="FILE",
+        help="with --json: graft a pre-PR BENCH file in as the 'before' mode",
+    )
     bench.set_defaults(handler=cmd_bench)
     return parser
 

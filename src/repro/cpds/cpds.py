@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
 
+from repro.automata.intern import SymbolTable
 from repro.errors import ModelError
 from repro.cpds.state import GlobalState
 from repro.pds.pds import PDS
@@ -54,6 +55,8 @@ class CPDS:
                         f"initial stack symbol {symbol!r} not in thread alphabet"
                     )
 
+        self._shared_cache: tuple[tuple[int, ...], frozenset] | None = None
+
     # ------------------------------------------------------------------
     @property
     def n_threads(self) -> int:
@@ -61,16 +64,26 @@ class CPDS:
 
     @property
     def shared_states(self) -> frozenset[Shared]:
-        states: set[Shared] = set()
-        for pds in self.threads:
-            states |= pds.shared_states
-        return frozenset(states)
+        versions = tuple(pds.version for pds in self.threads)
+        cached = self._shared_cache
+        if cached is None or cached[0] != versions:
+            states: set[Shared] = set()
+            for pds in self.threads:
+                states |= pds.shared_states
+            cached = (versions, frozenset(states))
+            self._shared_cache = cached
+        return cached[1]
 
     def thread(self, index: int) -> PDS:
         return self.threads[index]
 
     def alphabet(self, index: int) -> frozenset[Symbol]:
         return self.threads[index].alphabet
+
+    def symbol_table(self, index: int) -> SymbolTable:
+        """Thread ``index``'s interned stack alphabet (see
+        :meth:`repro.pds.pds.PDS.symbol_table`)."""
+        return self.threads[index].symbol_table()
 
     def initial_state(self) -> GlobalState:
         return GlobalState(self.initial_shared, self.initial_stacks)

@@ -12,6 +12,7 @@ pushdown-store-automata representation and is the Fig. 5 baseline.
 
 from __future__ import annotations
 
+from repro.automata.canonical import canonical_cache_info
 from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
@@ -42,7 +43,10 @@ def context_bounded_analysis(
     constructed here (context-tree memoization for explicit, expansion
     memoization for symbolic); it is ignored when a prepared engine
     instance is passed.  The UNKNOWN result's ``stats["meter"]`` records
-    the saturation/cache work counters this analysis produced.
+    the saturation/cache/frontier-batching work counters this analysis
+    produced, plus the canonicalization cache state and (for the
+    symbolic engine) the per-level frontier summary — the numbers the
+    BENCH harness (:mod:`repro.bench.runner`) persists.
     """
     meter_before = METER.snapshot()
     if isinstance(engine, str):
@@ -78,11 +82,15 @@ def context_bounded_analysis(
             Verdict.UNKNOWN, bound=engine.k, method=method,
             message=f"explicit engine diverged: {explosion}",
         )
+    stats = {
+        "visible_states": len(engine.visible_up_to()),
+        "meter": METER.delta(meter_before),
+        "canonical_cache": canonical_cache_info(),
+    }
+    if isinstance(engine, SymbolicReach):
+        stats["symbolic"] = engine.stats()
     return VerificationResult(
         Verdict.UNKNOWN, bound=bound, method=method,
         message=f"no violation within {bound} contexts (CBA cannot prove safety)",
-        stats={
-            "visible_states": len(engine.visible_up_to()),
-            "meter": METER.delta(meter_before),
-        },
+        stats=stats,
     )

@@ -149,8 +149,15 @@ def scheme1_sk(
     """
     from repro.reach.symbolic import SymbolicReach
 
+    meter_before = METER.snapshot()
     engine = SymbolicReach(cpds, incremental=incremental)
     method = "scheme1(Sk)"
+
+    def sk_stats() -> dict:
+        return {
+            **engine.stats(),
+            "meter": METER.delta(meter_before),
+        }
 
     def check(bound: int) -> VerificationResult | None:
         witness = prop.find_violation(engine.visible_new_at(bound))
@@ -179,11 +186,12 @@ def scheme1_sk(
                 bound=k,
                 method=method,
                 message="symbolic state set collapsed (empty frontier)",
-                stats={"symbolic_states": len(engine.symbolic_up_to())},
+                stats=sk_stats(),
             )
     return VerificationResult(
         Verdict.UNKNOWN,
         bound=engine.k,
         method=method,
         message=f"no conclusion within {max_rounds} rounds",
+        stats=sk_stats(),
     )

@@ -76,17 +76,18 @@ class Action:
     to_shared: Shared
     write: tuple[Symbol, ...]
     label: str = field(default="", compare=False)
+    #: Shape classification, computed once at construction.  The
+    #: saturation engine reads ``kind`` per rule application; recomputing
+    #: the classification there was a measurable hot-path cost.
+    kind: ActionKind = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.read, tuple):
             object.__setattr__(self, "read", tuple(self.read))
         if not isinstance(self.write, tuple):
             object.__setattr__(self, "write", tuple(self.write))
-        _classify(self.read, self.write)  # validate shapes eagerly
-
-    @property
-    def kind(self) -> ActionKind:
-        return _classify(self.read, self.write)
+        # Validates the shape eagerly as a side effect.
+        object.__setattr__(self, "kind", _classify(self.read, self.write))
 
     @property
     def read_symbol(self) -> Symbol | None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
 
+from repro.automata.intern import SymbolTable
 from repro.errors import ModelError
 from repro.pds.action import Action
 from repro.pds.state import PDSState
@@ -35,6 +36,13 @@ class PDS:
         self._actions: list[Action] = []
         # Enabledness index: (shared, read symbol or None) -> actions.
         self._by_trigger: dict[tuple, list[Action]] = {}
+        # Mutation counter: bumped whenever Q, Σ, or Δ change, so the
+        # derived caches below (and per-CPDS aggregates) can validate
+        # cheaply instead of rebuilding frozensets on every access.
+        self._version = 0
+        self._frozen_cache: tuple[int, frozenset, frozenset] | None = None
+        self._trigger_cache: tuple[int, dict[tuple, tuple[Action, ...]]] | None = None
+        self._symbol_table: tuple[int, SymbolTable] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -50,6 +58,7 @@ class PDS:
         self._actions.append(action)
         trigger = (action.from_shared, action.read_symbol)
         self._by_trigger.setdefault(trigger, []).append(action)
+        self._version += 1
         return action
 
     def rule(
@@ -69,21 +78,40 @@ class PDS:
         if symbol is None:
             raise ModelError("stack symbols must not be None (reserved for ε)")
         self._alphabet.add(symbol)
+        self._version += 1
 
     def declare_shared(self, shared: Shared) -> None:
         """Register a shared state no action mentions."""
         self._shared_states.add(shared)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def version(self) -> int:
+        """Mutation counter (grows on any ``Q``/``Σ``/``Δ`` change)."""
+        return self._version
+
+    @property
     def shared_states(self) -> frozenset[Shared]:
-        return frozenset(self._shared_states)
+        cached = self._frozen_cache
+        if cached is None or cached[0] != self._version:
+            cached = (
+                self._version,
+                frozenset(self._shared_states),
+                frozenset(self._alphabet),
+            )
+            self._frozen_cache = cached
+        return cached[1]
 
     @property
     def alphabet(self) -> frozenset[Symbol]:
-        return frozenset(self._alphabet)
+        cached = self._frozen_cache
+        if cached is None or cached[0] != self._version:
+            self.shared_states  # rebuilds the shared cache entry
+            cached = self._frozen_cache
+        return cached[2]
 
     @property
     def actions(self) -> tuple[Action, ...]:
@@ -92,7 +120,38 @@ class PDS:
     def actions_for(self, shared: Shared, top: Symbol | None) -> tuple[Action, ...]:
         """Actions triggered by thread-visible state ``(shared, top)``
         (``top is None`` means the stack is empty)."""
-        return tuple(self._by_trigger.get((shared, top), ()))
+        return self.trigger_index().get((shared, top), ())
+
+    def trigger_index(self) -> dict[tuple, tuple[Action, ...]]:
+        """The full ``(shared, top) -> actions`` dispatch table as an
+        immutable-valued dict, rebuilt only when the PDS mutates.
+
+        Building the index also interns the alphabet into the PDS's
+        :meth:`symbol_table`, so every consumer downstream of the rule
+        index (saturation, canonicalization) sees the same dense symbol
+        order.  The saturation engine grabs this dict once per run
+        instead of paying a method call plus tuple construction per
+        popped transition.
+        """
+        cached = self._trigger_cache
+        if cached is None or cached[0] != self._version:
+            self.symbol_table()
+            index = {
+                trigger: tuple(actions)
+                for trigger, actions in self._by_trigger.items()
+            }
+            cached = (self._version, index)
+            self._trigger_cache = cached
+        return cached[1]
+
+    def symbol_table(self) -> SymbolTable:
+        """The PDS's interned stack alphabet (dense ids, canonical order),
+        rebuilt only when the alphabet grows."""
+        cached = self._symbol_table
+        if cached is None or cached[0] != self._version:
+            cached = (self._version, SymbolTable(self._alphabet))
+            self._symbol_table = cached
+        return cached[1]
 
     def initial_state(self, stack: Sequence[Symbol] = ()) -> PDSState:
         """``⟨qI|stack⟩``; by default the paper's ``⟨qI|ε⟩``."""

@@ -176,7 +176,28 @@ class PostStarEngine:
     (see the module's Performance notes).  The input PSA is never
     mutated; every :meth:`saturate`/:meth:`psa` call snapshots a fresh
     automaton.
+
+    The engine resolves Δ-rules through the PDS's cached
+    :meth:`~repro.pds.pds.PDS.trigger_index` — one dict shared by every
+    engine over the same PDS, whose construction also interns the stack
+    alphabet (so downstream canonicalization sees the dense symbol
+    order) — and reports METER work in per-:meth:`drain` batches rather
+    than per edge.
     """
+
+    __slots__ = (
+        "pds",
+        "controls",
+        "accepting",
+        "_rules",
+        "_seen",
+        "_frontier",
+        "_rel",
+        "_eps_into",
+        "_chain",
+        "_edges_accounted",
+        "_saturated_once",
+    )
 
     def __init__(
         self, pds: PDS, initial: PSA | None = None, *, validate: bool = True
@@ -185,11 +206,44 @@ class PostStarEngine:
             initial = psa_for_configs(pds, [pds.initial_state()])
         if validate:
             _check_preconditions(initial)
-        self.pds = pds
-        self.controls = frozenset(initial.control_states) | frozenset(
-            pds.shared_states
+        self._init_core(
+            pds,
+            frozenset(initial.control_states) | frozenset(pds.shared_states),
+            frozenset(initial.automaton.accepting) | {FINAL_SINK},
+            initial.automaton.transitions(),
         )
-        self.accepting = frozenset(initial.automaton.accepting) | {FINAL_SINK}
+
+    @classmethod
+    def from_edges(
+        cls,
+        pds: PDS,
+        edges: Iterable[tuple],
+        accepting: Iterable,
+        controls: Iterable[Shared] | None = None,
+    ) -> "PostStarEngine":
+        """Engine over a raw initial edge list — the symbolic engine's
+        per-context hot path, which skips materializing an intermediate
+        P-automaton.  The P-automaton preconditions (no edges into
+        control states, controls not accepting) are the caller's
+        responsibility; ``controls`` defaults to the PDS's shared states.
+        """
+        engine = cls.__new__(cls)
+        engine._init_core(
+            pds,
+            frozenset(pds.shared_states) | frozenset(controls or ()),
+            frozenset(accepting) | {FINAL_SINK},
+            edges,
+        )
+        return engine
+
+    def _init_core(
+        self, pds: PDS, controls: frozenset, accepting: frozenset, edges: Iterable
+    ) -> None:
+        self.pds = pds
+        self.controls = controls
+        self.accepting = accepting
+        #: (shared, top-or-None) -> matching Δ-rules, shared across engines.
+        self._rules = pds.trigger_index()
 
         self._seen: set[tuple] = set()
         self._frontier: deque[tuple] = deque()
@@ -199,8 +253,10 @@ class PostStarEngine:
         self._eps_into: dict = {}
         #: fresh-chain-state counter for :meth:`add_config`
         self._chain = 0
+        #: edges already reported to METER (batched in :meth:`drain`)
+        self._edges_accounted = 0
 
-        for src, label, dst in initial.automaton.transitions():
+        for src, label, dst in edges:
             self._push(src, label, dst)
         # Unconditional skeleton edges p' --ρ0--> m for every push rule.
         for action in pds.actions:
@@ -217,7 +273,6 @@ class PostStarEngine:
         if transition not in self._seen:
             self._seen.add(transition)
             self._frontier.append(transition)
-            METER.bump("post_star.edges_added")
 
     def add_transition(self, src, label, dst) -> None:
         """Inject an extra initial edge (warm-start entry point).
@@ -263,65 +318,128 @@ class PostStarEngine:
             METER.bump("post_star.resaturations")
         rel = self._rel
         eps_into = self._eps_into
-        actions_for = self.pds.actions_for
+        # Re-fetch per drain: trigger_index() is version-cached (a dict
+        # identity is returned unless the PDS mutated), so rules — and
+        # any shared states they introduced — added between a saturation
+        # and a warm start are picked up without per-edge lookup cost.
+        # NOTE: a rule added *after* some premise edge was already
+        # processed still only fires on future edges — mutate the PDS
+        # before building engines for exact semantics.
+        rules = self._rules = self.pds.trigger_index()
+        if not self.controls >= self.pds.shared_states:
+            self.controls = self.controls | self.pds.shared_states
+        no_rules: tuple = ()
         accepting = self.accepting
         controls = self.controls
         frontier = self._frontier
+        # _push inlined below: one membership test + two appends per
+        # candidate edge, no method-call overhead on the innermost loop.
+        seen = self._seen
+        seen_add = seen.add
+        emit = frontier.append
+        rule_applications = 0
+        eps_propagations = 0
 
         while frontier:
-            src, label, dst = frontier.popleft()
+            transition = frontier.popleft()
+            src, label, dst = transition
             rel.setdefault(src, {}).setdefault(label, set()).add(dst)
 
             # ε-predecessors of src read `label` through src as well.
             predecessors = eps_into.get(src)
             if predecessors:
-                METER.bump("post_star.eps_propagations", len(predecessors))
+                eps_propagations += len(predecessors)
                 for predecessor in predecessors:
-                    self._push(predecessor, label, dst)
+                    derived = (predecessor, label, dst)
+                    if derived not in seen:
+                        seen_add(derived)
+                        emit(derived)
 
             if label is EPSILON:
                 eps_into.setdefault(dst, set()).add(src)
                 # Derive src --x--> r for everything dst already reads.
                 for label2, dsts2 in rel.get(dst, {}).items():
-                    METER.bump("post_star.eps_propagations", len(dsts2))
+                    eps_propagations += len(dsts2)
                     for dst2 in dsts2:
-                        self._push(src, label2, dst2)
+                        derived = (src, label2, dst2)
+                        if derived not in seen:
+                            seen_add(derived)
+                            emit(derived)
                 # ⟨src|ε⟩ is accepted: the paper's empty-stack rules fire.
                 if dst in accepting and src in controls:
-                    for action in actions_for(src, None):
-                        METER.bump("post_star.rule_applications")
+                    for action in rules.get((src, None), no_rules):
+                        rule_applications += 1
                         if action.kind is ActionKind.EMPTY_OVERWRITE:
-                            self._push(action.to_shared, EPSILON, FINAL_SINK)
+                            derived = (action.to_shared, EPSILON, FINAL_SINK)
                         else:  # EMPTY_PUSH
-                            self._push(action.to_shared, action.write[0], FINAL_SINK)
+                            derived = (action.to_shared, action.write[0], FINAL_SINK)
+                        if derived not in seen:
+                            seen_add(derived)
+                            emit(derived)
                 continue
 
             # Real symbol: saturation rules for actions triggered by
             # (src, label); src is a control state whenever any match.
-            matching = actions_for(src, label)
-            if matching:
-                METER.bump("post_star.rule_applications", len(matching))
+            matching = rules.get((src, label), no_rules)
+            rule_applications += len(matching)
             for action in matching:
                 kind = action.kind
                 if kind is ActionKind.POP:
-                    self._push(action.to_shared, EPSILON, dst)
+                    derived = (action.to_shared, EPSILON, dst)
                 elif kind is ActionKind.OVERWRITE:
-                    self._push(action.to_shared, action.write[0], dst)
+                    derived = (action.to_shared, action.write[0], dst)
                 else:  # PUSH: write = (ρ0, ρ1)
                     rho0, rho1 = action.write
                     mid = _helper(action.to_shared, rho0)
-                    self._push(action.to_shared, rho0, mid)
-                    self._push(mid, rho1, dst)
+                    skeleton = (action.to_shared, rho0, mid)
+                    if skeleton not in seen:
+                        seen_add(skeleton)
+                        emit(skeleton)
+                    derived = (mid, rho1, dst)
+                if derived not in seen:
+                    seen_add(derived)
+                    emit(derived)
 
+        if rule_applications:
+            METER.bump("post_star.rule_applications", rule_applications)
+        if eps_propagations:
+            METER.bump("post_star.eps_propagations", eps_propagations)
+        edges = len(self._seen) - self._edges_accounted
+        if edges:
+            METER.bump("post_star.edges_added", edges)
+            self._edges_accounted = len(self._seen)
         self._saturated_once = True
         return self
 
+    def snapshot_nfa(self) -> NFA:
+        """The current (saturated or partial) edge relation as a bare NFA."""
+        nfa = NFA(states=self.controls, accepting=self.accepting)
+        nfa.add_transitions(self._seen)
+        return nfa
+
+    def detach_nfa(self) -> NFA:
+        """Adopt the saturated edge relation as an NFA *without copying*.
+
+        The returned automaton shares the engine's internal transition
+        dicts: the engine must be discarded afterwards (any further
+        injection + drain would mutate the "snapshot").  This is the
+        symbolic engine's hot path — one context expansion builds one
+        engine, drains it once, and only needs the result to read from.
+        """
+        self.drain()
+        nfa = NFA(states=self.controls, accepting=self.accepting)
+        delta = nfa._delta
+        states = nfa._states
+        for src, by_label in self._rel.items():
+            delta[src] = by_label
+            states.add(src)
+            for targets in by_label.values():
+                states |= targets
+        return nfa
+
     def psa(self) -> PSA:
         """Snapshot the current (saturated or partial) automaton."""
-        nfa = NFA(states=self.controls, accepting=self.accepting)
-        for src, label, dst in self._seen:
-            nfa.add_transition(src, label, dst)
-        return PSA(nfa, self.controls)
+        return PSA(self.snapshot_nfa(), self.controls)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

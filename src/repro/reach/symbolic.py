@@ -22,6 +22,23 @@ sound granularity for reuse — warm-starting one saturated PSA from a
 different entry control would mix languages (see the Performance notes
 in :mod:`repro.pds.saturation`).
 
+Performance notes
+-----------------
+:meth:`SymbolicReach.advance` expands the frontier *batched*: the level's
+``(thread, shared, signature)`` views are grouped first and each unique
+view is saturated once per level, no matter how many symbolic states
+contain it (``batched=True``, the default; the per-state path is kept
+for differential testing).  METER records the grouping —
+``symbolic.level_views`` vs ``symbolic.level_unique_views`` — so
+harnesses can assert one expansion per unique view per level.  Thread
+automata are interned (:mod:`repro.automata.canonical`), so signature
+comparisons inside the frontier dedup are pointer comparisons, and the
+per-language projections ``T(Ai)`` (:func:`nfa_tops`) and coreachability
+are cached on the canonical DFA — computed once per language, not per
+call.  Alphabets are passed as per-thread
+:class:`~repro.automata.intern.SymbolTable` views, which skips symbol
+re-sorting in canonicalization.
+
 Unlike the explicit engine this one does not require finite context
 reachability: the sets ``γ(Sk)`` may be infinite (e.g. Stefan-1, whose
 stack pumps within one context)."""
@@ -32,11 +49,10 @@ import itertools
 from collections.abc import Hashable, Iterator
 
 from repro.automata import EPSILON, NFA
-from repro.automata.canonical import canonical_nfa
+from repro.automata.canonical import CanonicalNFA, canonical_nfa
 from repro.cpds.cpds import CPDS
 from repro.cpds.state import GlobalState, VisibleState
-from repro.pds.psa import FINAL_SINK, PSA
-from repro.pds.saturation import post_star
+from repro.pds.saturation import PostStarEngine
 from repro.pds.state import EMPTY
 from repro.reach.base import ReachabilityEngine
 from repro.util.meter import METER
@@ -57,20 +73,29 @@ def nfa_tops(automaton: NFA) -> frozenset[Symbol]:
     """First symbols of accepted words; :data:`EMPTY` if ε is accepted.
 
     This is ``T(Ai)`` of App. E (Alg. 4) for single-entry automata,
-    corrected for ε-edges by closing before the first symbol.
+    corrected for ε-edges by closing before the first symbol.  For
+    interned canonical DFAs the result is cached on the automaton, so
+    ``T(Ai)`` is computed once per *language* however many symbolic
+    states and levels share it.
     """
+    tops = getattr(automaton, "_tops", None)
+    if tops is not None:
+        return tops
     closure = automaton.epsilon_closure(automaton.initial)
     coreachable = automaton.coreachable_states()
-    tops: set[Symbol] = set()
+    tops_set: set[Symbol] = set()
     if closure & automaton.accepting:
-        tops.add(EMPTY)
+        tops_set.add(EMPTY)
     for state in closure:
         for label in automaton.labels_from(state):
             if label is EPSILON:
                 continue
             if any(target in coreachable for target in automaton.targets(state, label)):
-                tops.add(label)
-    return frozenset(tops)
+                tops_set.add(label)
+    tops = frozenset(tops_set)
+    if isinstance(automaton, CanonicalNFA):
+        automaton._tops = tops
+    return tops
 
 
 class SymbolicState:
@@ -115,10 +140,13 @@ class SymbolicState:
 class SymbolicReach(ReachabilityEngine):
     """Frontier-based symbolic engine for ``(Sk)`` and ``(T(Sk))``."""
 
-    def __init__(self, cpds: CPDS, *, incremental: bool = True) -> None:
+    def __init__(
+        self, cpds: CPDS, *, incremental: bool = True, batched: bool = True
+    ) -> None:
         super().__init__()
         self.cpds = cpds
-        self._alphabets = [cpds.alphabet(i) for i in range(cpds.n_threads)]
+        self._alphabets = [cpds.symbol_table(i) for i in range(cpds.n_threads)]
+        self.batched = batched
         #: ``levels[k]`` = symbolic states first produced at bound k.
         self.levels: list[frozenset[SymbolicState]] = []
         self._seen: set[SymbolicState] = set()
@@ -126,6 +154,12 @@ class SymbolicReach(ReachabilityEngine):
         #: parts (new shared, canonical automaton, signature) — exact,
         #: because an expansion depends on nothing else (see module doc).
         self._expansions: dict[tuple, tuple] | None = {} if incremental else None
+        #: ``T(τ)`` product memo: (shared, per-thread tops) -> visible
+        #: set.  Many symbolic states share one tops profile (especially
+        #: at higher thread counts), and the product blow-up dominates
+        #: models like Proc-2; the per-thread tops are already cached on
+        #: the canonical DFAs, so the key costs one tuple.
+        self._visible_memo: dict[tuple, frozenset[VisibleState]] = {}
 
         automata = []
         signatures = []
@@ -147,21 +181,66 @@ class SymbolicReach(ReachabilityEngine):
         """Compute ``S(k+1)``; True iff a language-new symbolic state
         appears.  (A plateau here implies ``R(k+1) = Rk``; the converse
         need not hold, which is why Alg. 3's convergence test works on
-        the finite projection ``T(Sk)`` instead.)"""
+        the finite projection ``T(Sk)`` instead.)
+
+        Batched mode groups the level's thread views first and saturates
+        each unique ``(thread, shared, signature)`` exactly once — see
+        the module's Performance notes."""
         frontier = self.levels[-1]
         fresh: set[SymbolicState] = set()
-        for symbolic in frontier:
-            for index in range(self.cpds.n_threads):
-                for successor in self._expand(symbolic, index):
-                    if successor not in self._seen:
-                        self._seen.add(successor)
-                        fresh.add(successor)
+        if self.batched:
+            self._advance_batched(frontier, fresh)
+        else:
+            for symbolic in frontier:
+                for index in range(self.cpds.n_threads):
+                    for successor in self._expand(symbolic, index):
+                        if successor not in self._seen:
+                            self._seen.add(successor)
+                            fresh.add(successor)
         self.levels.append(frozenset(fresh))
         visible: set[VisibleState] = set()
+        memo = self._visible_memo
         for symbolic in fresh:
-            visible.update(symbolic.visible_states())
+            key = (
+                symbolic.shared,
+                tuple(nfa_tops(automaton) for automaton in symbolic.automata),
+            )
+            cached = memo.get(key)
+            if cached is None:
+                cached = frozenset(symbolic.visible_states())
+                memo[key] = cached
+            visible |= cached
         self._record_visible(frozenset(visible))
         return bool(fresh)
+
+    def _advance_batched(
+        self, frontier: frozenset[SymbolicState], fresh: set[SymbolicState]
+    ) -> None:
+        """Group the frontier by unique thread view, expand each view
+        once, then splice the parts back into every containing state."""
+        consumers: dict[tuple, list[SymbolicState]] = {}
+        for symbolic in frontier:
+            for index in range(self.cpds.n_threads):
+                key = (index, symbolic.shared, symbolic.signatures[index])
+                consumers.setdefault(key, []).append(symbolic)
+        METER.bump("symbolic.level_views", sum(map(len, consumers.values())))
+        METER.bump("symbolic.level_unique_views", len(consumers))
+        seen = self._seen
+        memo = self._expansions
+        for key, states in consumers.items():
+            index = key[0]
+            parts = memo.get(key) if memo is not None else None
+            if parts is not None:
+                METER.bump("symbolic.expansion_cache_hits")
+            else:
+                parts = self._expand_parts(key[1], states[0].automata[index], index)
+                if memo is not None:
+                    memo[key] = parts
+            for symbolic in states:
+                for successor in self._splice(symbolic, index, parts):
+                    if successor not in seen:
+                        seen.add(successor)
+                        fresh.add(successor)
 
     def ensure_level(self, k: int) -> None:
         while self.k < k:
@@ -194,26 +273,37 @@ class SymbolicReach(ReachabilityEngine):
         pds = self.cpds.thread(index)
         controls = self.cpds.shared_states
 
-        # P-automaton for the config set {(q, w) : w ∈ L(Ai)}: embed the
-        # thread automaton disjointly and enter it from control q by ε.
-        embedded = NFA(states=controls)
-        rename = {state: ("emb", state) for state in automaton.states}
-        for src, label, dst in automaton.transitions():
-            embedded.add_transition(rename[src], label, rename[dst])
-        for accepting in automaton.accepting:
-            embedded.add_accepting(rename[accepting])
-        for start in automaton.initial:
-            embedded.add_transition(shared_from, EPSILON, rename[start])
+        # Initial edge set for the config set {(q, w) : w ∈ L(Ai)}: embed
+        # the thread automaton disjointly and enter it from control q by
+        # ε.  Feeding raw edges to the engine skips materializing an
+        # intermediate P-automaton (the preconditions hold by
+        # construction: "emb"-tagged states are never controls).
+        useful = getattr(automaton, "useful_edges", automaton.transitions)
+        edges = [
+            (shared_from, EPSILON, ("emb", start)) for start in automaton.initial
+        ]
+        edges.extend(
+            (("emb", src), label, ("emb", dst)) for src, label, dst in useful()
+        )
+        engine = PostStarEngine.from_edges(
+            pds,
+            edges,
+            (("emb", accepting) for accepting in automaton.accepting),
+            controls=controls,
+        )
+        saturated = engine.detach_nfa()
 
-        saturated = post_star(pds, PSA(embedded, controls), validate=False)
-
+        # One backward reachability pass answers "is some ⟨shared|w⟩
+        # accepted?" for every control at once (shared must co-reach an
+        # accepting state), replacing a forward search per control.
+        coreachable = saturated.coreachable_states()
         parts = []
         for shared in controls:
-            if not saturated.nonempty_from(shared):
+            if shared not in coreachable:
                 continue
             # Read the saturated automaton from `shared` without copying.
             canonical, signature = canonical_nfa(
-                saturated.automaton, self._alphabets[index], initial=[shared]
+                saturated, self._alphabets[index], initial=[shared]
             )
             parts.append((shared, canonical, signature))
         return tuple(parts)
@@ -250,3 +340,14 @@ class SymbolicReach(ReachabilityEngine):
         """True iff no new symbolic state appeared at bound ``k``
         (sufficient — not necessary — for ``Rk−1 = Rk``)."""
         return k >= 1 and k <= self.k and not self.levels[k]
+
+    def stats(self) -> dict:
+        """Work summary for verification-result plumbing."""
+        return {
+            "symbolic_states": len(self._seen),
+            "levels": [len(level) for level in self.levels],
+            "expansion_memo": (
+                len(self._expansions) if self._expansions is not None else 0
+            ),
+            "batched": self.batched,
+        }

@@ -1,0 +1,133 @@
+"""Hopcroft (dense fused pipeline) vs Moore: identical canonical forms.
+
+The dense pipeline of :mod:`repro.automata.dense` replaces the seed's
+determinize → complete → Moore-refine → renumber chain on the hot path;
+Moore survives in :func:`repro.automata.ops.minimize` as the oracle.
+Both must produce the *same* canonical signature for every input — the
+canonical minimal complete DFA is unique, so any divergence is a bug in
+one of the minimizers.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import EPSILON, NFA
+from repro.automata.canonical import backend, canonical_cache_clear, canonical_nfa
+from repro.automata.dense import canonical_form, hopcroft, subset_tables
+from repro.automata.intern import sort_symbols
+
+ALPHABET = ("a", "b")
+
+
+def _signature(nfa, alphabet, which):
+    canonical_cache_clear()  # force a recomputation through `which`
+    with backend(which):
+        _dfa, sig = canonical_nfa(nfa, alphabet)
+    return sig
+
+
+@st.composite
+def random_nfa(draw):
+    n_states = draw(st.integers(min_value=1, max_value=5))
+    states = list(range(n_states))
+    nfa = NFA(
+        initial=draw(st.sets(st.sampled_from(states), min_size=1, max_size=2)),
+        accepting=draw(st.sets(st.sampled_from(states), max_size=3)),
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        nfa.add_transition(
+            draw(st.sampled_from(states)),
+            draw(st.sampled_from(["a", "b", EPSILON])),
+            draw(st.sampled_from(states)),
+        )
+    return nfa
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_nfa())
+def test_hopcroft_and_moore_identical_signatures(nfa):
+    dense_sig = _signature(nfa, ALPHABET, "dense")
+    moore_sig = _signature(nfa, ALPHABET, "moore")
+    assert dense_sig == moore_sig
+    assert dense_sig.key == moore_sig.key
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_nfa(), st.sets(st.sampled_from([0, 1, 2, 3, 4]), min_size=1, max_size=2))
+def test_backends_agree_on_entry_override(nfa, entry):
+    entry = {s for s in entry if s in nfa.states} or set(nfa.initial)
+    dense_sig = _signature(nfa, ALPHABET, "dense")  # warm the intern order
+    del dense_sig
+    canonical_cache_clear()
+    with backend("dense"):
+        _, dense_sig = canonical_nfa(nfa, ALPHABET, initial=entry)
+    canonical_cache_clear()
+    with backend("moore"):
+        _, moore_sig = canonical_nfa(nfa, ALPHABET, initial=entry)
+    assert dense_sig == moore_sig
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_nfa())
+def test_dense_canonical_dfa_accepts_same_language(nfa):
+    canonical_cache_clear()
+    with backend("dense"):
+        dfa, _sig = canonical_nfa(nfa, ALPHABET)
+    for length in range(5):
+        for word in itertools.product(ALPHABET, repeat=length):
+            assert dfa.accepts(word) == nfa.accepts(word), word
+
+
+class TestDenseTables:
+    def test_subset_tables_complete(self):
+        nfa = NFA(initial=["i"], accepting=["f"])
+        nfa.add_transition("i", "a", "f")
+        symbols = sort_symbols(ALPHABET)
+        rows, acc = subset_tables(nfa, symbols)
+        n = len(rows)
+        assert all(len(row) == len(symbols) for row in rows)
+        assert all(0 <= target < n for row in rows for target in row)
+        assert len(acc) == n and any(acc)
+
+    def test_hopcroft_merges_equivalent_states(self):
+        # Two states with identical futures collapse into one block.
+        rows = [[1, 2], [1, 2], [2, 2]]
+        accepting = [False, False, True]
+        block_of = hopcroft(rows, accepting)
+        assert block_of[0] == block_of[1]
+        assert block_of[0] != block_of[2]
+
+    def test_empty_language_single_state(self):
+        bits, table = canonical_form(NFA(initial=["i"]), sort_symbols(ALPHABET))
+        assert bits == (False,)
+        assert table == ((0, 0),)
+
+    def test_universal_language_single_state(self):
+        nfa = NFA(initial=["i"], accepting=["i"])
+        nfa.add_transition("i", "a", "i")
+        nfa.add_transition("i", "b", "i")
+        bits, table = canonical_form(nfa, sort_symbols(ALPHABET))
+        assert bits == (True,)
+        assert table == ((0, 0),)
+
+
+class TestUsefulEdges:
+    def test_dead_sink_edges_dropped(self):
+        from repro.automata.canonical import CanonicalNFA
+
+        nfa = NFA(initial=["i"], accepting=["f"])
+        nfa.add_transition("i", "a", "f")
+        canonical_cache_clear()
+        dfa, _sig = canonical_nfa(nfa, ALPHABET)
+        assert isinstance(dfa, CanonicalNFA)
+        useful = dfa.useful_edges()
+        assert useful is dfa.useful_edges()  # cached
+        # The complete DFA has a dead sink; no useful edge touches it.
+        coreachable = dfa.coreachable_states()
+        assert len(coreachable) < len(dfa)
+        for src, _label, dst in useful:
+            assert src in coreachable and dst in coreachable
+        # The useful part still carries the accepting path.
+        assert any(dst in dfa.accepting for _s, _l, dst in useful)

@@ -274,3 +274,29 @@ def test_finiteness_verdict_matches_explicit_guard(case):
         explicit = post_star_explicit(pds, start, max_states=100_000)
         max_stack = max((s.stack_size for s in explicit), default=0)
         assert set(psa.enumerate_states(max_stack + 1)) == explicit
+
+
+class TestWarmStartAfterPdsMutation:
+    """Rules (and shared states) added to the PDS between saturations
+    must be visible to the next warm start — the engine re-fetches the
+    version-cached trigger index per drain instead of freezing it at
+    construction."""
+
+    def test_late_rule_fires_on_warm_start(self):
+        from repro.pds.pds import PDS
+        from repro.pds.saturation import PostStarEngine, post_star_naive
+
+        pds = PDS(0)
+        pds.rule(0, "a", 1, ["a"])
+        engine = PostStarEngine(pds, psa_for_configs(pds, [PDSState(0, ("a",))]))
+        engine.drain()
+        pds.rule(1, "b", 2, [])  # new rule + new shared state 2
+        engine.add_config(PDSState(1, ("b",)))
+        warm = engine.saturate()
+        oracle = post_star_naive(
+            pds,
+            psa_for_configs(pds, [PDSState(0, ("a",)), PDSState(1, ("b",))]),
+        )
+        assert warm.accepts_config(2, ())
+        assert oracle.accepts_config(2, ())
+        assert warm.tops(2) == oracle.tops(2)

@@ -1,0 +1,94 @@
+"""Batched frontier expansion ≡ per-state expansion, level for level.
+
+:meth:`SymbolicReach.advance` groups each level's thread views by
+``(thread, shared, signature)`` and expands every unique view once; the
+per-state path (``batched=False``) is the seed behavior kept as the
+differential oracle.  The two must produce identical symbolic-state
+levels and identical ``T(Sk)`` sequences on every registry model, and
+METER must confirm the batching invariant: one saturation per unique
+view per level (none at all for views already memoized across levels).
+"""
+
+import pytest
+
+from repro.models.registry import smallest_per_row
+from repro.reach.symbolic import SymbolicReach
+from repro.util.meter import METER, scoped
+
+K = 3
+
+FCR_BENCHES = smallest_per_row(lambda b: b.fcr)
+ALL_BENCHES = smallest_per_row()
+
+
+def _signature_levels(engine):
+    return [
+        frozenset((s.shared, s.signatures) for s in level) for level in engine.levels
+    ]
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHES, ids=lambda b: b.row)
+def test_batched_levels_match_per_state_levels(bench):
+    cpds, _prop = bench.build()
+    batched = SymbolicReach(cpds, batched=True)
+    per_state = SymbolicReach(cpds, batched=False)
+    batched.ensure_level(K)
+    per_state.ensure_level(K)
+    assert _signature_levels(batched) == _signature_levels(per_state)
+    for k in range(K + 1):
+        assert batched.visible_up_to(k) == per_state.visible_up_to(k), f"k={k}"
+        assert batched.visible_new_at(k) == per_state.visible_new_at(k), f"k={k}"
+
+
+@pytest.mark.parametrize("bench", FCR_BENCHES[:3], ids=lambda b: b.row)
+def test_batched_matches_non_incremental_per_state(bench):
+    """Cross both axes: batched+incremental vs per-state without any
+    cross-level memo (the fully naive path)."""
+    cpds, _prop = bench.build()
+    fast = SymbolicReach(cpds, incremental=True, batched=True)
+    naive = SymbolicReach(cpds, incremental=False, batched=False)
+    fast.ensure_level(K)
+    naive.ensure_level(K)
+    assert _signature_levels(fast) == _signature_levels(naive)
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHES[:4], ids=lambda b: b.row)
+def test_one_expansion_per_unique_view_per_level(bench):
+    """METER invariant: without the cross-level memo, the number of
+    saturations per level equals the number of unique views; with it,
+    saturations can only be fewer (memoized views are free)."""
+    cpds, _prop = bench.build()
+    engine = SymbolicReach(cpds, incremental=False, batched=True)
+    for _ in range(K):
+        with scoped() as level_work:
+            engine.advance()
+        unique = level_work.get("symbolic.level_unique_views", 0)
+        expansions = level_work.get("symbolic.expansions", 0)
+        views = level_work.get("symbolic.level_views", 0)
+        assert expansions == unique, (
+            f"level {engine.k}: {expansions} saturations for {unique} unique views"
+        )
+        assert views >= unique
+
+    memo = SymbolicReach(cpds, incremental=True, batched=True)
+    before = METER.snapshot()
+    memo.ensure_level(K)
+    delta = METER.delta(before)
+    assert delta.get("symbolic.expansions", 0) <= delta.get(
+        "symbolic.level_unique_views", 0
+    )
+
+
+def test_per_state_mode_expands_duplicates():
+    """Sanity check that the oracle really is less shared: on a model
+    whose frontier repeats thread views (FileCrawler), the per-state
+    non-incremental path saturates strictly more often than batching."""
+    bench = next(b for b in ALL_BENCHES if b.row.startswith("5/"))
+    cpds, _prop = bench.build()
+    with scoped() as batched_work:
+        SymbolicReach(cpds, incremental=False, batched=True).ensure_level(K)
+    with scoped() as per_state_work:
+        SymbolicReach(cpds, incremental=False, batched=False).ensure_level(K)
+    assert (
+        per_state_work["symbolic.expansions"] > batched_work["symbolic.expansions"]
+    )
