@@ -59,6 +59,28 @@ class TestRunnerPayload:
                     "symbolic.level_unique_views", 0
                 )
 
+    def test_explicit_lane_runs_batched_vs_per_state_pair(self, payload):
+        """The explicit lane's optimized mode is the sharded engine and
+        its meters carry the one-saturation-per-unique-view proof; the
+        legacy mode is the per-state oracle (one saturation per view)."""
+        explicit = [w for w in payload["workloads"] if w["lane"] == "explicit"]
+        assert explicit, "quick suite must include explicit-lane rows"
+        for workload in explicit:
+            meter = workload["modes"]["optimized"]["meter"]
+            unique = meter.get("explicit.level_unique_views", 0)
+            assert unique > 0
+            assert meter.get("explicit.level_views", 0) >= unique
+            # Every unique view per level is one saturation or one
+            # cross-level cache hit — never more.
+            assert (
+                meter.get("explicit.expansions", 0)
+                + meter.get("explicit.context_cache_hits", 0)
+                == unique
+            )
+            legacy = workload["modes"]["legacy"]["meter"]
+            # The per-state oracle never shards: no view counters.
+            assert "explicit.level_unique_views" not in legacy
+
     def test_totals_sum_workloads(self, payload):
         total = sum(w["modes"]["optimized"]["seconds"] for w in payload["workloads"])
         assert payload["totals"]["optimized_seconds"] == pytest.approx(
@@ -115,6 +137,40 @@ class TestRegressionGate:
         # And a regression within the shared set is still caught.
         ok, _messages = compare_bench(self._scaled(payload, 2.0), bigger)
         assert not ok
+
+    def test_per_lane_regression_detected(self, payload):
+        """A regression confined to one lane must fail the gate even if
+        another lane's (inflated) win keeps the overall total flat.
+        Times are set synthetically so every lane clears the gate's
+        noise floor regardless of how fast this machine ran the rows."""
+        lanes = sorted({w["lane"] for w in payload["workloads"]})
+        assert "explicit" in lanes, "quick suite must include explicit rows"
+        baseline = json.loads(json.dumps(payload))
+        for workload in baseline["workloads"]:
+            for record in workload["modes"].values():
+                record["seconds"] = 1.0
+        victim = "explicit"
+        skewed = json.loads(json.dumps(baseline))
+        for workload in skewed["workloads"]:
+            # Victim lane 2x slower; the rest 2x faster — the summed
+            # total stays within tolerance, only the lane gate can fire.
+            factor = 2.0 if workload["lane"] == victim else 0.5
+            for record in workload["modes"].values():
+                record["seconds"] *= factor
+        ok, messages = compare_bench(skewed, baseline, tolerance=0.25)
+        assert not ok
+        assert any(f"lane {victim}" in m and "REGRESSION" in m for m in messages)
+
+    def test_lane_gate_skips_noise_floor_lanes(self, payload):
+        """Millisecond lanes are excluded from the per-lane gate (they
+        still count toward the gated overall total)."""
+        tiny = json.loads(json.dumps(payload))
+        for workload in tiny["workloads"]:
+            for record in workload["modes"].values():
+                record["seconds"] = 1e-4
+        ok, messages = compare_bench(tiny, tiny, tolerance=0.25)
+        assert ok
+        assert any("not gated" in m for m in messages)
 
     def test_mismatched_configuration_refuses_comparison(self, payload):
         """A full-run baseline must not silently neutralize the quick

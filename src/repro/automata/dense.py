@@ -20,13 +20,75 @@ produce identical canonical forms on randomized NFAs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Hashable, Sequence
 
 from repro.automata.nfa import NFA
+from repro.util.meter import METER
 
 Symbol = Hashable
 
 _NO_EDGES: dict = {}
+
+#: Bound on the memoized inverse-edge lists (LRU eviction).
+PRE_CACHE_SIZE = 512
+
+#: Tables at or below this cell count (states × symbols) bypass the
+#: cache: building their preimage lists costs less than constructing
+#: the cache key, so caching them is pure overhead.  The
+#: Stefan-1-class models live entirely below this line; the
+#: canonicalization-heavy rows (FileCrawler, BST, Bluetooth) put ~90%
+#: of their Hopcroft calls — and ~90% repeat rates — above it.
+PRE_CACHE_MIN_CELLS = 64
+
+#: Inverse-transition-list cache, keyed by the dense row table — the
+#: structural signature of the complete DFA.  Distinct NFAs routinely
+#: subset-construct to the *same* table (language-equal saturation
+#: results with different state names), and the canonicalization LRU in
+#: :mod:`repro.automata.canonical` only dedups structurally identical
+#: inputs, so Hopcroft used to rebuild identical preimage lists per
+#: canonicalization.  Entries are treated as immutable (Hopcroft only
+#: reads them); the cache is value-keyed and deterministic, so it is
+#: never invalidated, only evicted (and cleared by
+#: :func:`pre_cache_clear` for test isolation / benchmark cold runs).
+_pre_cache: OrderedDict[tuple, list] = OrderedDict()
+
+
+def pre_cache_clear() -> None:
+    """Drop the memoized Hopcroft inverse-edge lists (test isolation)."""
+    _pre_cache.clear()
+
+
+def _build_inverse(rows: list[list[int]], n: int, m: int) -> list[list[list[int]]]:
+    pre: list[list[list[int]]] = [[[] for _ in range(n)] for _ in range(m)]
+    for src in range(n):
+        row = rows[src]
+        for a in range(m):
+            pre[a][row[a]].append(src)
+    return pre
+
+
+def _inverse_lists(rows: list[list[int]]) -> list:
+    """``pre[a][q]`` = states reaching ``q`` under symbol ``a``, cached
+    per dense table above :data:`PRE_CACHE_MIN_CELLS` (METER:
+    ``canonical.hopcroft_pre_builds`` / ``canonical.hopcroft_pre_hits``
+    record the rebuild savings).  Callers must not mutate the result."""
+    n = len(rows)
+    m = len(rows[0]) if rows else 0
+    if n * m <= PRE_CACHE_MIN_CELLS:
+        return _build_inverse(rows, n, m)
+    key = tuple(map(tuple, rows))
+    cached = _pre_cache.get(key)
+    if cached is not None:
+        _pre_cache.move_to_end(key)
+        METER.bump("canonical.hopcroft_pre_hits")
+        return cached
+    METER.bump("canonical.hopcroft_pre_builds")
+    pre = _build_inverse(rows, n, m)
+    _pre_cache[key] = pre
+    while len(_pre_cache) > PRE_CACHE_SIZE:
+        _pre_cache.popitem(last=False)
+    return pre
 
 
 def subset_tables(
@@ -101,12 +163,9 @@ def hopcroft(rows: list[list[int]], accepting: list[bool]) -> list[int]:
     if n == 0:
         return []
     m = len(rows[0])
-    # Inverse transition lists: pre[a][q] = states reaching q under a.
-    pre: list[list[list[int]]] = [[[] for _ in range(n)] for _ in range(m)]
-    for src in range(n):
-        row = rows[src]
-        for a in range(m):
-            pre[a][row[a]].append(src)
+    # Inverse transition lists: pre[a][q] = states reaching q under a
+    # (cached per table; see _inverse_lists).
+    pre = _inverse_lists(rows)
 
     blocks: list[set[int]] = []
     block_of = [0] * n

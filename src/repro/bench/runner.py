@@ -4,12 +4,14 @@ Each workload is run in every requested *mode*:
 
 ``optimized``
     Current defaults — dense Hopcroft canonicalization
-    (:mod:`repro.automata.dense`), batched frontier expansion, interned
-    symbol order, hash-consed canonical DFAs.
+    (:mod:`repro.automata.dense`), batched frontier expansion (symbolic
+    *and* explicit: the explicit lane runs the sharded, view-batched
+    interned engine), interned symbol order, hash-consed canonical DFAs.
 ``legacy``
     The seed pipeline kept in-tree for comparison — Moore partition
     refinement (``canonical.backend("moore")``) and per-state frontier
-    expansion (``SymbolicReach(batched=False)``).
+    expansion (``SymbolicReach(batched=False)`` /
+    ``scheme1_rk(batched=False)`` on the explicit lane).
 
 Wall time is best-of-``repeats`` (first run's METER delta and peak
 memory are recorded; caches are cleared before every repetition so runs
@@ -31,7 +33,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.automata import canonical
+from repro.automata import canonical, dense
 from repro.automata.ops import _sort_key
 from repro.cuba.algorithm3 import algorithm3
 from repro.cuba.scheme1 import scheme1_rk
@@ -44,7 +46,7 @@ from repro.util.meter import METER, measure
 SCHEMA = "cuba-bench/1"
 
 #: METER counter prefixes worth persisting per workload.
-_METER_PREFIXES = ("post_star.", "canonical.", "symbolic.")
+_METER_PREFIXES = ("post_star.", "canonical.", "symbolic.", "explicit.")
 
 
 def _meter_slice(delta: dict) -> dict:
@@ -57,6 +59,7 @@ def _meter_slice(delta: dict) -> dict:
 
 def _clear_caches() -> None:
     canonical.canonical_cache_clear()
+    dense.pre_cache_clear()
 
 
 def _calibrate() -> float:
@@ -148,10 +151,11 @@ def _symbolic_run(cpds, prop, max_rounds: int, mode: str):
 
 def _explicit_run(cpds, prop, max_rounds: int, mode: str):
     backend = "dense" if mode == "optimized" else "moore"
+    batched = mode == "optimized"
 
     def run():
         with canonical.backend(backend):
-            return scheme1_rk(cpds, prop, max_rounds=max_rounds)
+            return scheme1_rk(cpds, prop, max_rounds=max_rounds, batched=batched)
 
     return run
 
@@ -406,6 +410,20 @@ def _optimized_seconds_by_workload(payload: dict) -> dict[tuple, float]:
     }
 
 
+#: Per-lane totals below this raw time — on *either* side — are not
+#: gated individually: millisecond lanes sit at the scheduler-jitter
+#: noise floor and would make the gate flaky.  Checking both sides
+#: keeps the floor meaningful across machine speeds (a slow-machine
+#: baseline must not force a fast machine to gate a now-tiny lane, and
+#: vice versa); such lanes still count toward the overall total, which
+#: is gated unconditionally.
+_LANE_GATE_FLOOR_SECONDS = 0.05
+
+
+def _lane_of(key: tuple) -> str:
+    return key[1]
+
+
 def compare_bench(
     current: dict, baseline: dict, tolerance: float = 0.25
 ) -> tuple[bool, list[str]]:
@@ -418,7 +436,11 @@ def compare_bench(
     ``calibration_seconds`` when both sides carry one, so a slower CI
     machine does not read as a regression.  Returns ``(ok, messages)``;
     ``ok`` is False when the normalized optimized total over the shared
-    workloads regressed more than ``tolerance`` (fraction).
+    workloads regressed more than ``tolerance`` (fraction), **or** when
+    any individual lane (``symbolic`` / ``explicit`` /
+    ``canonical-micro``) with a baseline total above the noise floor
+    regressed beyond the same tolerance — a symbolic speedup must not
+    be allowed to mask an explicit-lane regression in the summed total.
     """
     messages: list[str] = []
     if not comparable_configs(current, baseline):
@@ -473,6 +495,32 @@ def compare_bench(
             "PERF REGRESSION: optimized wall time regressed "
             f"{(ratio - 1) * 100:.0f}% against {baseline.get('stamp')}"
         )
+
+    # Per-lane gate: same tolerance, applied lane by lane so one lane's
+    # win cannot hide another's loss inside the total.
+    scale = (base_cal / cur_cal) if (cur_cal and base_cal) else 1.0
+    lanes = sorted({_lane_of(key) for key in shared})
+    for lane in lanes:
+        keys = [key for key in shared if _lane_of(key) == lane]
+        lane_base = sum(base_by_workload[key] for key in keys)
+        lane_cur = sum(cur_by_workload[key] for key in keys)
+        if min(lane_base, lane_cur) < _LANE_GATE_FLOOR_SECONDS:
+            messages.append(
+                f"lane {lane}: {min(lane_base, lane_cur):.3f}s below the "
+                f"{_LANE_GATE_FLOOR_SECONDS:.2f}s gate floor, not gated"
+            )
+            continue
+        lane_ratio = (lane_cur * scale) / lane_base
+        messages.append(
+            f"lane {lane}: {len(keys)} workload(s), normalized ratio "
+            f"{lane_ratio:.2f}"
+        )
+        if lane_ratio > 1 + tolerance:
+            ok = False
+            messages.append(
+                f"PERF REGRESSION in lane {lane}: "
+                f"{(lane_ratio - 1) * 100:.0f}% against {baseline.get('stamp')}"
+            )
     return ok, messages
 
 

@@ -89,7 +89,9 @@ def cmd_verify(args) -> int:
               f"kmax(T(Rk)) = {report.bound_text('trk')}")
         result = report.result
     elif args.engine == "explicit":
-        result = scheme1_rk(cpds, prop, max_rounds=args.max_rounds)
+        result = scheme1_rk(
+            cpds, prop, max_rounds=args.max_rounds, batched=not args.per_state
+        )
     else:
         result = algorithm3(cpds, prop, engine="symbolic", max_rounds=args.max_rounds)
     print(result)
@@ -200,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["auto", "explicit", "symbolic"], default="auto"
     )
     verify.add_argument("--max-rounds", type=int, default=30)
+    verify.add_argument(
+        "--per-state",
+        action="store_true",
+        help="with --engine explicit: use the seed per-state frontier "
+        "expansion instead of the sharded view-batched default",
+    )
     verify.add_argument(
         "--report", action="store_true", help="print the full multi-section report"
     )

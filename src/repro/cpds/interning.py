@@ -1,0 +1,209 @@
+"""Interned global-state core: dense integer ids for ``GlobalState``s.
+
+The explicit engine's product space is dominated by hash-heavy tuple
+work: every replayed context step used to construct a fresh
+:class:`~repro.cpds.state.GlobalState` (nested ``(shared, stacks)``
+tuples) just to test membership in ``first_seen``.  A :class:`StateTable`
+interns each *component* once — shared states to ``shared_id``s, each
+thread's stack words to per-thread ``stack_id``s — and then interns whole
+global states as ``(shared_id, stack_ids)`` integer keys mapped to dense
+``state_id``s.  Downstream structures (``first_seen``, levels, parents,
+visible projections) become int-keyed lists and dicts, and the sharded
+frontier expansion of :class:`~repro.reach.explicit.ExplicitReach`
+replays one id-encoded context tree
+(:class:`~repro.cpds.semantics.ContextTree`) across all global states
+sharing the moving thread's local view by pure id substitution — no
+``GlobalState`` is ever materialized on the hot path.
+
+Ids are assigned densely in first-intern order, so ``state_id ==
+len(table) - 1`` exactly when the interned state is new — the table
+doubles as the engine's seen-set.  Decoding (``state``, ``visible``) is
+lazy and memoized; states interned from an existing ``GlobalState``
+object keep that object for free decode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.cpds.state import GlobalState, VisibleState
+from repro.pds.state import EMPTY
+
+Shared = Hashable
+Symbol = Hashable
+
+
+class StateTable:
+    """Interns the global states of one CPDS run to dense integer ids.
+
+    One table belongs to one engine over one CPDS (thread count and
+    alphabets fixed); ids are meaningless across tables.  All three id
+    spaces — shared states, per-thread stacks, global states — are
+    dense and append-only.
+    """
+
+    __slots__ = (
+        "n_threads",
+        "_shared_ids",
+        "_shareds",
+        "_stack_ids",
+        "_stacks",
+        "_tops",
+        "_ids",
+        "_keys",
+        "_states",
+        "_visibles",
+    )
+
+    def __init__(self, n_threads: int) -> None:
+        self.n_threads = n_threads
+        #: shared -> shared_id and its inverse.
+        self._shared_ids: dict[Shared, int] = {}
+        self._shareds: list[Shared] = []
+        #: per-thread stack word -> stack_id and its inverse.
+        self._stack_ids: list[dict[tuple, int]] = [{} for _ in range(n_threads)]
+        self._stacks: list[list[tuple]] = [[] for _ in range(n_threads)]
+        #: per-thread stack_id -> visible top symbol (:data:`EMPTY` for ε).
+        self._tops: list[list[Symbol]] = [[] for _ in range(n_threads)]
+        #: (shared_id, stack_ids) -> state_id and the dense inverses.
+        self._ids: dict[tuple[int, tuple[int, ...]], int] = {}
+        self._keys: list[tuple[int, tuple[int, ...]]] = []
+        self._states: list[GlobalState | None] = []
+        self._visibles: list[VisibleState | None] = []
+
+    # ------------------------------------------------------------------
+    # Component interning
+    # ------------------------------------------------------------------
+    def shared_id(self, shared: Shared) -> int:
+        qid = self._shared_ids.get(shared)
+        if qid is None:
+            qid = len(self._shareds)
+            self._shared_ids[shared] = qid
+            self._shareds.append(shared)
+        return qid
+
+    def shared(self, qid: int) -> Shared:
+        return self._shareds[qid]
+
+    def stack_id(self, index: int, stack: tuple) -> int:
+        table = self._stack_ids[index]
+        wid = table.get(stack)
+        if wid is None:
+            wid = len(self._stacks[index])
+            table[stack] = wid
+            self._stacks[index].append(stack)
+            self._tops[index].append(stack[0] if stack else EMPTY)
+        return wid
+
+    def stack(self, index: int, wid: int) -> tuple:
+        return self._stacks[index][wid]
+
+    def top(self, index: int, wid: int) -> Symbol:
+        """Visible top symbol of an interned stack (``T(w)``, Eq. 1)."""
+        return self._tops[index][wid]
+
+    # ------------------------------------------------------------------
+    # Global-state interning
+    # ------------------------------------------------------------------
+    def intern(self, state: GlobalState) -> int:
+        """Dense id of ``state``, assigning one on first sight."""
+        qid = self.shared_id(state.shared)
+        wids = tuple(
+            self.stack_id(index, stack) for index, stack in enumerate(state.stacks)
+        )
+        sid = self.intern_key(qid, wids)
+        if self._states[sid] is None:
+            self._states[sid] = state
+        return sid
+
+    def intern_key(self, qid: int, wids: tuple[int, ...]) -> int:
+        """Dense id for an already-component-interned ``(qid, wids)``.
+
+        NOTE: the sharded replay loop in
+        :meth:`repro.reach.explicit.ExplicitReach._advance_batched`
+        inlines this append protocol (``_ids``/``_keys``/``_states``/
+        ``_visibles`` grow in lock-step, id == old ``len(_keys)``) —
+        keep the two in sync when changing the table layout.
+        """
+        key = (qid, wids)
+        sid = self._ids.get(key)
+        if sid is None:
+            sid = len(self._keys)
+            self._ids[key] = sid
+            self._keys.append(key)
+            self._states.append(None)
+            self._visibles.append(None)
+        return sid
+
+    def truncate(self, base: int) -> None:
+        """Discard every global-state id at ``base`` or later — the
+        inverse of the append protocol, used by the explicit engine to
+        roll back a half-committed frontier level after a divergence
+        guard trips.  Component ids (shared states, stacks) are kept:
+        they stay valid and are referenced by cached context trees.
+        """
+        keys = self._keys
+        ids = self._ids
+        for key in keys[base:]:
+            del ids[key]
+        del keys[base:]
+        del self._states[base:]
+        del self._visibles[base:]
+
+    def id_of(self, state: GlobalState) -> int | None:
+        """The id of ``state`` if it was ever interned, else None."""
+        shared_id = self._shared_ids.get(state.shared)
+        if shared_id is None:
+            return None
+        wids = []
+        for index, stack in enumerate(state.stacks):
+            wid = self._stack_ids[index].get(
+                stack if isinstance(stack, tuple) else tuple(stack)
+            )
+            if wid is None:
+                return None
+            wids.append(wid)
+        return self._ids.get((shared_id, tuple(wids)))
+
+    def key(self, sid: int) -> tuple[int, tuple[int, ...]]:
+        """The ``(shared_id, stack_ids)`` key of a state id."""
+        return self._keys[sid]
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def state(self, sid: int) -> GlobalState:
+        """Decode a state id back to its :class:`GlobalState` (memoized)."""
+        state = self._states[sid]
+        if state is None:
+            qid, wids = self._keys[sid]
+            stacks = self._stacks
+            state = GlobalState(
+                self._shareds[qid],
+                tuple(stacks[index][wid] for index, wid in enumerate(wids)),
+            )
+            self._states[sid] = state
+        return state
+
+    def visible(self, sid: int) -> VisibleState:
+        """The projection ``T(s)`` of a state id (memoized per id)."""
+        vis = self._visibles[sid]
+        if vis is None:
+            qid, wids = self._keys[sid]
+            tops = self._tops
+            vis = VisibleState(
+                self._shareds[qid],
+                tuple(tops[index][wid] for index, wid in enumerate(wids)),
+            )
+            self._visibles[sid] = vis
+        return vis
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateTable(states={len(self._keys)}, "
+            f"shared={len(self._shareds)}, "
+            f"stacks={[len(s) for s in self._stacks]})"
+        )

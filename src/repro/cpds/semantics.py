@@ -3,17 +3,35 @@
 A CPDS step nondeterministically picks a thread and fires one of its
 enabled actions on the shared state and that thread's stack.  A *context*
 (Sec. 2.3) is a maximal run of steps by one thread; the context-bounded
-sets ``Rk`` are built by closing states under single-thread runs, which
-:func:`thread_context_post` computes explicitly (it terminates exactly
-when the per-context reachable set is finite — the FCR situation).
+sets ``Rk`` are built by closing states under single-thread runs.
 
 A context only reads and writes ``(shared, stack_i)`` — the other
 threads' stacks are frozen — so the single-thread BFS tree depends on the
-local view alone.  Passing a ``cache`` dict to
-:func:`thread_context_post` memoizes these trees per
-``(thread, local state)``; the explicit engine does this to reuse work
-across context expansions, where the same local view recurs under many
-different global states."""
+moving thread's local view alone.  This module exposes that closure at
+two granularities:
+
+* :func:`thread_context_post` — the *per-global-state* form: run thread
+  ``i`` from one concrete :class:`GlobalState` and return the reached
+  global states.  A ``cache`` dict memoizes the underlying local BFS
+  trees per ``(thread, local view)``; this is the seed formulation, kept
+  as the differential oracle behind ``ExplicitReach(batched=False)``.
+* :func:`thread_view_post` — the *per-view* form used by the sharded
+  explicit engine: saturate one context from an interned
+  ``(thread, shared_id, stack_id)`` local view and return a reusable,
+  **id-encoded** :class:`ContextTree` whose entries are
+  ``(shared_id, stack_id, parent_pos, action)`` tuples over a
+  :class:`~repro.cpds.interning.StateTable`.  The tree is computed once
+  per unique view and *replayed* across every global state sharing that
+  view by pure id substitution (swap the moving thread's ``stack_id``,
+  keep the frozen threads' ids) — no per-state re-walk, no
+  ``GlobalState`` construction on the replay path.
+
+Both builders terminate exactly when the per-context reachable set is
+finite — the FCR situation (Sec. 5) — and otherwise trip the
+``max_states`` divergence guard with :class:`ContextExplosionError`.
+METER records each actual tree saturation as ``explicit.expansions``;
+the reachability engines pair it with ``explicit.level_unique_views`` to
+prove one saturation per unique view per level."""
 
 from __future__ import annotations
 
@@ -22,6 +40,7 @@ from collections.abc import Iterator
 
 from repro.errors import ContextExplosionError
 from repro.cpds.cpds import CPDS
+from repro.cpds.interning import StateTable
 from repro.cpds.state import GlobalState
 from repro.pds.action import Action
 from repro.pds.semantics import DEFAULT_STATE_LIMIT, step as pds_step, successors as pds_successors
@@ -31,6 +50,33 @@ from repro.util.meter import METER
 #: One node of a memoized local context tree: the reached local state,
 #: its BFS predecessor (None for the root), and the action taken.
 ContextTreeEntry = tuple[PDSState, PDSState | None, Action | None]
+
+
+class ContextTree:
+    """Id-encoded BFS tree of one thread context from one local view.
+
+    ``entries[0]`` is the root ``(shared_id, stack_id, -1, None)`` — the
+    view itself; every later entry is
+    ``(shared_id, stack_id, parent_pos, action)`` with ``parent_pos``
+    indexing an earlier entry (BFS discovery order, so parents always
+    precede children).  All ids refer to the
+    :class:`~repro.cpds.interning.StateTable` the tree was built
+    against; a tree is exact for *every* global state whose moving
+    thread shows this view, because a context never reads the frozen
+    threads' stacks.
+    """
+
+    __slots__ = ("thread", "entries")
+
+    def __init__(self, thread: int, entries: tuple) -> None:
+        self.thread = thread
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ContextTree(thread={self.thread}, nodes={len(self.entries)})"
 
 
 def thread_state(state: GlobalState, index: int) -> PDSState:
@@ -60,6 +106,7 @@ def _local_context_tree(
 ) -> tuple[ContextTreeEntry, ...]:
     """BFS tree of all local states thread ``index`` reaches in one
     context from local view ``start``, in discovery order."""
+    METER.bump("explicit.expansions")
     entries: list[ContextTreeEntry] = [(start, None, None)]
     seen_local: set[PDSState] = {start}
     work: deque[PDSState] = deque([start])
@@ -132,6 +179,60 @@ def thread_context_post(
                 action,
             )
     return result
+
+
+def thread_view_post(
+    cpds: CPDS,
+    table: StateTable,
+    index: int,
+    shared_id: int,
+    stack_id: int,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> ContextTree:
+    """Saturate one context of thread ``index`` from the interned local
+    view ``(shared_id, stack_id)`` and return the id-encoded tree.
+
+    This is the view-granular counterpart of :func:`thread_context_post`
+    used by the sharded explicit engine: the returned
+    :class:`ContextTree` is replayed across all global states sharing
+    the view by id substitution (see the module docstring).  Every
+    reached local state's shared state and stack word are interned into
+    ``table`` as a side effect.
+
+    Raises :class:`ContextExplosionError` past ``max_states`` distinct
+    local states — the divergence guard for non-FCR programs.
+    """
+    pds = cpds.thread(index)
+    start = PDSState(table.shared(shared_id), table.stack(index, stack_id))
+    METER.bump("explicit.expansions")
+    entries: list[tuple] = [(shared_id, stack_id, -1, None)]
+    seen_local: dict[PDSState, int] = {start: 0}
+    work: deque[tuple[PDSState, int]] = deque([(start, 0)])
+    shared_of = table.shared_id
+    stack_of = table.stack_id
+    while work:
+        local, pos = work.popleft()
+        for action, local_next in pds_successors(pds, local):
+            if local_next in seen_local:
+                continue
+            next_pos = len(entries)
+            seen_local[local_next] = next_pos
+            if len(seen_local) > max_states:
+                raise ContextExplosionError(
+                    f"context of thread {index} from view {start} exceeded "
+                    f"{max_states} states; the program likely violates FCR",
+                    states_seen=len(seen_local),
+                )
+            entries.append(
+                (
+                    shared_of(local_next.shared),
+                    stack_of(index, local_next.stack),
+                    pos,
+                    action,
+                )
+            )
+            work.append((local_next, next_pos))
+    return ContextTree(index, tuple(entries))
 
 
 def context_post(

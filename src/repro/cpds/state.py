@@ -9,7 +9,7 @@ the top of each stack (Sec. 2.2, Eq. 1):
 from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.pds.state import EMPTY, PDSState, format_stack, format_top
 
@@ -19,10 +19,17 @@ Symbol = Hashable
 
 @dataclass(frozen=True, slots=True)
 class GlobalState:
-    """A CPDS state ``⟨q|w1,...,wn⟩`` (stacks top-first)."""
+    """A CPDS state ``⟨q|w1,...,wn⟩`` (stacks top-first).
+
+    The hash is precomputed at construction: global states are hashed
+    far more often than they are created (seen-set membership, parent
+    maps, context-tree caches), and re-hashing the nested stack tuples
+    on every lookup was a measurable product-space cost.
+    """
 
     shared: Shared
     stacks: tuple[tuple[Symbol, ...], ...]
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.stacks, tuple) or not all(
@@ -31,6 +38,10 @@ class GlobalState:
             object.__setattr__(
                 self, "stacks", tuple(tuple(stack) for stack in self.stacks)
             )
+        object.__setattr__(self, "_hash", hash((self.shared, self.stacks)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def n_threads(self) -> int:
@@ -57,14 +68,24 @@ class GlobalState:
 
 @dataclass(frozen=True, slots=True)
 class VisibleState:
-    """A visible state ``⟨q|σ1,...,σn⟩``; ``σi`` is a top symbol or ε."""
+    """A visible state ``⟨q|σ1,...,σn⟩``; ``σi`` is a top symbol or ε.
+
+    Hash precomputed for the same reason as :class:`GlobalState`: the
+    visible products of the symbolic engine and the cumulative ``T(Rk)``
+    sets hash each visible state many times per construction.
+    """
 
     shared: Shared
     tops: tuple[Symbol, ...]
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.tops, tuple):
             object.__setattr__(self, "tops", tuple(self.tops))
+        object.__setattr__(self, "_hash", hash((self.shared, self.tops)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def n_threads(self) -> int:

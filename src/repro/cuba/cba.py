@@ -31,6 +31,7 @@ def context_bounded_analysis(
     engine: ReachabilityEngine | str = "symbolic",
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
     incremental: bool = True,
+    batched: bool = True,
 ) -> VerificationResult:
     """Check ``prop`` for executions with at most ``bound`` contexts.
 
@@ -41,12 +42,14 @@ def context_bounded_analysis(
 
     ``incremental`` enables cross-expansion reuse in the engine
     constructed here (context-tree memoization for explicit, expansion
-    memoization for symbolic); it is ignored when a prepared engine
-    instance is passed.  The UNKNOWN result's ``stats["meter"]`` records
-    the saturation/cache/frontier-batching work counters this analysis
-    produced, plus the canonicalization cache state and (for the
-    symbolic engine) the per-level frontier summary — the numbers the
-    BENCH harness (:mod:`repro.bench.runner`) persists.
+    memoization for symbolic); ``batched`` selects view-batched frontier
+    expansion (``False`` = the per-state oracle path; the symbolic
+    engine has its own ``batched`` default).  Both are ignored when a
+    prepared engine instance is passed.  The UNKNOWN result's
+    ``stats["meter"]`` records the saturation/cache/frontier-batching
+    work counters this analysis produced, plus the canonicalization
+    cache state and the per-engine summary — the numbers the BENCH
+    harness (:mod:`repro.bench.runner`) persists.
     """
     meter_before = METER.snapshot()
     if isinstance(engine, str):
@@ -55,6 +58,7 @@ def context_bounded_analysis(
                 cpds,
                 max_states_per_context=max_states_per_context,
                 incremental=incremental,
+                batched=batched,
             )
         elif engine == "symbolic":
             engine = SymbolicReach(cpds, incremental=incremental)
@@ -89,6 +93,8 @@ def context_bounded_analysis(
     }
     if isinstance(engine, SymbolicReach):
         stats["symbolic"] = engine.stats()
+    elif isinstance(engine, ExplicitReach):
+        stats["explicit"] = engine.stats()
     return VerificationResult(
         Verdict.UNKNOWN, bound=bound, method=method,
         message=f"no violation within {bound} contexts (CBA cannot prove safety)",

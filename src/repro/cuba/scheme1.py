@@ -48,6 +48,7 @@ def scheme1_rk(
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
     engine: ExplicitReach | None = None,
     incremental: bool = True,
+    batched: bool = True,
 ) -> VerificationResult:
     """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
 
@@ -57,9 +58,10 @@ def scheme1_rk(
     result's ``stats["meter"]`` carries the work counters (context-cache
     hits, saturation work) accumulated during this run.
 
-    ``incremental`` configures the engine constructed here; it is
-    ignored when a prepared ``engine`` instance is passed (configure
-    that engine at construction instead).
+    ``incremental`` and ``batched`` configure the engine constructed
+    here (``batched=False`` selects the seed per-state oracle path);
+    both are ignored when a prepared ``engine`` instance is passed
+    (configure that engine at construction instead).
     """
     meter_before = METER.snapshot()
     if engine is None:
@@ -67,6 +69,7 @@ def scheme1_rk(
             cpds,
             max_states_per_context=max_states_per_context,
             incremental=incremental,
+            batched=batched,
         )
     method = "scheme1(Rk)"
 
@@ -123,9 +126,8 @@ def scheme1_rk(
 
 def _stats(engine: ExplicitReach, meter_before: dict) -> dict:
     return {
-        "global_states": len(engine.first_seen),
+        **engine.stats(),
         "visible_states": len(engine.visible_up_to()),
-        "levels": [len(level) for level in engine.levels],
         "meter": METER.delta(meter_before),
     }
 

@@ -138,7 +138,7 @@ class Cuba:
                         method=winner,
                         message="observation sequence converged",
                         stats={
-                            "global_states": len(engine.first_seen),
+                            "global_states": engine.n_states,
                             "visible_states": len(engine.visible_up_to()),
                         },
                     )

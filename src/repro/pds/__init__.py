@@ -18,6 +18,7 @@ from repro.pds.saturation import (
     post_star,
     post_star_naive,
     pre_star,
+    pre_star_naive,
     psa_for_configs,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "post_star",
     "post_star_naive",
     "pre_star",
+    "pre_star_naive",
     "post_star_explicit",
     "psa_for_configs",
     "step",

@@ -78,6 +78,9 @@ counter                                meaning
 ``post_star.resaturations``            warm-start :meth:`~PostStarEngine.saturate` calls
 ``post_star_naive.rule_applications``  Δ-rule × premise pairs processed (oracle)
 ``post_star_naive.sweeps``             full passes over Δ until the fixpoint
+``pre_star.rule_applications``         Δ-rule × premise pairs processed (worklist)
+``pre_star.edges_added``               distinct automaton edges discovered
+``pre_star_naive.sweeps``              full passes over Δ until the fixpoint
 =====================================  =============================================
 
 A *rule application* counts one attempt to apply one Δ-rule to one
@@ -552,9 +555,191 @@ def pre_star(pds: PDS, targets: PSA | None = None, *, validate: bool = True) -> 
     paper's empty-stack rules contribute ``⟨p|ε⟩ ∈ pre*`` whenever their
     right-hand configuration is already accepted.
 
-    ``pre*`` is off the hot path (no reachability engine calls it per
-    context), so it intentionally keeps the sweep formulation; the NFA's
-    ε-closure cache still removes the worst of the re-query cost.
+    This is the worklist formulation on the :class:`PostStarEngine`
+    pattern: each transition is processed once, rules are resolved
+    through premise-shape indices (no sweep over Δ), ε-closure is
+    materialized as direct edges via the same two-sided join the post
+    engine uses, and the two-premise push rule keeps Schwoon-style
+    pending sets so the second premise fires on arrival.  Because the
+    input automaton may carry ε-edges (empty-stack target configs) and
+    rules add more, acceptance of ``⟨p|ε⟩`` / ``⟨p|σ⟩`` is tracked by an
+    incremental "ε-accepting" set (states reaching an accepting state by
+    ε-edges alone) instead of re-querying closures.  The result can
+    contain derived edges absent from the sweep's automaton (and vice
+    versa); the accepted *languages* coincide, which is what
+    ``tests/pds/test_pre_star.py`` checks per entry state against the
+    retained sweep oracle :func:`pre_star_naive`.
+
+    METER counters: ``pre_star.rule_applications`` (rule × premise pairs
+    processed) and ``pre_star.edges_added`` (distinct edges discovered).
+
+    When ``targets`` is omitted, the target set is ``{⟨qI|ε⟩}``.
+    """
+    if targets is None:
+        targets = psa_for_configs(pds, [pds.initial_state()])
+    if validate:
+        _check_preconditions(targets)
+
+    source = targets.automaton
+    controls = frozenset(targets.control_states) | pds.shared_states
+    accepting = frozenset(source.accepting) | {FINAL_SINK}
+
+    # Premise-shape indices over Δ (built once; no sweeps).
+    pop_by_state: dict = {}       # to_shared -> [POP rules]
+    overwrite_by_edge: dict = {}  # (to_shared, write0) -> [OVERWRITE rules]
+    push_by_edge: dict = {}       # (to_shared, rho0) -> [PUSH rules]
+    empty_overwrite_by_state: dict = {}  # to_shared -> [EMPTY_OVERWRITE]
+    empty_push_by_edge: dict = {}        # (to_shared, write0) -> [EMPTY_PUSH]
+    for action in pds.actions:
+        kind = action.kind
+        if kind is ActionKind.POP:
+            pop_by_state.setdefault(action.to_shared, []).append(action)
+        elif kind is ActionKind.OVERWRITE:
+            overwrite_by_edge.setdefault(
+                (action.to_shared, action.write[0]), []
+            ).append(action)
+        elif kind is ActionKind.PUSH:
+            push_by_edge.setdefault(
+                (action.to_shared, action.write[0]), []
+            ).append(action)
+        elif kind is ActionKind.EMPTY_OVERWRITE:
+            empty_overwrite_by_state.setdefault(action.to_shared, []).append(action)
+        else:  # EMPTY_PUSH
+            empty_push_by_edge.setdefault(
+                (action.to_shared, action.write[0]), []
+            ).append(action)
+
+    seen: set[tuple] = set()
+    frontier: deque[tuple] = deque()
+    rule_applications = 0
+
+    def emit(src, label, dst) -> None:
+        transition = (src, label, dst)
+        if transition not in seen:
+            seen.add(transition)
+            frontier.append(transition)
+
+    #: processed edges: src -> label -> set of dst
+    rel: dict = {}
+    #: processed ε-edges, reversed: state -> set of ε-predecessors
+    eps_into: dict = {}
+    #: Schwoon pending sets: (mid, ρ1) -> {(from_shared, γ)} waiting for
+    #: the push rule's second premise to arrive.
+    waiting: dict[tuple, set] = {}
+    #: states from which ε-edges alone reach an accepting state.
+    eps_accepting: set = set(accepting)
+    #: (src, label) empty-push premise keys observed into each dst, so a
+    #: state joining ``eps_accepting`` late re-fires them.
+    acceptance_watch: dict = {}
+
+    def mark_eps_accepting(state) -> None:
+        nonlocal rule_applications
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            if current in eps_accepting:
+                continue
+            eps_accepting.add(current)
+            for action in empty_overwrite_by_state.get(current, ()):
+                rule_applications += 1
+                emit(action.from_shared, EPSILON, FINAL_SINK)
+            for premise in acceptance_watch.get(current, ()):
+                for action in empty_push_by_edge.get(premise, ()):
+                    rule_applications += 1
+                    emit(action.from_shared, EPSILON, FINAL_SINK)
+            for predecessor in eps_into.get(current, ()):
+                if predecessor not in eps_accepting:
+                    stack.append(predecessor)
+
+    for edge in source.transitions():
+        emit(*edge)
+    # POP rules always fire for the zero-length ε-path q = p'.
+    for to_shared, actions in pop_by_state.items():
+        for action in actions:
+            rule_applications += 1
+            emit(action.from_shared, action.read[0], to_shared)
+    # EMPTY_OVERWRITE with an already-accepting target state.
+    for to_shared, actions in empty_overwrite_by_state.items():
+        if to_shared in eps_accepting:
+            for action in actions:
+                rule_applications += 1
+                emit(action.from_shared, EPSILON, FINAL_SINK)
+
+    no_rules: tuple = ()
+    while frontier:
+        src, label, dst = frontier.popleft()
+        rel.setdefault(src, {}).setdefault(label, set()).add(dst)
+
+        # ε-predecessors of src read `label` through src as well (the
+        # materialization join of the post engine, forward direction).
+        predecessors = eps_into.get(src)
+        if predecessors:
+            for predecessor in predecessors:
+                emit(predecessor, label, dst)
+
+        if label is EPSILON:
+            eps_into.setdefault(dst, set()).add(src)
+            for label2, dsts2 in rel.get(dst, {}).items():
+                for dst2 in dsts2:
+                    emit(src, label2, dst2)
+            if dst in eps_accepting and src not in eps_accepting:
+                mark_eps_accepting(src)
+            # POP: ⟨p,γ⟩→⟨src,ε⟩ reaches dst through the ε-path.
+            matching = pop_by_state.get(src, no_rules)
+            rule_applications += len(matching)
+            for action in matching:
+                emit(action.from_shared, action.read[0], dst)
+            continue
+
+        # OVERWRITE: ⟨p,γ⟩→⟨src,label⟩ reads label from src to dst.
+        matching = overwrite_by_edge.get((src, label), no_rules)
+        rule_applications += len(matching)
+        for action in matching:
+            emit(action.from_shared, action.read[0], dst)
+
+        # PUSH first premise: src --ρ0--> dst; wait on dst --ρ1--> q.
+        for action in push_by_edge.get((src, label), no_rules):
+            rho1 = action.write[1]
+            pending = waiting.setdefault((dst, rho1), set())
+            pair = (action.from_shared, action.read[0])
+            if pair not in pending:
+                pending.add(pair)
+                for target in rel.get(dst, {}).get(rho1, ()):
+                    rule_applications += 1
+                    emit(pair[0], pair[1], target)
+
+        # PUSH second premise: some rule is waiting on (src, label).
+        pairs = waiting.get((src, label))
+        if pairs:
+            rule_applications += len(pairs)
+            for from_shared, gamma in pairs:
+                emit(from_shared, gamma, dst)
+
+        # EMPTY_PUSH: ⟨p,ε⟩→⟨src,label⟩ needs ⟨src|label⟩ accepted.
+        if (src, label) in empty_push_by_edge:
+            if dst in eps_accepting:
+                for action in empty_push_by_edge[(src, label)]:
+                    rule_applications += 1
+                    emit(action.from_shared, EPSILON, FINAL_SINK)
+            else:
+                acceptance_watch.setdefault(dst, set()).add((src, label))
+
+    if rule_applications:
+        METER.bump("pre_star.rule_applications", rule_applications)
+    METER.bump("pre_star.edges_added", len(seen))
+    nfa = NFA(states=controls | frozenset(source.states), accepting=accepting)
+    nfa.add_transitions(seen)
+    return PSA(nfa, frozenset(controls))
+
+
+def pre_star_naive(
+    pds: PDS, targets: PSA | None = None, *, validate: bool = True
+) -> PSA:
+    """Reference implementation of ``pre*``: re-apply all saturation
+    rules until no transition is added, re-resolving ε-closure on every
+    query.  Quadratic and slow, but a direct transcription of the rules
+    — kept as the differential-testing oracle for :func:`pre_star` (see
+    ``tests/pds/test_pre_star.py``).
 
     When ``targets`` is omitted, the target set is ``{⟨qI|ε⟩}``.
     """
@@ -572,6 +757,7 @@ def pre_star(pds: PDS, targets: PSA | None = None, *, validate: bool = True) -> 
     changed = True
     while changed:
         changed = False
+        METER.bump("pre_star_naive.sweeps")
         for action in pds.actions:
             kind = action.kind
             if kind.reads_empty_stack:

@@ -9,7 +9,7 @@ symbol (the ``ε`` case of ``T``, Eq. 1) is represented by :data:`EMPTY`
 from __future__ import annotations
 
 from collections.abc import Hashable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 Shared = Hashable
 Symbol = Hashable
@@ -30,14 +30,24 @@ def format_stack(stack: Sequence[Symbol]) -> str:
 
 @dataclass(frozen=True, slots=True)
 class PDSState:
-    """A configuration ``⟨q|w⟩`` of a sequential pushdown system."""
+    """A configuration ``⟨q|w⟩`` of a sequential pushdown system.
+
+    The hash is precomputed at construction: the local BFS trees and
+    context-tree caches hash each configuration many times per
+    construction, and re-hashing the stack tuple dominated lookups.
+    """
 
     shared: Shared
     stack: tuple[Symbol, ...] = ()
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.stack, tuple):
             object.__setattr__(self, "stack", tuple(self.stack))
+        object.__setattr__(self, "_hash", hash((self.shared, self.stack)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def top(self) -> Symbol:

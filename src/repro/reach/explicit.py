@@ -1,36 +1,68 @@
-"""Explicit-state computation of the sets ``Rk`` (paper Secs. 2.3, 5).
+"""Explicit-state computation of the sets ``Rk`` (paper Secs. 2.3, 5),
+rebuilt on an interned global-state core.
 
 ``R0 = {⟨qI|w1,...,wn⟩}`` and ``Rk`` adds, for every state first reached
-at bound ``k−1`` and every thread ``i``, all states thread ``i`` can reach
-in one context (:func:`~repro.cpds.semantics.thread_context_post`).
-Because a context includes the empty run, expanding only the frontier is
-exact: states discovered at earlier levels were already expanded.
+at bound ``k−1`` and every thread ``i``, all states thread ``i`` can
+reach in one context.  Because a context includes the empty run,
+expanding only the frontier is exact: states discovered at earlier
+levels were already expanded.
+
+Architecture (PR 3)
+-------------------
+The engine is *product-space bound*: the dominant cost is not the local
+BFS trees (tiny, heavily shared) but the per-state bookkeeping of the
+global product — constructing and hashing ``⟨q|w1,...,wn⟩`` tuples for
+every replayed context step.  Both are killed by interning:
+
+* A :class:`~repro.cpds.interning.StateTable` interns every component
+  (shared states, per-thread stack words) and every global state to
+  dense integer ids; ``first_seen`` is an id-indexed list, levels are id
+  tuples, parents an int-keyed dict, and the visible projection is
+  memoized per id.  The table doubles as the seen-set: an intern miss
+  *is* the freshness test.
+* ``advance`` **shards** each frontier level by the moving thread's view
+  ``(thread, shared_id, stack_id)`` and saturates each unique view
+  exactly once per level via
+  :func:`~repro.cpds.semantics.thread_view_post` (mirroring PR 2's
+  batched symbolic frontier).  METER records the grouping —
+  ``explicit.level_views`` vs ``explicit.level_unique_views`` vs
+  ``explicit.expansions`` — so harnesses can assert one saturation per
+  unique view per level (with ``incremental=True`` cross-level reuse,
+  ``expansions + context_cache_hits`` accounts for every shard).
+* The resulting id-encoded :class:`~repro.cpds.semantics.ContextTree`
+  is **replayed** across all global states sharing the view by pure id
+  substitution: swap the moving thread's ``stack_id``, keep the frozen
+  threads' ids, and intern the ``(shared_id, stack_ids)`` key.  No
+  ``GlobalState`` is materialized on this path; decoding happens lazily
+  in the observation API.
+
+The seed per-state formulation — one
+:func:`~repro.cpds.semantics.thread_context_post` call per (state,
+thread) — is kept behind ``batched=False`` as the differential oracle;
+``tests/reach/test_batched_explicit.py`` proves the two agree level for
+level on every FCR registry row and on randomized CPDSs.
 
 Explicit enumeration requires every ``Rk`` to be finite — the finite
 context reachability condition (Sec. 5).  Programs violating FCR trip
 the per-context divergence guard with
 :class:`~repro.errors.ContextExplosionError`.
-
-With ``incremental=True`` (default) the engine memoizes the per-thread
-local BFS trees behind :func:`~repro.cpds.semantics.thread_context_post`,
-reusing work across context expansions: distinct global states frequently
-share the moving thread's ``(shared, stack)`` view, and one context
-depends on nothing else.
 """
 
 from __future__ import annotations
 
 from repro.cpds.cpds import CPDS
-from repro.cpds.semantics import thread_context_post
-from repro.cpds.state import GlobalState, project
+from repro.cpds.interning import StateTable
+from repro.cpds.semantics import thread_context_post, thread_view_post
+from repro.cpds.state import GlobalState
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach.base import ReachabilityEngine
-from repro.reach.witness import Trace, rebuild_trace
+from repro.reach.witness import Trace, TraceStep, rebuild_trace
+from repro.util.meter import METER
 
 
 class ExplicitReach(ReachabilityEngine):
-    """Frontier-based explicit engine for the observation sequences
-    ``(Rk)`` and ``(T(Rk))``."""
+    """Sharded, view-batched explicit engine for the observation
+    sequences ``(Rk)`` and ``(T(Rk))`` (see the module docstring)."""
 
     def __init__(
         self,
@@ -38,36 +70,168 @@ class ExplicitReach(ReachabilityEngine):
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
         track_traces: bool = True,
         incremental: bool = True,
+        batched: bool = True,
     ) -> None:
         super().__init__()
         self.cpds = cpds
         self.max_states_per_context = max_states_per_context
-        #: Memoized local context trees, shared across all expansions
-        #: (``incremental=True``): a context depends only on the moving
-        #: thread's local view, which recurs under many global states.
+        self.batched = batched
+        #: Interned global-state core shared with the context-tree
+        #: builders; dense ids index ``_first_seen`` and key parents.
+        self.table = StateTable(cpds.n_threads)
+        #: Cross-level memo of id-encoded context trees, keyed by
+        #: ``(thread, shared_id, stack_id)`` (``incremental=True``): a
+        #: context depends only on the moving thread's local view, which
+        #: recurs under many global states and levels.
+        self._tree_cache: dict | None = {} if incremental else None
+        #: Seed-formulation memo for the per-state oracle path, keyed by
+        #: ``(thread, PDSState)`` (see :func:`thread_context_post`).
         self._context_cache: dict | None = {} if incremental else None
-        #: ``levels[k]`` = global states first reached at bound k.
-        self.levels: list[frozenset[GlobalState]] = []
-        #: state -> level at which it was first reached.
-        self.first_seen: dict[GlobalState, int] = {}
+        #: ``_level_ids[k]`` = ids of states first reached at bound k.
+        self._level_ids: list[tuple[int, ...]] = []
+        #: id -> level at which the state was first reached (dense).
+        self._first_seen: list[int] = []
+        #: Witness parents: id-keyed ``sid -> (parent_sid, thread,
+        #: action)`` in batched mode, the seed's ``GlobalState``-keyed
+        #: dict on the per-state oracle path, ``None`` when traces are
+        #: off.  The root maps to ``None`` in both.
         self._parents: dict | None = {} if track_traces else None
+        #: Lazily decoded ``levels`` view (append-only, so a prefix
+        #: cache never goes stale).
+        self._decoded_levels: list[frozenset[GlobalState]] = []
+        self._first_seen_view: tuple[int, dict] | None = None
 
         initial = cpds.initial_state()
-        self.levels.append(frozenset([initial]))
-        self.first_seen[initial] = 0
+        sid = self.table.intern(initial)
+        self._first_seen.append(0)
+        self._level_ids.append((sid,))
         if self._parents is not None:
-            self._parents[initial] = None
-        self._record_visible(frozenset([initial.visible()]))
+            self._parents[sid if batched else initial] = None
+        self._record_visible(frozenset([self.table.visible(sid)]))
 
     # ------------------------------------------------------------------
     # Level mechanics
     # ------------------------------------------------------------------
     def advance(self) -> bool:
-        """Compute ``R(k+1)``; return True iff it strictly grows ``Rk``."""
-        frontier = self.levels[-1]
-        level = len(self.levels)
-        fresh: set[GlobalState] = set()
-        for state in frontier:
+        """Compute ``R(k+1)``; return True iff it strictly grows ``Rk``.
+
+        Exception-safe: if a context trips the divergence guard
+        (:class:`~repro.errors.ContextExplosionError`) mid-level, every
+        state discovered by the partial level is rolled back — ids,
+        ``first_seen`` and parents stay consistent with the committed
+        levels, so callers that catch the guard (Scheme 1's UNKNOWN
+        path) report coherent stats and a later retry re-discovers the
+        rolled-back states."""
+        frontier = self._level_ids[-1]
+        level = len(self._level_ids)
+        fresh: list[int] = []
+        base = len(self._first_seen)
+        try:
+            if self.batched:
+                self._advance_batched(frontier, level, fresh)
+            else:
+                self._advance_per_state(frontier, level, fresh)
+        except BaseException:
+            self._rollback(base)
+            raise
+        self._level_ids.append(tuple(fresh))
+        visible = self.table.visible
+        self._record_visible(frozenset(visible(sid) for sid in fresh))
+        return bool(fresh)
+
+    def _rollback(self, base: int) -> None:
+        """Discard every state interned at id ``base`` or later (the
+        half-committed partial level).  Ids are dense and append-only,
+        and the engine is the only writer of global ids, so truncation
+        restores exactly the pre-``advance`` state."""
+        table = self.table
+        if self._parents is not None:
+            if self.batched:
+                for sid in range(base, len(table)):
+                    self._parents.pop(sid, None)
+            else:
+                for sid in range(base, len(table)):
+                    self._parents.pop(table.state(sid), None)
+        table.truncate(base)
+        del self._first_seen[base:]
+
+    def _advance_batched(
+        self, frontier: tuple[int, ...], level: int, fresh: list[int]
+    ) -> None:
+        """Shard the frontier by unique thread view, saturate each view
+        once, then replay the id-encoded tree across every global state
+        in the shard via id substitution."""
+        table = self.table
+        keys = table._keys
+        n = self.cpds.n_threads
+        shards: dict[tuple[int, int, int], list[int]] = {}
+        for sid in frontier:
+            qid, wids = keys[sid]
+            for index in range(n):
+                shards.setdefault((index, qid, wids[index]), []).append(sid)
+        METER.bump("explicit.level_views", n * len(frontier))
+        METER.bump("explicit.level_unique_views", len(shards))
+
+        ids = table._ids
+        states = table._states
+        visibles = table._visibles
+        first_seen = self._first_seen
+        parents = self._parents
+        cache = self._tree_cache
+        append_fresh = fresh.append
+        for view, members in shards.items():
+            tree = cache.get(view) if cache is not None else None
+            if tree is not None:
+                METER.bump("explicit.context_cache_hits")
+            else:
+                index, qid, wid = view
+                tree = thread_view_post(
+                    self.cpds, table, index, qid, wid, self.max_states_per_context
+                )
+                if cache is not None:
+                    METER.bump("explicit.context_cache_misses")
+                    cache[view] = tree
+            entries = tree.entries
+            if len(entries) == 1:
+                continue  # the context reaches nothing beyond its root
+            index = view[0]
+            after = index + 1
+            for sid in members:
+                wids = keys[sid][1]
+                prefix = wids[:index]
+                suffix = wids[after:]
+                # ``StateTable.intern_key`` inlined (see the coupling
+                # note there): this loop runs once per (member, tree
+                # entry) and the call overhead is the hot-path cost.
+                by_pos = [sid] if parents is not None else None
+                for pos in range(1, len(entries)):
+                    eqid, ewid, ppos, action = entries[pos]
+                    key = (eqid, prefix + (ewid,) + suffix)
+                    nsid = ids.get(key)
+                    if nsid is None:
+                        nsid = len(keys)
+                        ids[key] = nsid
+                        keys.append(key)
+                        states.append(None)
+                        visibles.append(None)
+                        first_seen.append(level)
+                        append_fresh(nsid)
+                        if by_pos is not None:
+                            parents[nsid] = (by_pos[ppos], index, action)
+                    if by_pos is not None:
+                        by_pos.append(nsid)
+
+    def _advance_per_state(
+        self, frontier: tuple[int, ...], level: int, fresh: list[int]
+    ) -> None:
+        """The seed formulation: one :func:`thread_context_post` call
+        per (frontier state, thread) — the differential oracle."""
+        table = self.table
+        intern = table.intern
+        state_of = table.state
+        first_seen = self._first_seen
+        for sid in frontier:
+            state = state_of(sid)
             for index in range(self.cpds.n_threads):
                 reached = thread_context_post(
                     self.cpds,
@@ -78,12 +242,10 @@ class ExplicitReach(ReachabilityEngine):
                     cache=self._context_cache,
                 )
                 for nxt in reached:
-                    if nxt not in self.first_seen:
-                        self.first_seen[nxt] = level
-                        fresh.add(nxt)
-        self.levels.append(frozenset(fresh))
-        self._record_visible(project(fresh))
-        return bool(fresh)
+                    nsid = intern(nxt)
+                    if nsid == len(first_seen):
+                        first_seen.append(level)
+                        fresh.append(nsid)
 
     def ensure_level(self, k: int) -> None:
         while self.k < k:
@@ -92,6 +254,45 @@ class ExplicitReach(ReachabilityEngine):
     # ------------------------------------------------------------------
     # Observations
     # ------------------------------------------------------------------
+    @property
+    def levels(self) -> list[frozenset[GlobalState]]:
+        """``levels[k]`` = global states first reached at bound k,
+        decoded lazily from the interned core."""
+        decoded = self._decoded_levels
+        state_of = self.table.state
+        while len(decoded) < len(self._level_ids):
+            decoded.append(
+                frozenset(state_of(sid) for sid in self._level_ids[len(decoded)])
+            )
+        return decoded
+
+    @property
+    def first_seen(self) -> dict[GlobalState, int]:
+        """state -> level at which it was first reached (decoded view;
+        use :attr:`n_states` when only the count is needed)."""
+        view = self._first_seen_view
+        count = len(self._first_seen)
+        if view is None or view[0] != count:
+            state_of = self.table.state
+            view = (
+                count,
+                {
+                    state_of(sid): lvl
+                    for sid, lvl in enumerate(self._first_seen)
+                },
+            )
+            self._first_seen_view = view
+        return view[1]
+
+    @property
+    def n_states(self) -> int:
+        """``|Rk|`` at the latest computed bound, without decoding."""
+        return len(self._first_seen)
+
+    def level_sizes(self) -> list[int]:
+        """``|Rk \\ Rk−1|`` per level, without decoding."""
+        return [len(level) for level in self._level_ids]
+
     def states_up_to(self, k: int | None = None) -> frozenset[GlobalState]:
         """``Rk`` (default: the latest computed bound)."""
         if k is None:
@@ -104,14 +305,25 @@ class ExplicitReach(ReachabilityEngine):
 
     def states_new_at(self, k: int) -> frozenset[GlobalState]:
         """``Rk \\ Rk−1``."""
-        if 0 <= k < len(self.levels):
+        if 0 <= k < len(self._level_ids):
             return self.levels[k]
         return frozenset()
 
     def plateaued_at(self, k: int) -> bool:
         """True iff ``Rk−1 = Rk``.  By Lemma 7 ``(Rk)`` is stutter-free,
         so a plateau here is already a collapse."""
-        return k >= 1 and k <= self.k and not self.levels[k]
+        return k >= 1 and k <= self.k and not self._level_ids[k]
+
+    def stats(self) -> dict:
+        """Work summary for verification-result plumbing (all sizes read
+        off the int core — no decoding)."""
+        cache = self._tree_cache if self.batched else self._context_cache
+        return {
+            "global_states": len(self._first_seen),
+            "levels": self.level_sizes(),
+            "batched": self.batched,
+            "context_memo": len(cache) if cache is not None else 0,
+        }
 
     # ------------------------------------------------------------------
     # Witnesses
@@ -120,11 +332,27 @@ class ExplicitReach(ReachabilityEngine):
         """Reconstruct a witness path to a reached state."""
         if self._parents is None:
             raise ValueError("engine was created with track_traces=False")
-        return rebuild_trace(self._parents, target)
+        if not self.batched:
+            return rebuild_trace(self._parents, target)
+        sid = self.table.id_of(target)
+        if sid is None or sid >= len(self._first_seen):
+            raise KeyError(f"state {target} was never discovered")
+        state_of = self.table.state
+        reversed_steps: list[TraceStep] = []
+        current = sid
+        while True:
+            entry = self._parents[current]
+            if entry is None:
+                break
+            parent_sid, thread, action = entry
+            reversed_steps.append(TraceStep(thread, action, state_of(current)))
+            current = parent_sid
+        return Trace(state_of(current), tuple(reversed(reversed_steps)))
 
     def find_visible(self, visible) -> GlobalState | None:
         """Some reached global state projecting to ``visible``, if any."""
-        for state in self.first_seen:
-            if state.visible() == visible:
-                return state
+        table = self.table
+        for sid in range(len(self._first_seen)):
+            if table.visible(sid) == visible:
+                return table.state(sid)
         return None

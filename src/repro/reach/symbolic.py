@@ -37,7 +37,12 @@ per-language projections ``T(Ai)`` (:func:`nfa_tops`) and coreachability
 are cached on the canonical DFA — computed once per language, not per
 call.  Alphabets are passed as per-thread
 :class:`~repro.automata.intern.SymbolTable` views, which skips symbol
-re-sorting in canonicalization.
+re-sorting in canonicalization.  The visible products ``T(τ)`` are
+doubly shared: whole products are memoized per tops profile, and the
+product *elements* are interned per ``(shared, tops)`` — on
+product-bound models (Proc-2) distinct profiles overlap so heavily that
+almost every product element is a dict hit instead of a fresh
+:class:`~repro.cpds.state.VisibleState`.
 
 Unlike the explicit engine this one does not require finite context
 reachability: the sets ``γ(Sk)`` may be infinite (e.g. Stefan-1, whose
@@ -160,6 +165,12 @@ class SymbolicReach(ReachabilityEngine):
         #: models like Proc-2; the per-thread tops are already cached on
         #: the canonical DFAs, so the key costs one tuple.
         self._visible_memo: dict[tuple, frozenset[VisibleState]] = {}
+        #: Interned visible states: (shared, tops) -> the one
+        #: :class:`VisibleState`.  Distinct tops profiles overlap
+        #: heavily element-wise (on Proc-2, 51k product elements cover
+        #: 2.4k distinct visible states), so the product loop swaps
+        #: object construction for a dict hit almost always.
+        self._visible_intern: dict[tuple, VisibleState] = {}
 
         automata = []
         signatures = []
@@ -172,7 +183,12 @@ class SymbolicReach(ReachabilityEngine):
         )
         self.levels.append(frozenset([initial]))
         self._seen.add(initial)
-        self._record_visible(frozenset(initial.visible_states()))
+        self._record_visible(
+            self._visible_product(
+                initial.shared,
+                tuple(nfa_tops(automaton) for automaton in initial.automata),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Level mechanics
@@ -199,19 +215,35 @@ class SymbolicReach(ReachabilityEngine):
                             fresh.add(successor)
         self.levels.append(frozenset(fresh))
         visible: set[VisibleState] = set()
-        memo = self._visible_memo
         for symbolic in fresh:
-            key = (
+            visible |= self._visible_product(
                 symbolic.shared,
                 tuple(nfa_tops(automaton) for automaton in symbolic.automata),
             )
-            cached = memo.get(key)
-            if cached is None:
-                cached = frozenset(symbolic.visible_states())
-                memo[key] = cached
-            visible |= cached
         self._record_visible(frozenset(visible))
         return bool(fresh)
+
+    def _visible_product(self, shared: Shared, tops_profile: tuple) -> frozenset:
+        """``T(τ) = {q} × T(A1) × ... × T(An)`` (App. E, Eq. 4) —
+        the engine's memoized, interned form of
+        :meth:`SymbolicState.visible_states`: whole products are cached
+        per tops profile and the elements are interned per
+        ``(shared, tops)``, so repeated profiles cost a dict hit."""
+        key = (shared, tops_profile)
+        cached = self._visible_memo.get(key)
+        if cached is None:
+            intern = self._visible_intern
+            bucket = []
+            for tops in itertools.product(*tops_profile):
+                visible_key = (shared, tops)
+                state = intern.get(visible_key)
+                if state is None:
+                    state = VisibleState(shared, tops)
+                    intern[visible_key] = state
+                bucket.append(state)
+            cached = frozenset(bucket)
+            self._visible_memo[key] = cached
+        return cached
 
     def _advance_batched(
         self, frontier: frozenset[SymbolicState], fresh: set[SymbolicState]

@@ -113,6 +113,78 @@ class TestDenseTables:
         assert table == ((0, 0),)
 
 
+class TestInverseEdgeCache:
+    """Hopcroft preimage lists are cached per dense table (above the
+    small-table bypass threshold): repeated canonicalizations of the
+    same (or a same-table) automaton stop rebuilding them, visible
+    through the METER rebuild counters."""
+
+    def _nfa(self):
+        """A chain automaton whose complete DFA clears the bypass
+        threshold (> PRE_CACHE_MIN_CELLS cells)."""
+        from repro.automata.dense import PRE_CACHE_MIN_CELLS
+
+        length = PRE_CACHE_MIN_CELLS // len(ALPHABET) + 2
+        nfa = NFA(initial=[0], accepting=[length])
+        for i in range(length):
+            nfa.add_transition(i, "a", i + 1)
+            nfa.add_transition(i, "b", i)
+        return nfa
+
+    def test_rebuilds_drop_on_repeated_canonicalization(self):
+        from repro.automata import dense
+        from repro.util.meter import scoped
+
+        nfa = self._nfa()
+        dense.pre_cache_clear()
+        canonical_cache_clear()
+        with backend("dense"), scoped() as first:
+            canonical_nfa(nfa, ALPHABET)
+        assert first.get("canonical.hopcroft_pre_builds", 0) == 1
+        assert first.get("canonical.hopcroft_pre_hits", 0) == 0
+        # A second canonicalization (structural memo cleared, so the
+        # dense pipeline runs again) hits the inverse-edge cache.
+        canonical_cache_clear()
+        with backend("dense"), scoped() as second:
+            canonical_nfa(nfa, ALPHABET)
+        assert second.get("canonical.hopcroft_pre_builds", 0) == 0
+        assert second.get("canonical.hopcroft_pre_hits", 0) == 1
+
+    def test_small_tables_bypass_the_cache(self):
+        from repro.automata import dense
+        from repro.util.meter import scoped
+
+        dense.pre_cache_clear()
+        rows = [[1, 2], [1, 2], [2, 2]]  # 6 cells: under the threshold
+        with scoped() as work:
+            hopcroft(rows, [False, False, True])
+            hopcroft(rows, [False, False, True])
+        assert work.get("canonical.hopcroft_pre_builds", 0) == 0
+        assert work.get("canonical.hopcroft_pre_hits", 0) == 0
+        assert len(dense._pre_cache) == 0
+
+    def test_cached_lists_produce_identical_partition(self):
+        from repro.automata import dense
+
+        size = dense.PRE_CACHE_MIN_CELLS + 2
+        rows = [[(q + 1) % size] for q in range(size)]  # one-symbol cycle
+        accepting = [q == 0 for q in range(size)]
+        dense.pre_cache_clear()
+        cold = hopcroft(rows, accepting)
+        assert len(dense._pre_cache) == 1
+        warm = hopcroft(rows, accepting)  # served from the cache
+        assert cold == warm
+
+    def test_cache_is_bounded(self):
+        from repro.automata import dense
+
+        dense.pre_cache_clear()
+        width = dense.PRE_CACHE_MIN_CELLS + 1
+        for i in range(dense.PRE_CACHE_SIZE + 10):
+            hopcroft([[0] * (width + i)], [True])  # distinct per width
+        assert len(dense._pre_cache) <= dense.PRE_CACHE_SIZE
+
+
 class TestUsefulEdges:
     def test_dead_sink_edges_dropped(self):
         from repro.automata.canonical import CanonicalNFA

@@ -1,0 +1,111 @@
+"""Unit tests for the interned global-state core (``StateTable``)."""
+
+import pytest
+
+from repro.cpds.interning import StateTable
+from repro.cpds.semantics import thread_context_post, thread_view_post
+from repro.cpds.state import GlobalState
+from repro.models import fig1_cpds
+from repro.pds.state import EMPTY
+
+
+def gs(shared, stack1, stack2):
+    return GlobalState(shared, (tuple(stack1), tuple(stack2)))
+
+
+class TestStateTable:
+    def test_ids_are_dense_and_stable(self):
+        table = StateTable(2)
+        a = gs(0, [1], [4])
+        b = gs(1, [2], [4])
+        assert table.intern(a) == 0
+        assert table.intern(b) == 1
+        assert table.intern(a) == 0  # re-intern is a lookup
+        assert len(table) == 2
+
+    def test_components_are_subinterned(self):
+        table = StateTable(2)
+        table.intern(gs(0, [1, 2], [4]))
+        table.intern(gs(1, [1, 2], [4]))  # same stacks, new shared
+        # One stack id per distinct word per thread; shared ids dense.
+        assert table.stack_id(0, (1, 2)) == 0
+        assert table.stack_id(1, (4,)) == 0
+        assert table.shared_id(0) == 0 and table.shared_id(1) == 1
+
+    def test_per_thread_stack_tables_are_independent(self):
+        table = StateTable(2)
+        wid0 = table.stack_id(0, ("x",))
+        wid1 = table.stack_id(1, ("x",))
+        assert wid0 == 0 and wid1 == 0
+        assert table.stack(0, wid0) == ("x",) and table.stack(1, wid1) == ("x",)
+
+    def test_decode_round_trip(self):
+        table = StateTable(2)
+        state = gs(3, [2], [4, 6, 6])
+        sid = table.intern(state)
+        assert table.state(sid) == state
+        assert table.state(sid) is state  # object kept from intern
+        # intern_key-created states decode structurally.
+        qid, wids = table.key(sid)
+        sid2 = table.intern_key(table.shared_id(0), wids)
+        assert table.state(sid2) == gs(0, [2], [4, 6, 6])
+
+    def test_visible_matches_global_state_projection(self):
+        table = StateTable(2)
+        for state in (gs(0, [1], [4]), gs(1, [], [4, 6]), gs(2, [2, 5], [])):
+            sid = table.intern(state)
+            assert table.visible(sid) == state.visible()
+            assert table.visible(sid) is table.visible(sid)  # memoized
+
+    def test_top_of_empty_stack_is_epsilon(self):
+        table = StateTable(1)
+        wid = table.stack_id(0, ())
+        assert table.top(0, wid) is EMPTY
+
+    def test_id_of_unknown_state(self):
+        table = StateTable(2)
+        table.intern(gs(0, [1], [4]))
+        assert table.id_of(gs(0, [1], [4])) == 0
+        assert table.id_of(gs(9, [1], [4])) is None       # unknown shared
+        assert table.id_of(gs(0, [1, 1], [4])) is None    # unknown stack
+        assert table.id_of(gs(0, [4], [1])) is None       # unknown combo
+
+
+class TestThreadViewPost:
+    def test_tree_matches_per_state_closure(self):
+        """Replaying the id-encoded tree under a global state yields
+        exactly thread_context_post of that state."""
+        cpds = fig1_cpds()
+        state = cpds.initial_state()
+        table = StateTable(cpds.n_threads)
+        sid = table.intern(state)
+        qid, wids = table.key(sid)
+        for index in range(cpds.n_threads):
+            tree = thread_view_post(cpds, table, index, qid, wids[index])
+            replayed = set()
+            for eqid, ewid, _ppos, _action in tree.entries:
+                new_wids = wids[:index] + (ewid,) + wids[index + 1 :]
+                replayed.add(table.state(table.intern_key(eqid, new_wids)))
+            assert replayed == thread_context_post(cpds, state, index)
+
+    def test_tree_root_and_parent_order(self):
+        cpds = fig1_cpds()
+        table = StateTable(cpds.n_threads)
+        qid = table.shared_id(cpds.initial_shared)
+        wid = table.stack_id(0, cpds.initial_stacks[0])
+        tree = thread_view_post(cpds, table, 0, qid, wid)
+        assert tree.entries[0] == (qid, wid, -1, None)
+        for pos, (_q, _w, parent, action) in enumerate(tree.entries[1:], start=1):
+            assert 0 <= parent < pos  # BFS: parents precede children
+            assert action is not None
+
+    def test_divergence_guard(self):
+        from repro.errors import ContextExplosionError
+        from repro.models import fig2_cpds
+
+        cpds = fig2_cpds()
+        table = StateTable(cpds.n_threads)
+        qid = table.shared_id(cpds.initial_shared)
+        wid = table.stack_id(0, cpds.initial_stacks[0])
+        with pytest.raises(ContextExplosionError):
+            thread_view_post(cpds, table, 0, qid, wid, max_states=5)

@@ -1,0 +1,197 @@
+"""Sharded/batched explicit expansion ≡ seed per-state expansion.
+
+:meth:`ExplicitReach.advance` shards each frontier level by the moving
+thread's interned local view ``(thread, shared_id, stack_id)`` and
+saturates every unique view once, replaying the id-encoded context tree
+across the shard; the per-state path (``batched=False``) is the seed
+behavior kept as the differential oracle.  The two must produce
+identical global-state levels and identical ``T(Rk)`` sequences on
+every FCR registry row and on randomized CPDSs, and METER must confirm
+the batching invariant: one ``thread_context_post``-grade saturation
+per unique view per level (none at all for views already memoized
+across levels)."""
+
+import pytest
+
+from repro.errors import ContextExplosionError
+from repro.models.random_gen import RandomSpec, random_cpds
+from repro.models.registry import smallest_per_row
+from repro.reach.explicit import ExplicitReach
+from repro.reach.witness import validate_trace
+from repro.util.meter import METER, scoped
+
+K = 3
+
+FCR_BENCHES = smallest_per_row(lambda b: b.fcr)
+
+
+def _levels(engine, k_max):
+    engine.ensure_level(k_max)
+    return [engine.states_new_at(k) for k in range(k_max + 1)]
+
+
+@pytest.mark.parametrize("bench", FCR_BENCHES, ids=lambda b: b.row)
+def test_batched_levels_match_per_state_levels(bench):
+    cpds, _prop = bench.build()
+    batched = ExplicitReach(cpds, track_traces=False, batched=True)
+    per_state = ExplicitReach(cpds, track_traces=False, batched=False)
+    assert _levels(batched, K) == _levels(per_state, K)
+    for k in range(K + 1):
+        assert batched.visible_up_to(k) == per_state.visible_up_to(k), f"k={k}"
+        assert batched.visible_new_at(k) == per_state.visible_new_at(k), f"k={k}"
+    assert batched.first_seen == per_state.first_seen
+
+
+@pytest.mark.parametrize("bench", FCR_BENCHES[:3], ids=lambda b: b.row)
+def test_batched_matches_non_incremental_per_state(bench):
+    """Cross both axes: batched+incremental vs per-state without any
+    cross-level memo (the fully naive seed path)."""
+    cpds, _prop = bench.build()
+    fast = ExplicitReach(cpds, track_traces=False, incremental=True, batched=True)
+    naive = ExplicitReach(cpds, track_traces=False, incremental=False, batched=False)
+    assert _levels(fast, K) == _levels(naive, K)
+
+
+@pytest.mark.parametrize("bench", FCR_BENCHES[:4], ids=lambda b: b.row)
+def test_one_expansion_per_unique_view_per_level(bench):
+    """METER invariant: without the cross-level memo, the number of
+    context saturations per level equals the number of unique
+    ``(thread, shared, local-view)`` shards; with it, saturations can
+    only be fewer and every shard is accounted for as a saturation or a
+    cache hit."""
+    cpds, _prop = bench.build()
+    engine = ExplicitReach(cpds, track_traces=False, incremental=False, batched=True)
+    for _ in range(K):
+        with scoped() as level_work:
+            engine.advance()
+        unique = level_work.get("explicit.level_unique_views", 0)
+        expansions = level_work.get("explicit.expansions", 0)
+        views = level_work.get("explicit.level_views", 0)
+        assert expansions == unique, (
+            f"level {engine.k}: {expansions} saturations for {unique} unique views"
+        )
+        assert views >= unique
+
+    memo = ExplicitReach(cpds, track_traces=False, incremental=True, batched=True)
+    before = METER.snapshot()
+    memo.ensure_level(K)
+    delta = METER.delta(before)
+    unique = delta.get("explicit.level_unique_views", 0)
+    assert delta.get("explicit.expansions", 0) <= unique
+    assert (
+        delta.get("explicit.expansions", 0)
+        + delta.get("explicit.context_cache_hits", 0)
+        == unique
+    )
+
+
+def test_per_state_mode_expands_duplicates():
+    """Sanity check that the oracle really is less shared: on a model
+    whose frontier repeats thread views (FileCrawler), the per-state
+    non-incremental path saturates strictly more often than sharding."""
+    bench = next(b for b in FCR_BENCHES if b.row.startswith("5/"))
+    cpds, _prop = bench.build()
+    with scoped() as batched_work:
+        ExplicitReach(
+            cpds, track_traces=False, incremental=False, batched=True
+        ).ensure_level(K)
+    with scoped() as per_state_work:
+        ExplicitReach(
+            cpds, track_traces=False, incremental=False, batched=False
+        ).ensure_level(K)
+    assert (
+        per_state_work["explicit.expansions"] > batched_work["explicit.expansions"]
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_randomized_differential(seed):
+    """Randomized CPDSs: batched and per-state engines agree level for
+    level; divergent (non-FCR) instances must diverge identically."""
+    spec = RandomSpec(n_threads=2, n_shared=2, n_symbols=2, rules_per_thread=5)
+    cpds = random_cpds(seed, spec)
+    batched = ExplicitReach(
+        cpds, max_states_per_context=300, track_traces=False, batched=True
+    )
+    per_state = ExplicitReach(
+        cpds, max_states_per_context=300, track_traces=False, batched=False
+    )
+    exploded = [False, False]
+    for position, engine in enumerate((batched, per_state)):
+        try:
+            engine.ensure_level(K)
+        except ContextExplosionError:
+            exploded[position] = True
+    assert exploded[0] == exploded[1], f"seed {seed}: divergence disagrees"
+    if exploded[0]:
+        return
+    for k in range(K + 1):
+        assert batched.states_new_at(k) == per_state.states_new_at(k), (
+            f"seed {seed}, k={k}"
+        )
+        assert batched.visible_new_at(k) == per_state.visible_new_at(k)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_batched_traces_are_real_executions(seed):
+    """Every witness the batched engine reconstructs replays against the
+    CPDS step semantics (the guarantee behind UNSAFE counterexamples)."""
+    spec = RandomSpec(n_threads=2, n_shared=2, n_symbols=2, rules_per_thread=4)
+    cpds = random_cpds(seed, spec)
+    engine = ExplicitReach(cpds, max_states_per_context=300, batched=True)
+    try:
+        engine.ensure_level(2)
+    except ContextExplosionError:
+        pytest.skip("non-FCR instance")
+    for state in engine.states_up_to(2):
+        validate_trace(cpds, engine.trace(state))  # raises on illegal steps
+
+
+@pytest.mark.parametrize("batched", [True, False], ids=["batched", "per-state"])
+def test_divergence_rolls_back_partial_level(batched):
+    """A ContextExplosionError mid-advance must leave the interned core
+    exactly as before the call: no half-committed states in first_seen
+    or the table, and stats consistent (sum of levels == n_states)."""
+    from repro.models import fig2_cpds
+
+    cpds = fig2_cpds()  # diverges within one context
+    engine = ExplicitReach(cpds, max_states_per_context=5, batched=batched)
+    n_before = engine.n_states
+    keys_before = len(engine.table)
+    k_before = engine.k
+    with pytest.raises(ContextExplosionError):
+        engine.ensure_level(3)
+    assert engine.n_states == n_before
+    assert len(engine.table) == keys_before
+    assert engine.k == k_before
+    assert sum(len(level) for level in engine.levels) == engine.n_states
+    assert engine.states_up_to() == frozenset([cpds.initial_state()])
+    # The initial state's witness entry survives; nothing dangles.
+    assert len(engine.trace(cpds.initial_state())) == 0
+
+
+def test_warm_start_after_plateau_query():
+    """Regression: querying observations at the plateau and then asking
+    ``ensure_level`` for more rounds must keep the interned core
+    consistent (empty levels, stable cumulative sets, no new work)."""
+    bench = next(b for b in FCR_BENCHES if b.row.startswith("9/"))
+    cpds, _prop = bench.build()
+    engine = ExplicitReach(cpds, batched=True)
+    while not engine.plateaued_at(engine.k):
+        engine.advance()
+    k0 = engine.k
+    states_at_plateau = engine.states_up_to()
+    visible_at_plateau = engine.visible_up_to()
+    n_states = engine.n_states
+    with scoped() as warm_work:
+        engine.ensure_level(k0 + 2)
+    assert engine.k == k0 + 2
+    for k in range(k0, k0 + 3):
+        assert engine.plateaued_at(k)
+        assert engine.states_new_at(k) == frozenset()
+    assert engine.states_up_to() == states_at_plateau
+    assert engine.visible_up_to() == visible_at_plateau
+    assert engine.n_states == n_states
+    # An empty frontier shards into zero views: no saturation happens.
+    assert warm_work.get("explicit.expansions", 0) == 0
+    assert warm_work.get("explicit.level_unique_views", 0) == 0
