@@ -203,6 +203,57 @@ class TestRegressionGate:
         assert "speedup_vs_before" in payload["totals"]
 
 
+class TestJobsField:
+    def test_jobs_recorded_and_default(self, payload):
+        """The payload records its saturation worker count; absent means
+        the pre-PR 4 serial default."""
+        assert payload["jobs"] == 1
+
+    def test_mismatched_jobs_refuses_comparison(self, payload):
+        """A jobs=2 run must not be gated against a serial baseline (and
+        vice versa): wall times carry worker startup/IPC and scale with
+        core count."""
+        parallel = json.loads(json.dumps(payload))
+        parallel["jobs"] = 2
+        ok, messages = compare_bench(parallel, payload, tolerance=0.25)
+        assert not ok
+        assert any("NOT COMPARABLE" in m for m in messages)
+        # Pre-PR 4 baselines lack the field entirely: treated as jobs=1.
+        legacy = json.loads(json.dumps(payload))
+        del legacy["jobs"]
+        ok, messages = compare_bench(payload, legacy, tolerance=0.25)
+        assert ok, messages
+
+    def test_parallel_mode_runs_explicit_lanes_only(self):
+        """The opt-in ``parallel`` mode (jobs=2 saturation) measures the
+        explicit lanes and skips symbolic/canonical-micro, recording the
+        worker count and a parallel-vs-serial ratio per entry."""
+        from repro.reach.parallel import pool_cache_clear
+
+        try:
+            payload = run_suite(
+                quick=True,
+                rows={"9"},
+                modes=("optimized", "parallel"),
+                max_rounds=3,
+                repeats=1,
+            )
+        finally:
+            pool_cache_clear()
+        by_lane = {w["lane"]: w for w in payload["workloads"]}
+        explicit = by_lane["explicit"]
+        assert explicit["modes"]["parallel"]["jobs"] == 2
+        assert explicit["modes"]["parallel"]["seconds"] > 0
+        assert "parallel_speedup" in explicit
+        assert "parallel" not in by_lane["symbolic"]["modes"]
+        assert "parallel" not in by_lane["canonical-micro"]["modes"]
+        # Both modes reach the same verdict at the same bound.
+        assert (
+            explicit["modes"]["parallel"].get("verdict")
+            == explicit["modes"]["optimized"].get("verdict")
+        )
+
+
 class TestMemoryDiscipline:
     """The satellite's memory assertion: hot-path records are slotted."""
 

@@ -99,27 +99,27 @@ def intersect(left: NFA, right: NFA) -> NFA:
     ε-transitions are handled by letting either component move alone.
     """
     product = NFA()
-    start_pairs = [(l, r) for l in left.initial for r in right.initial]
+    start_pairs = [(lhs, r) for lhs in left.initial for r in right.initial]
     work = deque(start_pairs)
     seen = set(start_pairs)
     for pair in start_pairs:
         product.add_initial(pair)
     while work:
-        (l, r) = work.popleft()
-        if l in left.accepting and r in right.accepting:
-            product.add_accepting((l, r))
+        (lhs, r) = work.popleft()
+        if lhs in left.accepting and r in right.accepting:
+            product.add_accepting((lhs, r))
         moves: list[tuple[Symbol, tuple]] = []
-        for dst in left.targets(l, EPSILON):
+        for dst in left.targets(lhs, EPSILON):
             moves.append((EPSILON, (dst, r)))
         for dst in right.targets(r, EPSILON):
-            moves.append((EPSILON, (l, dst)))
-        shared = (left.labels_from(l) - {EPSILON}) & (right.labels_from(r) - {EPSILON})
+            moves.append((EPSILON, (lhs, dst)))
+        shared = (left.labels_from(lhs) - {EPSILON}) & (right.labels_from(r) - {EPSILON})
         for symbol in shared:
-            for ldst in left.targets(l, symbol):
+            for ldst in left.targets(lhs, symbol):
                 for rdst in right.targets(r, symbol):
                     moves.append((symbol, (ldst, rdst)))
         for symbol, pair in moves:
-            product.add_transition((l, r), symbol, pair)
+            product.add_transition((lhs, r), symbol, pair)
             if pair not in seen:
                 seen.add(pair)
                 work.append(pair)

@@ -12,6 +12,16 @@ Each workload is run in every requested *mode*:
     refinement (``canonical.backend("moore")``) and per-state frontier
     expansion (``SymbolicReach(batched=False)`` /
     ``scheme1_rk(batched=False)`` on the explicit lane).
+``parallel``
+    Explicit lanes only: the optimized pipeline with ``jobs=2``
+    multiprocess view saturation (:mod:`repro.reach.parallel`) — the
+    scale-out axis, measured cold (worker pools are torn down between
+    repetitions like every other cache).
+
+The suite-wide ``--jobs`` value applies to the ``optimized`` explicit
+lane, is recorded top-level in the payload, and baselines are only
+comparable when their ``jobs`` values match (a parallel run must not be
+gated against a serial baseline or vice versa).
 
 Wall time is best-of-``repeats`` (first run's METER delta and peak
 memory are recorded; caches are cleared before every repetition so runs
@@ -58,8 +68,19 @@ def _meter_slice(delta: dict) -> dict:
 
 
 def _clear_caches() -> None:
+    """Reset every process-global cache so each repetition runs cold:
+    the canonicalization memo, the Hopcroft pre-cache (PR 3), and the
+    leased view-saturation worker pools (PR 4 — warm, pre-registered
+    workers would otherwise carry state across repetitions; per-engine
+    array tables and packed-delta caches die with the engine and need
+    no reset).  The parallel module is imported lazily so serial bench
+    processes never pay for (or perturb timings with) multiprocessing
+    machinery."""
     canonical.canonical_cache_clear()
     dense.pre_cache_clear()
+    parallel = sys.modules.get("repro.reach.parallel")
+    if parallel is not None:
+        parallel.pool_cache_clear()
 
 
 def _calibrate() -> float:
@@ -137,7 +158,7 @@ def _describe_result(result) -> dict:
     return {"verdict": verdict.value, "bound": getattr(result, "bound", None)}
 
 
-def _symbolic_run(cpds, prop, max_rounds: int, mode: str):
+def _symbolic_run(cpds, prop, max_rounds: int, mode: str, jobs: int = 1):
     backend = "dense" if mode == "optimized" else "moore"
     batched = mode == "optimized"
 
@@ -149,13 +170,23 @@ def _symbolic_run(cpds, prop, max_rounds: int, mode: str):
     return run
 
 
-def _explicit_run(cpds, prop, max_rounds: int, mode: str):
-    backend = "dense" if mode == "optimized" else "moore"
-    batched = mode == "optimized"
+#: Worker count of the opt-in ``parallel`` bench mode.
+_PARALLEL_MODE_JOBS = 2
+
+
+def _explicit_run(cpds, prop, max_rounds: int, mode: str, jobs: int = 1):
+    backend = "moore" if mode == "legacy" else "dense"
+    batched = mode != "legacy"
+    if mode == "parallel":
+        jobs = max(jobs, _PARALLEL_MODE_JOBS)
+    elif mode == "legacy":
+        jobs = 1
 
     def run():
         with canonical.backend(backend):
-            return scheme1_rk(cpds, prop, max_rounds=max_rounds, batched=batched)
+            return scheme1_rk(
+                cpds, prop, max_rounds=max_rounds, batched=batched, jobs=jobs
+            )
 
     return run
 
@@ -210,8 +241,15 @@ def run_suite(
     repeats: int = 3,
     label: str | None = None,
     memory: bool = False,
+    jobs: int = 1,
 ) -> dict:
-    """Run the registry workloads and return the BENCH payload dict."""
+    """Run the registry workloads and return the BENCH payload dict.
+
+    ``jobs`` configures the ``optimized`` explicit lane's saturation
+    worker count and is recorded top-level in the payload; the opt-in
+    ``parallel`` mode (explicit lanes only) always runs with at least
+    :data:`_PARALLEL_MODE_JOBS` workers regardless.
+    """
     if max_rounds is None:
         max_rounds = 6 if quick else 10
     benches = smallest_per_row() if quick else runnable_benchmarks()
@@ -220,39 +258,54 @@ def run_suite(
 
     workloads = []
     built = []
-    for bench in benches:
-        cpds, prop = bench.build()
-        built.append(cpds)
-        lanes = []
+    try:
+        for bench in benches:
+            cpds, prop = bench.build()
+            built.append(cpds)
+            lanes = []
+            if "symbolic" in engines:
+                lanes.append(("symbolic", _symbolic_run))
+            if "explicit" in engines and bench.fcr:
+                lanes.append(("explicit", _explicit_run))
+            for lane, maker in lanes:
+                entry = {"name": bench.name, "lane": lane, "modes": {}}
+                for mode in modes:
+                    if mode == "parallel" and lane != "explicit":
+                        continue  # multiprocess saturation is explicit-only
+                    record = _measured(
+                        maker(cpds, prop, max_rounds, mode, jobs=jobs),
+                        repeats,
+                        memory=memory,
+                    )
+                    if mode == "parallel":
+                        record["jobs"] = max(jobs, _PARALLEL_MODE_JOBS)
+                    entry["modes"][mode] = record
+                _add_speedup(entry)
+                workloads.append(entry)
+
         if "symbolic" in engines:
-            lanes.append(("symbolic", _symbolic_run))
-        if "explicit" in engines and bench.fcr:
-            lanes.append(("explicit", _explicit_run))
-        for lane, maker in lanes:
-            entry = {"name": bench.name, "lane": lane, "modes": {}}
+            entry = {
+                "name": "canonicalization microbench",
+                "lane": "canonical-micro",
+                "modes": {},
+            }
+            micro_inputs = _canonical_micro_inputs(built)
+            repetitions = 2 if quick else 5
             for mode in modes:
+                if mode == "parallel":
+                    continue
                 entry["modes"][mode] = _measured(
-                    maker(cpds, prop, max_rounds, mode), repeats, memory=memory
+                    _canonical_micro(micro_inputs, repetitions, mode),
+                    repeats,
+                    memory=memory,
                 )
             _add_speedup(entry)
             workloads.append(entry)
-
-    if "symbolic" in engines:
-        entry = {
-            "name": "canonicalization microbench",
-            "lane": "canonical-micro",
-            "modes": {},
-        }
-        micro_inputs = _canonical_micro_inputs(built)
-        repetitions = 2 if quick else 5
-        for mode in modes:
-            entry["modes"][mode] = _measured(
-                _canonical_micro(micro_inputs, repetitions, mode),
-                repeats,
-                memory=memory,
-            )
-        _add_speedup(entry)
-        workloads.append(entry)
+    finally:
+        # The last repetition's leased worker pools would otherwise only
+        # be shut down by the NEXT _measured call — which never comes:
+        # leave no live child processes behind for library callers.
+        _clear_caches()
 
     payload = {
         "schema": SCHEMA,
@@ -263,6 +316,7 @@ def run_suite(
         "platform": platform.platform(),
         "quick": quick,
         "max_rounds": max_rounds,
+        "jobs": jobs,
         "repeats": repeats,
         "calibration_seconds": round(_calibrate(), 5),
         "workloads": workloads,
@@ -276,6 +330,11 @@ def _add_speedup(entry: dict) -> None:
     if "optimized" in modes and "legacy" in modes and modes["optimized"]["seconds"]:
         entry["speedup_vs_legacy"] = round(
             modes["legacy"]["seconds"] / modes["optimized"]["seconds"], 2
+        )
+    if "optimized" in modes and "parallel" in modes and modes["parallel"]["seconds"]:
+        # > 1.0 means the multiprocess saturation beat the serial path.
+        entry["parallel_speedup"] = round(
+            modes["optimized"]["seconds"] / modes["parallel"]["seconds"], 2
         )
 
 
@@ -382,10 +441,17 @@ def latest_bench_file(root: str | Path = ".") -> Path | None:
 
 def comparable_configs(current: dict, baseline: dict) -> bool:
     """True iff two payloads were produced under the same measurement
-    configuration and their totals are meaningfully comparable."""
-    return current.get("quick") == baseline.get("quick") and current.get(
-        "max_rounds"
-    ) == baseline.get("max_rounds")
+    configuration and their totals are meaningfully comparable.
+
+    ``jobs`` must match too (absent = 1, the pre-PR 4 default): a
+    parallel run's wall times carry worker startup/IPC and scale with
+    the machine's core count, so gating them against a serial baseline
+    — or vice versa — would be meaningless."""
+    return (
+        current.get("quick") == baseline.get("quick")
+        and current.get("max_rounds") == baseline.get("max_rounds")
+        and current.get("jobs", 1) == baseline.get("jobs", 1)
+    )
 
 
 def latest_comparable_baseline(current: dict, root: str | Path = ".") -> Path | None:
@@ -453,7 +519,9 @@ def compare_bench(
         messages.append(
             "BASELINE NOT COMPARABLE: "
             f"current quick={current.get('quick')} max_rounds={current.get('max_rounds')} "
-            f"vs baseline quick={baseline.get('quick')} max_rounds={baseline.get('max_rounds')}; "
+            f"jobs={current.get('jobs', 1)} "
+            f"vs baseline quick={baseline.get('quick')} max_rounds={baseline.get('max_rounds')} "
+            f"jobs={baseline.get('jobs', 1)}; "
             "pick a baseline produced with the same configuration"
         )
         return False, messages
@@ -534,7 +602,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="smallest config per row")
     parser.add_argument("--rows", help="comma-separated row numbers, e.g. 1,5,9")
     parser.add_argument(
-        "--modes", default="optimized,legacy", help="comma list: optimized,legacy"
+        "--modes",
+        default="optimized,legacy",
+        help="comma list: optimized,legacy,parallel (parallel = explicit "
+        "lanes with jobs=2 multiprocess view saturation)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="saturation worker processes for the optimized explicit lane "
+        "(recorded in the payload; baselines only compare on a match)",
     )
     parser.add_argument(
         "--engines", default="symbolic,explicit", help="comma list: symbolic,explicit"
@@ -579,6 +657,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         label=args.label,
         memory=args.memory,
+        jobs=args.jobs,
     )
     if args.merge_before:
         other = json.loads(Path(args.merge_before).read_text())

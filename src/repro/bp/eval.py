@@ -41,7 +41,7 @@ def eval_expr(expr: ast.Expr, env: Mapping[str, int]) -> frozenset[int]:
         op = _OPS[expr.op]
         lefts = eval_expr(expr.left, env)
         rights = eval_expr(expr.right, env)
-        return frozenset({op(l, r) for l in lefts for r in rights})
+        return frozenset({op(lhs, rhs) for lhs in lefts for rhs in rights})
     raise SemanticError(f"cannot evaluate {type(expr).__name__}")
 
 

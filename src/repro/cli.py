@@ -75,7 +75,7 @@ def _load(args) -> tuple:
 def cmd_verify(args) -> int:
     cpds, prop = _load(args)
     if args.engine == "auto":
-        report = Cuba(cpds, prop).verify(max_rounds=args.max_rounds)
+        report = Cuba(cpds, prop, jobs=args.jobs).verify(max_rounds=args.max_rounds)
         if args.report:
             from repro.report import render_report
 
@@ -90,7 +90,11 @@ def cmd_verify(args) -> int:
         result = report.result
     elif args.engine == "explicit":
         result = scheme1_rk(
-            cpds, prop, max_rounds=args.max_rounds, batched=not args.per_state
+            cpds,
+            prop,
+            max_rounds=args.max_rounds,
+            batched=not args.per_state,
+            jobs=args.jobs,
         )
     else:
         result = algorithm3(cpds, prop, engine="symbolic", max_rounds=args.max_rounds)
@@ -149,6 +153,8 @@ def cmd_bench(args) -> int:
             forward.extend(["--tolerance", str(args.tolerance)])
         if args.merge_before:
             forward.extend(["--merge-before", args.merge_before])
+        if args.jobs != 1:
+            forward.extend(["--jobs", str(args.jobs)])
         return bench_main(forward)
 
     from repro.models.registry import runnable_benchmarks
@@ -209,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
         "expansion instead of the sharded view-batched default",
     )
     verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="saturate the explicit engine's unique views across N worker "
+        "processes (default 1 = in-process; the symbolic engine ignores it)",
+    )
+    verify.add_argument(
         "--report", action="store_true", help="print the full multi-section report"
     )
     verify.set_defaults(handler=cmd_verify)
@@ -248,6 +261,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--merge-before",
         metavar="FILE",
         help="with --json: graft a pre-PR BENCH file in as the 'before' mode",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="with --json: run the explicit lane's optimized mode with N "
+        "saturation worker processes (recorded in the payload; baselines "
+        "only compare against a matching value)",
     )
     bench.set_defaults(handler=cmd_bench)
     return parser

@@ -10,7 +10,6 @@ the stronger convergence test of Alg. 3 (:mod:`repro.cuba.algorithm3`).
 from __future__ import annotations
 
 import abc
-from collections.abc import Hashable
 
 from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult

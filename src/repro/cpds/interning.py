@@ -1,4 +1,5 @@
-"""Interned global-state core: dense integer ids for ``GlobalState``s.
+"""Interned global-state core: dense integer ids for ``GlobalState``s,
+packed into flat single-integer keys.
 
 The explicit engine's product space is dominated by hash-heavy tuple
 work: every replayed context step used to construct a fresh
@@ -6,14 +7,27 @@ work: every replayed context step used to construct a fresh
 tuples) just to test membership in ``first_seen``.  A :class:`StateTable`
 interns each *component* once — shared states to ``shared_id``s, each
 thread's stack words to per-thread ``stack_id``s — and then interns whole
-global states as ``(shared_id, stack_ids)`` integer keys mapped to dense
-``state_id``s.  Downstream structures (``first_seen``, levels, parents,
-visible projections) become int-keyed lists and dicts, and the sharded
+global states as **packed integers**: the component ids are laid out in
+fixed-width bit fields (``wid_0 | wid_1 << b | ... | qid << n*b`` for
+field width ``b``), so a global state is one machine-word-sized int and
+the seen-set is a plain ``dict[int, int]`` whose key hash is the cheapest
+hash Python has.  Downstream structures (``first_seen``, levels, parents,
+visible projections) are int-keyed lists and dicts, and the sharded
 frontier expansion of :class:`~repro.reach.explicit.ExplicitReach`
-replays one id-encoded context tree
+replays one flat array-encoded context tree
 (:class:`~repro.cpds.semantics.ContextTree`) across all global states
-sharing the moving thread's local view by pure id substitution — no
-``GlobalState`` is ever materialized on the hot path.
+sharing the moving thread's local view by pure integer arithmetic —
+mask out the moving thread's field, OR in the tree's precomputed
+per-entry delta — with no tuple allocation and no nested re-hashing on
+the hot path.
+
+All three id spaces — shared states, per-thread stacks, global states —
+are dense and append-only.  The bit-field width adapts: when any
+component pool outgrows the current field (``2**bits`` entries), every
+stored packed key is rewritten under a doubled width and the table's
+``era`` counter is bumped, which invalidates the per-tree delta caches
+derived from the old geometry.  Growth is geometric, so repacking
+amortizes to O(1) per interned state.
 
 Ids are assigned densely in first-intern order, so ``state_id ==
 len(table) - 1`` exactly when the interned state is new — the table
@@ -32,14 +46,17 @@ from repro.pds.state import EMPTY
 Shared = Hashable
 Symbol = Hashable
 
+#: Initial bit-field width per component.  16 bits cover 65k shared
+#: states / stack words per pool before the first repack, while keeping
+#: a 3-thread packed key within 64 bits (fast small-int hashing).
+_INITIAL_BITS = 16
+
 
 class StateTable:
     """Interns the global states of one CPDS run to dense integer ids.
 
     One table belongs to one engine over one CPDS (thread count and
-    alphabets fixed); ids are meaningless across tables.  All three id
-    spaces — shared states, per-thread stacks, global states — are
-    dense and append-only.
+    alphabets fixed); ids are meaningless across tables.
     """
 
     __slots__ = (
@@ -49,10 +66,18 @@ class StateTable:
         "_stack_ids",
         "_stacks",
         "_tops",
+        "_top_ids",
+        "_wid_tops",
+        "_visible_pool",
         "_ids",
-        "_keys",
+        "_packed",
         "_states",
         "_visibles",
+        "_bits",
+        "_mask",
+        "_qshift",
+        "_limit",
+        "_era",
     )
 
     def __init__(self, n_threads: int) -> None:
@@ -65,11 +90,82 @@ class StateTable:
         self._stacks: list[list[tuple]] = [[] for _ in range(n_threads)]
         #: per-thread stack_id -> visible top symbol (:data:`EMPTY` for ε).
         self._tops: list[list[Symbol]] = [[] for _ in range(n_threads)]
-        #: (shared_id, stack_ids) -> state_id and the dense inverses.
-        self._ids: dict[tuple[int, tuple[int, ...]], int] = {}
-        self._keys: list[tuple[int, tuple[int, ...]]] = []
+        #: per-thread top symbol -> dense top id, and stack_id -> top id:
+        #: many stacks share a top, so visible projections collapse onto
+        #: few ``(qid, top ids...)`` combinations — pooled below.
+        self._top_ids: list[dict[Symbol, int]] = [{} for _ in range(n_threads)]
+        self._wid_tops: list[list[int]] = [[] for _ in range(n_threads)]
+        #: packed visible key -> the one VisibleState object for it
+        #: (fixed 32-bit fields — era-independent, survives repacks).
+        self._visible_pool: dict[int, VisibleState] = {}
+        #: packed key -> state_id, and the dense inverses.
+        self._ids: dict[int, int] = {}
+        self._packed: list[int] = []
         self._states: list[GlobalState | None] = []
         self._visibles: list[VisibleState | None] = []
+        #: Bit-field geometry (see the module docstring).  ``_era`` is
+        #: bumped on every repack so derived caches (per-tree packed
+        #: deltas) can validate cheaply.
+        self._bits = _INITIAL_BITS
+        self._mask = (1 << _INITIAL_BITS) - 1
+        self._qshift = _INITIAL_BITS * n_threads
+        self._limit = 1 << _INITIAL_BITS
+        self._era = 0
+
+    # ------------------------------------------------------------------
+    # Packing geometry
+    # ------------------------------------------------------------------
+    @property
+    def era(self) -> int:
+        """Repack generation; packed keys and derived delta caches from
+        different eras are incomparable."""
+        return self._era
+
+    def pack(self, qid: int, wids: tuple[int, ...]) -> int:
+        """The packed single-int key of component ids ``(qid, wids)``."""
+        bits = self._bits
+        key = qid << self._qshift
+        for index, wid in enumerate(wids):
+            key |= wid << (bits * index)
+        return key
+
+    def unpack(self, key: int) -> tuple[int, tuple[int, ...]]:
+        """Inverse of :meth:`pack`."""
+        bits = self._bits
+        mask = self._mask
+        return (
+            key >> self._qshift,
+            tuple((key >> (bits * index)) & mask for index in range(self.n_threads)),
+        )
+
+    def _grow(self) -> None:
+        """Double the bit-field width until every component pool fits,
+        rewriting all stored packed keys in place (dict and list
+        identities are preserved — hot loops may hold direct references)."""
+        old_bits = self._bits
+        old_mask = self._mask
+        old_qshift = self._qshift
+        n = self.n_threads
+        largest = max(len(self._shareds), *(len(pool) for pool in self._stacks))
+        bits = old_bits
+        while (1 << bits) < largest:
+            bits *= 2
+        if bits == old_bits:  # pragma: no cover - defensive
+            return
+        self._bits = bits
+        self._mask = (1 << bits) - 1
+        self._qshift = bits * n
+        self._limit = 1 << bits
+        self._era += 1
+        packed = self._packed
+        ids = self._ids
+        ids.clear()
+        for sid, key in enumerate(packed):
+            new_key = (key >> old_qshift) << self._qshift
+            for index in range(n):
+                new_key |= ((key >> (old_bits * index)) & old_mask) << (bits * index)
+            packed[sid] = new_key
+            ids[new_key] = sid
 
     # ------------------------------------------------------------------
     # Component interning
@@ -80,6 +176,8 @@ class StateTable:
             qid = len(self._shareds)
             self._shared_ids[shared] = qid
             self._shareds.append(shared)
+            if qid >= self._limit:
+                self._grow()
         return qid
 
     def shared(self, qid: int) -> Shared:
@@ -92,7 +190,15 @@ class StateTable:
             wid = len(self._stacks[index])
             table[stack] = wid
             self._stacks[index].append(stack)
-            self._tops[index].append(stack[0] if stack else EMPTY)
+            top = stack[0] if stack else EMPTY
+            self._tops[index].append(top)
+            top_ids = self._top_ids[index]
+            tid = top_ids.get(top)
+            if tid is None:
+                top_ids[top] = tid = len(top_ids)
+            self._wid_tops[index].append(tid)
+            if wid >= self._limit:
+                self._grow()
         return wid
 
     def stack(self, index: int, wid: int) -> tuple:
@@ -121,16 +227,17 @@ class StateTable:
 
         NOTE: the sharded replay loop in
         :meth:`repro.reach.explicit.ExplicitReach._advance_batched`
-        inlines this append protocol (``_ids``/``_keys``/``_states``/
-        ``_visibles`` grow in lock-step, id == old ``len(_keys)``) —
-        keep the two in sync when changing the table layout.
+        inlines this append protocol on packed keys (``_ids``/
+        ``_packed``/``_states``/``_visibles`` grow in lock-step, id ==
+        old ``len(_packed)``) — keep the two in sync when changing the
+        table layout.
         """
-        key = (qid, wids)
+        key = self.pack(qid, wids)
         sid = self._ids.get(key)
         if sid is None:
-            sid = len(self._keys)
+            sid = len(self._packed)
             self._ids[key] = sid
-            self._keys.append(key)
+            self._packed.append(key)
             self._states.append(None)
             self._visibles.append(None)
         return sid
@@ -142,11 +249,11 @@ class StateTable:
         guard trips.  Component ids (shared states, stacks) are kept:
         they stay valid and are referenced by cached context trees.
         """
-        keys = self._keys
+        packed = self._packed
         ids = self._ids
-        for key in keys[base:]:
+        for key in packed[base:]:
             del ids[key]
-        del keys[base:]
+        del packed[base:]
         del self._states[base:]
         del self._visibles[base:]
 
@@ -163,11 +270,15 @@ class StateTable:
             if wid is None:
                 return None
             wids.append(wid)
-        return self._ids.get((shared_id, tuple(wids)))
+        return self._ids.get(self.pack(shared_id, tuple(wids)))
 
     def key(self, sid: int) -> tuple[int, tuple[int, ...]]:
-        """The ``(shared_id, stack_ids)`` key of a state id."""
-        return self._keys[sid]
+        """The ``(shared_id, stack_ids)`` component key of a state id."""
+        return self.unpack(self._packed[sid])
+
+    def packed_key(self, sid: int) -> int:
+        """The packed single-int key of a state id (current era)."""
+        return self._packed[sid]
 
     # ------------------------------------------------------------------
     # Decoding
@@ -176,7 +287,7 @@ class StateTable:
         """Decode a state id back to its :class:`GlobalState` (memoized)."""
         state = self._states[sid]
         if state is None:
-            qid, wids = self._keys[sid]
+            qid, wids = self.unpack(self._packed[sid])
             stacks = self._stacks
             state = GlobalState(
                 self._shareds[qid],
@@ -186,24 +297,42 @@ class StateTable:
         return state
 
     def visible(self, sid: int) -> VisibleState:
-        """The projection ``T(s)`` of a state id (memoized per id)."""
+        """The projection ``T(s)`` of a state id (memoized per id, and
+        pooled per unique projection: distinct states overwhelmingly
+        share their visible state, so the ``VisibleState`` construction
+        — symbol tuple plus hash — happens once per *projection*, not
+        once per state)."""
         vis = self._visibles[sid]
         if vis is None:
-            qid, wids = self._keys[sid]
-            tops = self._tops
-            vis = VisibleState(
-                self._shareds[qid],
-                tuple(tops[index][wid] for index, wid in enumerate(wids)),
-            )
+            key = self._packed[sid]
+            bits = self._bits
+            mask = self._mask
+            qid = key >> self._qshift
+            vkey = qid
+            wid_tops = self._wid_tops
+            for index in range(self.n_threads):
+                vkey = (vkey << 32) | wid_tops[index][(key >> (bits * index)) & mask]
+            vis = self._visible_pool.get(vkey)
+            if vis is None:
+                tops = self._tops
+                vis = VisibleState(
+                    self._shareds[qid],
+                    tuple(
+                        tops[index][(key >> (bits * index)) & mask]
+                        for index in range(self.n_threads)
+                    ),
+                )
+                self._visible_pool[vkey] = vis
             self._visibles[sid] = vis
         return vis
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._packed)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"StateTable(states={len(self._keys)}, "
+            f"StateTable(states={len(self._packed)}, "
             f"shared={len(self._shareds)}, "
-            f"stacks={[len(s) for s in self._stacks]})"
+            f"stacks={[len(s) for s in self._stacks]}, "
+            f"bits={self._bits})"
         )

@@ -18,13 +18,14 @@ two granularities:
 * :func:`thread_view_post` — the *per-view* form used by the sharded
   explicit engine: saturate one context from an interned
   ``(thread, shared_id, stack_id)`` local view and return a reusable,
-  **id-encoded** :class:`ContextTree` whose entries are
-  ``(shared_id, stack_id, parent_pos, action)`` tuples over a
+  **flat array-encoded** :class:`ContextTree`: contiguous ``array('q')``
+  successor tables (CSR-style per-node edge offsets plus target
+  shared/stack id columns) over a
   :class:`~repro.cpds.interning.StateTable`.  The tree is computed once
   per unique view and *replayed* across every global state sharing that
-  view by pure id substitution (swap the moving thread's ``stack_id``,
-  keep the frozen threads' ids) — no per-state re-walk, no
-  ``GlobalState`` construction on the replay path.
+  view by pure integer arithmetic (mask out the moving thread's bit
+  field, OR in the entry's packed delta) — no per-state re-walk, no
+  tuple allocation, no ``GlobalState`` construction on the replay path.
 
 Both builders terminate exactly when the per-context reachable set is
 finite — the FCR situation (Sec. 5) — and otherwise trip the
@@ -35,6 +36,7 @@ prove one saturation per unique view per level."""
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from collections.abc import Iterator
 
@@ -43,7 +45,7 @@ from repro.cpds.cpds import CPDS
 from repro.cpds.interning import StateTable
 from repro.cpds.state import GlobalState
 from repro.pds.action import Action
-from repro.pds.semantics import DEFAULT_STATE_LIMIT, step as pds_step, successors as pds_successors
+from repro.pds.semantics import DEFAULT_STATE_LIMIT, successors as pds_successors
 from repro.pds.state import PDSState
 from repro.util.meter import METER
 
@@ -53,30 +55,120 @@ ContextTreeEntry = tuple[PDSState, PDSState | None, Action | None]
 
 
 class ContextTree:
-    """Id-encoded BFS tree of one thread context from one local view.
+    """Flat array-encoded BFS tree of one thread context from one view.
 
-    ``entries[0]`` is the root ``(shared_id, stack_id, -1, None)`` — the
-    view itself; every later entry is
-    ``(shared_id, stack_id, parent_pos, action)`` with ``parent_pos``
-    indexing an earlier entry (BFS discovery order, so parents always
-    precede children).  All ids refer to the
-    :class:`~repro.cpds.interning.StateTable` the tree was built
-    against; a tree is exact for *every* global state whose moving
-    thread shows this view, because a context never reads the frozen
-    threads' stacks.
+    Nodes are numbered in BFS discovery order; node 0 is the root
+    ``(root_qid, root_wid)`` — the view itself.  The tree is stored
+    CSR-style in contiguous ``array('q')`` columns:
+
+    * ``offsets`` (length ``n_nodes + 1``): node ``p``'s outgoing edges
+      occupy positions ``offsets[p]..offsets[p+1]`` of the edge columns.
+    * ``qids`` / ``wids`` (length ``n_edges``): the target node's
+      interned shared-state and stack ids.  Edge ``e`` discovers node
+      ``e + 1`` (BFS numbering), so the columns double as per-node id
+      tables.
+    * ``actions`` (length ``n_edges``): the :class:`Action` taken, for
+      witness reconstruction.
+
+    All ids refer to the :class:`~repro.cpds.interning.StateTable` the
+    tree was built against; a tree is exact for *every* global state
+    whose moving thread shows this view, because a context never reads
+    the frozen threads' stacks.  :meth:`deltas` derives (and memoizes
+    per table era) the per-edge packed-key deltas the replay loop ORs
+    into a frozen global-state key.
     """
 
-    __slots__ = ("thread", "entries")
+    __slots__ = (
+        "thread",
+        "root_qid",
+        "root_wid",
+        "offsets",
+        "qids",
+        "wids",
+        "actions",
+        "_deltas",
+        "_parent_pos",
+        "_rows",
+    )
 
-    def __init__(self, thread: int, entries: tuple) -> None:
+    def __init__(
+        self,
+        thread: int,
+        root_qid: int,
+        root_wid: int,
+        offsets: array,
+        qids: array,
+        wids: array,
+        actions: tuple,
+    ) -> None:
         self.thread = thread
-        self.entries = entries
+        self.root_qid = root_qid
+        self.root_wid = root_wid
+        self.offsets = offsets
+        self.qids = qids
+        self.wids = wids
+        self.actions = actions
+        self._deltas: tuple[int, list[int]] | None = None
+        self._parent_pos: list[int] | None = None
+        self._rows: tuple[int, tuple] | None = None
 
     def __len__(self) -> int:
-        return len(self.entries)
+        """Node count (root included)."""
+        return len(self.qids) + 1
+
+    def deltas(self, table: StateTable) -> list[int]:
+        """Per-edge packed-key deltas ``(qid << qshift) | (wid << b*i)``
+        under ``table``'s current geometry, memoized per era.  A plain
+        list, not an ``array``: the replay loop iterates it once per
+        shard member and list iteration avoids re-boxing each value."""
+        cached = self._deltas
+        era = table.era
+        if cached is None or cached[0] != era:
+            qshift = table._qshift
+            shift = table._bits * self.thread
+            cached = (
+                era,
+                [
+                    (qid << qshift) | (wid << shift)
+                    for qid, wid in zip(self.qids, self.wids)
+                ],
+            )
+            self._deltas = cached
+        return cached[1]
+
+    def parent_positions(self) -> list[int]:
+        """Per-edge source-node index, flattened from ``offsets``
+        (memoized — geometry-independent).  Lets the witness-tracking
+        replay run one flat ``zip`` over the edge columns instead of a
+        nested node/edge walk."""
+        cached = self._parent_pos
+        if cached is None:
+            offsets = self.offsets
+            cached = []
+            extend = cached.extend
+            for node in range(len(offsets) - 1):
+                extend([node] * (offsets[node + 1] - offsets[node]))
+            self._parent_pos = cached
+        return cached
+
+    def edge_rows(self, table: StateTable) -> tuple:
+        """``(packed delta, parent position, action)`` rows, one per
+        edge — the witness-tracking replay loop's iteration unit,
+        memoized per table era like the deltas they embed."""
+        cached = self._rows
+        era = table.era
+        if cached is None or cached[0] != era:
+            cached = (
+                era,
+                tuple(
+                    zip(self.deltas(table), self.parent_positions(), self.actions)
+                ),
+            )
+            self._rows = cached
+        return cached[1]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ContextTree(thread={self.thread}, nodes={len(self.entries)})"
+        return f"ContextTree(thread={self.thread}, nodes={len(self)})"
 
 
 def thread_state(state: GlobalState, index: int) -> PDSState:
@@ -188,16 +280,32 @@ def thread_view_post(
     shared_id: int,
     stack_id: int,
     max_states: int = DEFAULT_STATE_LIMIT,
+    succ_memo: dict | None = None,
+    build_rows: bool = True,
 ) -> ContextTree:
     """Saturate one context of thread ``index`` from the interned local
-    view ``(shared_id, stack_id)`` and return the id-encoded tree.
+    view ``(shared_id, stack_id)`` and return the flat array-encoded
+    tree.
+
+    ``build_rows=False`` skips seeding the witness-replay row memo (one
+    tuple per edge) — callers that never take the witness-tracking
+    replay path (pool workers shipping raw columns, ``track_traces=False``
+    engines) save the allocation; ``edge_rows`` rebuilds lazily if
+    needed.
 
     This is the view-granular counterpart of :func:`thread_context_post`
     used by the sharded explicit engine: the returned
     :class:`ContextTree` is replayed across all global states sharing
-    the view by id substitution (see the module docstring).  Every
-    reached local state's shared state and stack word are interned into
-    ``table`` as a side effect.
+    the view by packed-key substitution (see the module docstring).
+    Every reached local state's shared state and stack word are interned
+    into ``table`` as a side effect.
+
+    ``succ_memo`` (one dict *per thread*, owned by the caller) memoizes
+    ``local state -> ((action, successor), ...)`` across trees: the BFS
+    territories of different views overlap heavily, and enabledness plus
+    the stack rewrite are pure functions of the local state, so each
+    distinct local state pays the action dispatch and successor
+    construction once per engine instead of once per tree.
 
     Raises :class:`ContextExplosionError` past ``max_states`` distinct
     local states — the divergence guard for non-FCR programs.
@@ -205,34 +313,73 @@ def thread_view_post(
     pds = cpds.thread(index)
     start = PDSState(table.shared(shared_id), table.stack(index, stack_id))
     METER.bump("explicit.expansions")
-    entries: list[tuple] = [(shared_id, stack_id, -1, None)]
-    seen_local: dict[PDSState, int] = {start: 0}
-    work: deque[tuple[PDSState, int]] = deque([(start, 0)])
+    # Built as plain lists (cheap appends), converted to contiguous
+    # ``array('q')`` columns in one shot at the end.  Iterating ``nodes``
+    # while appending to it is the BFS-over-a-growing-list idiom: the
+    # for loop's internal cursor picks up appended items.
+    era = table.era
+    qshift = table._qshift
+    shift = table._bits * index
+    offsets: list[int] = [0]
+    qids: list[int] = []
+    wids: list[int] = []
+    actions: list[Action] = []
+    rows: list[tuple] = []
+    nodes: list[PDSState] = [start]
+    seen_local: set[PDSState] = {start}
+    seen_add = seen_local.add
     shared_of = table.shared_id
     stack_of = table.stack_id
-    while work:
-        local, pos = work.popleft()
-        for action, local_next in pds_successors(pds, local):
+    qids_append = qids.append
+    wids_append = wids.append
+    actions_append = actions.append
+    rows_append = rows.append
+    nodes_append = nodes.append
+    offsets_append = offsets.append
+    pos = 0
+    for local in nodes:
+        if succ_memo is None:
+            succs = tuple(pds_successors(pds, local))
+        else:
+            succs = succ_memo.get(local)
+            if succs is None:
+                succ_memo[local] = succs = tuple(pds_successors(pds, local))
+        for action, local_next in succs:
             if local_next in seen_local:
                 continue
-            next_pos = len(entries)
-            seen_local[local_next] = next_pos
+            seen_add(local_next)
             if len(seen_local) > max_states:
                 raise ContextExplosionError(
                     f"context of thread {index} from view {start} exceeded "
                     f"{max_states} states; the program likely violates FCR",
                     states_seen=len(seen_local),
                 )
-            entries.append(
-                (
-                    shared_of(local_next.shared),
-                    stack_of(index, local_next.stack),
-                    pos,
-                    action,
-                )
-            )
-            work.append((local_next, next_pos))
-    return ContextTree(index, tuple(entries))
+            qid = shared_of(local_next.shared)
+            wid = stack_of(index, local_next.stack)
+            qids_append(qid)
+            wids_append(wid)
+            actions_append(action)
+            if build_rows:
+                rows_append(((qid << qshift) | (wid << shift), pos, action))
+            nodes_append(local_next)
+        pos += 1
+        offsets_append(len(qids))
+    tree = ContextTree(
+        index,
+        shared_id,
+        stack_id,
+        array("q", offsets),
+        array("q", qids),
+        array("q", wids),
+        tuple(actions),
+    )
+    # The replay rows fall out of the BFS for free; seed the memo unless
+    # interning this very tree's components repacked the table (the
+    # geometry captured above went stale — rare; the lazy rebuild in
+    # ``edge_rows`` covers it).
+    if build_rows and table.era == era:
+        tree._rows = (era, tuple(rows))
+    return tree
 
 
 def context_post(

@@ -8,7 +8,7 @@ the top of each stack (Sec. 2.2, Eq. 1):
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Sequence
+from collections.abc import Hashable
 from dataclasses import dataclass, field
 
 from repro.pds.state import EMPTY, PDSState, format_stack, format_top

@@ -32,6 +32,7 @@ def context_bounded_analysis(
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
     incremental: bool = True,
     batched: bool = True,
+    jobs: int = 1,
 ) -> VerificationResult:
     """Check ``prop`` for executions with at most ``bound`` contexts.
 
@@ -44,12 +45,14 @@ def context_bounded_analysis(
     constructed here (context-tree memoization for explicit, expansion
     memoization for symbolic); ``batched`` selects view-batched frontier
     expansion (``False`` = the per-state oracle path; the symbolic
-    engine has its own ``batched`` default).  Both are ignored when a
-    prepared engine instance is passed.  The UNKNOWN result's
-    ``stats["meter"]`` records the saturation/cache/frontier-batching
-    work counters this analysis produced, plus the canonicalization
-    cache state and the per-engine summary — the numbers the BENCH
-    harness (:mod:`repro.bench.runner`) persists.
+    engine has its own ``batched`` default); ``jobs > 1`` saturates the
+    explicit engine's unique views across worker processes
+    (:mod:`repro.reach.parallel`; the symbolic engine ignores it).  All
+    are ignored when a prepared engine instance is passed.  The UNKNOWN
+    result's ``stats["meter"]`` records the saturation/cache/
+    frontier-batching work counters this analysis produced, plus the
+    canonicalization cache state and the per-engine summary — the
+    numbers the BENCH harness (:mod:`repro.bench.runner`) persists.
     """
     meter_before = METER.snapshot()
     if isinstance(engine, str):
@@ -59,6 +62,7 @@ def context_bounded_analysis(
                 max_states_per_context=max_states_per_context,
                 incremental=incremental,
                 batched=batched,
+                jobs=jobs,
             )
         elif engine == "symbolic":
             engine = SymbolicReach(cpds, incremental=incremental)

@@ -49,6 +49,7 @@ def scheme1_rk(
     engine: ExplicitReach | None = None,
     incremental: bool = True,
     batched: bool = True,
+    jobs: int = 1,
 ) -> VerificationResult:
     """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
 
@@ -58,10 +59,12 @@ def scheme1_rk(
     result's ``stats["meter"]`` carries the work counters (context-cache
     hits, saturation work) accumulated during this run.
 
-    ``incremental`` and ``batched`` configure the engine constructed
-    here (``batched=False`` selects the seed per-state oracle path);
-    both are ignored when a prepared ``engine`` instance is passed
-    (configure that engine at construction instead).
+    ``incremental``, ``batched`` and ``jobs`` configure the engine
+    constructed here (``batched=False`` selects the seed per-state
+    oracle path; ``jobs > 1`` saturates each level's unique views across
+    a pool of worker processes, see :mod:`repro.reach.parallel`); all
+    are ignored when a prepared ``engine`` instance is passed (configure
+    that engine at construction instead).
     """
     meter_before = METER.snapshot()
     if engine is None:
@@ -70,6 +73,7 @@ def scheme1_rk(
             max_states_per_context=max_states_per_context,
             incremental=incremental,
             batched=batched,
+            jobs=jobs,
         )
     method = "scheme1(Rk)"
 

@@ -25,7 +25,6 @@ from repro.cuba.algorithm3 import algorithm3
 from repro.cuba.fcr import FCRReport, check_fcr
 from repro.cuba.generators import generator_analysis
 from repro.cuba.overapprox import compute_z
-from repro.cuba.scheme1 import scheme1_rk
 from repro.errors import ContextExplosionError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach.explicit import ExplicitReach
@@ -71,10 +70,15 @@ class Cuba:
         cpds: CPDS,
         prop: Property,
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
+        jobs: int = 1,
     ) -> None:
         self.cpds = cpds
         self.prop = prop
         self.max_states_per_context = max_states_per_context
+        #: Worker-process count for explicit view saturation
+        #: (:mod:`repro.reach.parallel`); the symbolic fallback path
+        #: ignores it.
+        self.jobs = jobs
 
     # ------------------------------------------------------------------
     def verify(self, max_rounds: int = 50) -> CubaReport:
@@ -100,7 +104,9 @@ class Cuba:
     def _verify_explicit_pair(self, fcr: FCRReport, max_rounds: int) -> CubaReport:
         """Alg. 3(T(Rk)) ∥ Scheme 1(Rk) on one shared explicit engine."""
         engine = ExplicitReach(
-            self.cpds, max_states_per_context=self.max_states_per_context
+            self.cpds,
+            max_states_per_context=self.max_states_per_context,
+            jobs=self.jobs,
         )
         analysis = generator_analysis(self.cpds)
         reachable_generators = analysis.intersect(compute_z(self.cpds))

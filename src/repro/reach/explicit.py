@@ -1,5 +1,5 @@
 """Explicit-state computation of the sets ``Rk`` (paper Secs. 2.3, 5),
-rebuilt on an interned global-state core.
+rebuilt on a flat array-encoded interned core.
 
 ``R0 = {⟨qI|w1,...,wn⟩}`` and ``Rk`` adds, for every state first reached
 at bound ``k−1`` and every thread ``i``, all states thread ``i`` can
@@ -7,40 +7,50 @@ reach in one context.  Because a context includes the empty run,
 expanding only the frontier is exact: states discovered at earlier
 levels were already expanded.
 
-Architecture (PR 3)
--------------------
+Architecture (PR 3 sharding, PR 4 flat arrays + multiprocess saturation)
+------------------------------------------------------------------------
 The engine is *product-space bound*: the dominant cost is not the local
 BFS trees (tiny, heavily shared) but the per-state bookkeeping of the
-global product — constructing and hashing ``⟨q|w1,...,wn⟩`` tuples for
-every replayed context step.  Both are killed by interning:
+global product.  Three layers kill it:
 
 * A :class:`~repro.cpds.interning.StateTable` interns every component
-  (shared states, per-thread stack words) and every global state to
-  dense integer ids; ``first_seen`` is an id-indexed list, levels are id
-  tuples, parents an int-keyed dict, and the visible projection is
-  memoized per id.  The table doubles as the seen-set: an intern miss
-  *is* the freshness test.
+  (shared states, per-thread stack words) and packs every global state
+  into a **single integer key** (fixed-width bit fields, adaptively
+  widened); ``first_seen`` is an id-indexed list, levels are id tuples,
+  parents an int-keyed dict, and the visible projection is memoized per
+  id.  The table doubles as the seen-set: an intern miss *is* the
+  freshness test.
 * ``advance`` **shards** each frontier level by the moving thread's view
   ``(thread, shared_id, stack_id)`` and saturates each unique view
   exactly once per level via
-  :func:`~repro.cpds.semantics.thread_view_post` (mirroring PR 2's
-  batched symbolic frontier).  METER records the grouping —
-  ``explicit.level_views`` vs ``explicit.level_unique_views`` vs
-  ``explicit.expansions`` — so harnesses can assert one saturation per
-  unique view per level (with ``incremental=True`` cross-level reuse,
-  ``expansions + context_cache_hits`` accounts for every shard).
-* The resulting id-encoded :class:`~repro.cpds.semantics.ContextTree`
-  is **replayed** across all global states sharing the view by pure id
-  substitution: swap the moving thread's ``stack_id``, keep the frozen
-  threads' ids, and intern the ``(shared_id, stack_ids)`` key.  No
-  ``GlobalState`` is materialized on this path; decoding happens lazily
-  in the observation API.
+  :func:`~repro.cpds.semantics.thread_view_post`, which emits a flat
+  CSR-encoded :class:`~repro.cpds.semantics.ContextTree`
+  (``array('q')`` edge offsets + target id columns).  METER records the
+  grouping — ``explicit.level_views`` vs ``explicit.level_unique_views``
+  vs ``explicit.expansions`` — so harnesses can assert one saturation
+  per unique view per level (with ``incremental=True`` cross-level
+  reuse, ``expansions + context_cache_hits`` accounts for every shard).
+* The tree is **replayed** across all global states sharing the view by
+  pure integer arithmetic: mask the moving thread's bit field out of
+  the member's packed key and OR in the tree's precomputed per-edge
+  delta — no tuple allocation, no nested re-hashing, no ``GlobalState``
+  materialized anywhere on the path.  Decoding happens lazily in the
+  observation API.
+
+With ``jobs=N`` (opt-in), each level's *uncached* unique views are
+saturated by a pool of worker processes
+(:mod:`repro.reach.parallel`) — the per-view explorations are
+independent, the same embarrassing parallelism context-bounded analyses
+exploit — while tree replay and the seen-set stay in the parent.
+``jobs=1`` keeps everything in-process; both paths produce identical
+levels and identical METER expansion counts.
 
 The seed per-state formulation — one
 :func:`~repro.cpds.semantics.thread_context_post` call per (state,
 thread) — is kept behind ``batched=False`` as the differential oracle;
-``tests/reach/test_batched_explicit.py`` proves the two agree level for
-level on every FCR registry row and on randomized CPDSs.
+``tests/reach/test_batched_explicit.py`` and
+``tests/reach/test_parallel_explicit.py`` prove the three modes agree
+level for level on every FCR registry row and on randomized CPDSs.
 
 Explicit enumeration requires every ``Rk`` to be finite — the finite
 context reachability condition (Sec. 5).  Programs violating FCR trip
@@ -52,12 +62,22 @@ from __future__ import annotations
 
 from repro.cpds.cpds import CPDS
 from repro.cpds.interning import StateTable
-from repro.cpds.semantics import thread_context_post, thread_view_post
+from repro.cpds.semantics import ContextTree, thread_context_post, thread_view_post
 from repro.cpds.state import GlobalState
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach.base import ReachabilityEngine
 from repro.reach.witness import Trace, TraceStep, rebuild_trace
 from repro.util.meter import METER
+
+#: A frontier shard key packs ``(thread, shared_id, stack_id)`` into one
+#: int — ``(qid << (t + 32)) | (wid << t) | thread`` for a per-engine
+#: thread-field width ``t`` sized to the CPDS at construction —
+#: independent of the table's adaptive packing geometry, so the
+#: cross-level tree cache keyed by it survives repacks.  Stack pools
+#: cannot outgrow 2**32 entries.
+View = int
+
+_VIEW_WID_MASK = 0xFFFFFFFF
 
 
 class ExplicitReach(ReachabilityEngine):
@@ -71,22 +91,43 @@ class ExplicitReach(ReachabilityEngine):
         track_traces: bool = True,
         incremental: bool = True,
         batched: bool = True,
+        jobs: int = 1,
     ) -> None:
         super().__init__()
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs > 1 and not batched:
+            raise ValueError("jobs > 1 requires the batched engine (batched=True)")
         self.cpds = cpds
         self.max_states_per_context = max_states_per_context
         self.batched = batched
+        #: Worker-process count for view saturation; 1 = in-process.
+        self.jobs = jobs
+        self._pool = None
+        #: View-key geometry (see :data:`View`): the thread field is
+        #: sized to this CPDS so view keys cannot alias however many
+        #: threads the product has.
+        self._view_wid_shift = max(4, cpds.n_threads.bit_length())
+        self._view_qid_shift = self._view_wid_shift + 32
+        self._view_index_mask = (1 << self._view_wid_shift) - 1
         #: Interned global-state core shared with the context-tree
         #: builders; dense ids index ``_first_seen`` and key parents.
         self.table = StateTable(cpds.n_threads)
-        #: Cross-level memo of id-encoded context trees, keyed by
+        #: Cross-level memo of array-encoded context trees, keyed by
         #: ``(thread, shared_id, stack_id)`` (``incremental=True``): a
         #: context depends only on the moving thread's local view, which
         #: recurs under many global states and levels.
-        self._tree_cache: dict | None = {} if incremental else None
+        self._tree_cache: dict[View, ContextTree] | None = (
+            {} if incremental else None
+        )
         #: Seed-formulation memo for the per-state oracle path, keyed by
         #: ``(thread, PDSState)`` (see :func:`thread_context_post`).
         self._context_cache: dict | None = {} if incremental else None
+        #: Per-thread successor memos shared by every in-process tree
+        #: saturation (see :func:`thread_view_post`).
+        self._succ_memos: tuple[dict, ...] = tuple(
+            {} for _ in range(cpds.n_threads)
+        )
         #: ``_level_ids[k]`` = ids of states first reached at bound k.
         self._level_ids: list[tuple[int, ...]] = []
         #: id -> level at which the state was first reached (dense).
@@ -116,7 +157,8 @@ class ExplicitReach(ReachabilityEngine):
         """Compute ``R(k+1)``; return True iff it strictly grows ``Rk``.
 
         Exception-safe: if a context trips the divergence guard
-        (:class:`~repro.errors.ContextExplosionError`) mid-level, every
+        (:class:`~repro.errors.ContextExplosionError`) mid-level, or a
+        saturation worker dies (:class:`~repro.errors.CubaError`), every
         state discovered by the partial level is rolled back — ids,
         ``first_seen`` and parents stay consistent with the committed
         levels, so callers that catch the guard (Scheme 1's UNKNOWN
@@ -159,67 +201,163 @@ class ExplicitReach(ReachabilityEngine):
         self, frontier: tuple[int, ...], level: int, fresh: list[int]
     ) -> None:
         """Shard the frontier by unique thread view, saturate each view
-        once, then replay the id-encoded tree across every global state
-        in the shard via id substitution."""
+        once (in-process or across the worker pool), then replay the
+        array-encoded tree across every member by packed-key
+        substitution."""
         table = self.table
-        keys = table._keys
         n = self.cpds.n_threads
-        shards: dict[tuple[int, int, int], list[int]] = {}
+        bits = table._bits
+        mask = table._mask
+        qshift = table._qshift
+        packed = table._packed
+        shifts = tuple(bits * index for index in range(n))
+        threads = tuple(range(n))
+        view_wid_shift = self._view_wid_shift
+        view_qid_shift = self._view_qid_shift
+        shards: dict[View, list[int]] = {}
         for sid in frontier:
-            qid, wids = keys[sid]
-            for index in range(n):
-                shards.setdefault((index, qid, wids[index]), []).append(sid)
+            key = packed[sid]
+            qbase = (key >> qshift) << view_qid_shift
+            for index in threads:
+                shards.setdefault(
+                    qbase
+                    | (((key >> shifts[index]) & mask) << view_wid_shift)
+                    | index,
+                    [],
+                ).append(sid)
         METER.bump("explicit.level_views", n * len(frontier))
         METER.bump("explicit.level_unique_views", len(shards))
+        if not shards:
+            return
+        trees = self._trees_for(list(shards))
 
-        ids = table._ids
-        states = table._states
-        visibles = table._visibles
         first_seen = self._first_seen
         parents = self._parents
-        cache = self._tree_cache
         append_fresh = fresh.append
         for view, members in shards.items():
+            tree = trees[view]
+            if not len(tree.qids):
+                continue  # the context reaches nothing beyond its root
+            index = view & self._view_index_mask
+            # Saturating later views grows the component pools, which
+            # can repack the table — re-read the geometry per shard.
+            # Within one shard's replay only global ids grow, and the
+            # repack mutates dict/list objects in place, so these
+            # references stay valid for the whole shard.
+            bits = table._bits
+            qshift = table._qshift
+            packed = table._packed
+            ids = table._ids
+            states = table._states
+            visibles = table._visibles
+            low_mask = (1 << qshift) - 1
+            move_clear = ~(table._mask << (bits * index))
+            if parents is None:
+                deltas = tree.deltas(table)
+                for sid in members:
+                    # ``StateTable.intern_key`` inlined on packed keys
+                    # (see the coupling note there): this loop runs once
+                    # per (member, tree edge) and the call overhead is
+                    # the hot-path cost.
+                    frozen = packed[sid] & low_mask & move_clear
+                    for delta in deltas:
+                        key = frozen | delta
+                        nsid = ids.get(key)
+                        if nsid is None:
+                            ids[key] = nsid = len(packed)
+                            packed.append(key)
+                            states.append(None)
+                            visibles.append(None)
+                            first_seen.append(level)
+                            append_fresh(nsid)
+            else:
+                edge_rows = tree.edge_rows(table)
+                for sid in members:
+                    frozen = packed[sid] & low_mask & move_clear
+                    by_pos = [sid]
+                    record = by_pos.append
+                    for delta, parent_pos, action in edge_rows:
+                        key = frozen | delta
+                        nsid = ids.get(key)
+                        if nsid is None:
+                            ids[key] = nsid = len(packed)
+                            packed.append(key)
+                            states.append(None)
+                            visibles.append(None)
+                            first_seen.append(level)
+                            append_fresh(nsid)
+                            parents[nsid] = (by_pos[parent_pos], index, action)
+                        record(nsid)
+
+    def _view_parts(self, view: View) -> tuple[int, int, int]:
+        """Unpack a view key to ``(thread, shared_id, stack_id)``."""
+        return (
+            view & self._view_index_mask,
+            view >> self._view_qid_shift,
+            (view >> self._view_wid_shift) & _VIEW_WID_MASK,
+        )
+
+    def _trees_for(self, views: list[View]) -> dict[View, ContextTree]:
+        """A context tree per view: cross-level cache hits first, then
+        the misses saturated in-process (``jobs=1``) or fanned out to
+        the worker pool — METER accounting is identical either way."""
+        cache = self._tree_cache
+        trees: dict[View, ContextTree] = {}
+        missing: list[View] = []
+        for view in views:
             tree = cache.get(view) if cache is not None else None
             if tree is not None:
                 METER.bump("explicit.context_cache_hits")
+                trees[view] = tree
             else:
-                index, qid, wid = view
+                missing.append(view)
+        if not missing:
+            return trees
+        if self.jobs > 1 and len(missing) > 1:
+            saturated = self._saturate_parallel(missing)
+            METER.bump("explicit.expansions", len(missing))
+            if cache is not None:
+                METER.bump("explicit.context_cache_misses", len(missing))
+                cache.update(saturated)
+            trees.update(saturated)
+        else:
+            for view in missing:
+                index, qid, wid = self._view_parts(view)
                 tree = thread_view_post(
-                    self.cpds, table, index, qid, wid, self.max_states_per_context
+                    self.cpds, self.table, index, qid, wid,
+                    self.max_states_per_context,
+                    succ_memo=self._succ_memos[index],
+                    build_rows=self._parents is not None,
                 )
                 if cache is not None:
                     METER.bump("explicit.context_cache_misses")
                     cache[view] = tree
-            entries = tree.entries
-            if len(entries) == 1:
-                continue  # the context reaches nothing beyond its root
-            index = view[0]
-            after = index + 1
-            for sid in members:
-                wids = keys[sid][1]
-                prefix = wids[:index]
-                suffix = wids[after:]
-                # ``StateTable.intern_key`` inlined (see the coupling
-                # note there): this loop runs once per (member, tree
-                # entry) and the call overhead is the hot-path cost.
-                by_pos = [sid] if parents is not None else None
-                for pos in range(1, len(entries)):
-                    eqid, ewid, ppos, action = entries[pos]
-                    key = (eqid, prefix + (ewid,) + suffix)
-                    nsid = ids.get(key)
-                    if nsid is None:
-                        nsid = len(keys)
-                        ids[key] = nsid
-                        keys.append(key)
-                        states.append(None)
-                        visibles.append(None)
-                        first_seen.append(level)
-                        append_fresh(nsid)
-                        if by_pos is not None:
-                            parents[nsid] = (by_pos[ppos], index, action)
-                    if by_pos is not None:
-                        by_pos.append(nsid)
+                trees[view] = tree
+        return trees
+
+    def _saturate_parallel(
+        self, missing: list[View]
+    ) -> dict[View, ContextTree]:
+        """Fan the uncached views out to the leased worker pool and
+        remap the returned slice-local trees onto this table's ids (in
+        submission order, so pool growth is deterministic)."""
+        from repro.reach.parallel import lease_pool, remap_slice
+
+        if self._pool is None or self._pool.broken:
+            self._pool = lease_pool(
+                self.cpds, self.max_states_per_context, self.jobs
+            )
+        table = self.table
+        roots = [self._view_parts(view) for view in missing]
+        decoded = [
+            (index, table.shared(qid), table.stack(index, wid))
+            for index, qid, wid in roots
+        ]
+        trees: dict[View, ContextTree] = {}
+        for start, result in self._pool.saturate(decoded):
+            for position, tree in enumerate(remap_slice(table, roots, start, result)):
+                trees[missing[start + position]] = tree
+        return trees
 
     def _advance_per_state(
         self, frontier: tuple[int, ...], level: int, fresh: list[int]
@@ -322,6 +460,7 @@ class ExplicitReach(ReachabilityEngine):
             "global_states": len(self._first_seen),
             "levels": self.level_sizes(),
             "batched": self.batched,
+            "jobs": self.jobs,
             "context_memo": len(cache) if cache is not None else 0,
         }
 

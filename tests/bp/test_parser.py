@@ -42,7 +42,7 @@ class TestProgramStructure:
 class TestStatements:
     def test_labels_numeric_and_symbolic(self):
         func = parse_single_function("2: skip; again: skip; skip;")
-        assert [l.label for l in func.body] == ["2", "again", None]
+        assert [labeled.label for labeled in func.body] == ["2", "again", None]
 
     def test_goto_multiple_targets(self):
         stmt = first_stmt("a: goto a, b; b: skip;")
@@ -99,7 +99,7 @@ class TestStatements:
         program = parse_program(
             "void w() { skip; } void main() { thread_create(&w); thread_create(w); }"
         )
-        stmts = [l.stmt for l in program.function("main").body]
+        stmts = [labeled.stmt for labeled in program.function("main").body]
         assert stmts == [ast.ThreadCreate("w"), ast.ThreadCreate("w")]
 
     def test_assume_assert(self):

@@ -5,7 +5,7 @@ import pytest
 from repro.bp import compile_source
 from repro.bp.translate import ERR, INIT
 from repro.core import Verdict
-from repro.cuba import Cuba, algorithm3, check_fcr, scheme1_rk
+from repro.cuba import Cuba, check_fcr, scheme1_rk
 from repro.errors import TranslationError
 from repro.reach import ExplicitReach
 

@@ -70,10 +70,61 @@ class TestStateTable:
         assert table.id_of(gs(0, [1, 1], [4])) is None    # unknown stack
         assert table.id_of(gs(0, [4], [1])) is None       # unknown combo
 
+    def test_pack_unpack_round_trip(self):
+        table = StateTable(3)
+        key = table.pack(7, (1, 2, 3))
+        assert table.unpack(key) == (7, (1, 2, 3))
+        sid = table.intern_key(7, (1, 2, 3))
+        assert table.packed_key(sid) == key
+        assert table.key(sid) == (7, (1, 2, 3))
+
+    def test_pool_growth_repacks_all_keys(self):
+        """Outgrowing a component pool doubles the bit-field width and
+        rewrites every stored key; ids, decode and lookup survive."""
+        table = StateTable(2)
+        states = [gs(s, [s], [s, s]) for s in range(4)]
+        # Shrink the geometry so the test does not need 65k states.
+        table._bits = 4
+        table._mask = 0xF
+        table._qshift = 8
+        table._limit = 16
+        sids = [table.intern(state) for state in states]
+        era_before = table.era
+        # 20 distinct shared states overflow the 4-bit field (limit 16).
+        more = [gs(100 + s, [s], [s]) for s in range(20)]
+        more_sids = [table.intern(state) for state in more]
+        assert table.era > era_before
+        assert table._bits == 8
+        for state, sid in zip(states + more, sids + more_sids):
+            assert table.state(sid) == state
+            assert table.id_of(state) == sid
+            assert table.unpack(table.packed_key(sid)) == table.key(sid)
+        # Dense ids unchanged by the repack.
+        assert sids == list(range(len(states)))
+
+    def test_truncate_after_growth(self):
+        table = StateTable(1)
+        table._bits = 4
+        table._mask = 0xF
+        table._qshift = 4
+        table._limit = 16
+        for s in range(20):
+            table.intern(gs_one(s, [s]))
+        assert table.era == 1  # grew once
+        table.truncate(10)
+        assert len(table) == 10
+        assert table.id_of(gs_one(15, [15])) is None
+        # Component pools survive truncation; re-intern restores density.
+        assert table.intern(gs_one(15, [15])) == 10
+
+
+def gs_one(shared, stack):
+    return GlobalState(shared, (tuple(stack),))
+
 
 class TestThreadViewPost:
     def test_tree_matches_per_state_closure(self):
-        """Replaying the id-encoded tree under a global state yields
+        """Replaying the array-encoded tree under a global state yields
         exactly thread_context_post of that state."""
         cpds = fig1_cpds()
         state = cpds.initial_state()
@@ -83,21 +134,62 @@ class TestThreadViewPost:
         for index in range(cpds.n_threads):
             tree = thread_view_post(cpds, table, index, qid, wids[index])
             replayed = set()
-            for eqid, ewid, _ppos, _action in tree.entries:
+            for eqid, ewid in zip(
+                (tree.root_qid, *tree.qids), (tree.root_wid, *tree.wids)
+            ):
                 new_wids = wids[:index] + (ewid,) + wids[index + 1 :]
                 replayed.add(table.state(table.intern_key(eqid, new_wids)))
             assert replayed == thread_context_post(cpds, state, index)
 
-    def test_tree_root_and_parent_order(self):
+    def test_tree_csr_shape_and_bfs_order(self):
+        """CSR invariants: offsets are monotone and cover every edge,
+        edge e discovers node e+1, parents precede children, and every
+        edge carries its witness action."""
         cpds = fig1_cpds()
         table = StateTable(cpds.n_threads)
         qid = table.shared_id(cpds.initial_shared)
         wid = table.stack_id(0, cpds.initial_stacks[0])
         tree = thread_view_post(cpds, table, 0, qid, wid)
-        assert tree.entries[0] == (qid, wid, -1, None)
-        for pos, (_q, _w, parent, action) in enumerate(tree.entries[1:], start=1):
-            assert 0 <= parent < pos  # BFS: parents precede children
-            assert action is not None
+        n_edges = len(tree.qids)
+        assert (tree.root_qid, tree.root_wid) == (qid, wid)
+        assert len(tree) == n_edges + 1
+        assert len(tree.wids) == n_edges and len(tree.actions) == n_edges
+        assert len(tree.offsets) == len(tree) + 1
+        assert tree.offsets[0] == 0 and tree.offsets[-1] == n_edges
+        assert all(
+            tree.offsets[p] <= tree.offsets[p + 1] for p in range(len(tree))
+        )
+        for node in range(len(tree)):
+            for edge in range(tree.offsets[node], tree.offsets[node + 1]):
+                assert edge + 1 > node  # BFS: parents precede children
+                assert tree.actions[edge] is not None
+
+    def test_deltas_track_table_era(self):
+        """The packed-delta cache is invalidated by a repack and stays
+        consistent with the tree's id columns."""
+        cpds = fig1_cpds()
+        table = StateTable(cpds.n_threads)
+        qid = table.shared_id(cpds.initial_shared)
+        wid = table.stack_id(0, cpds.initial_stacks[0])
+        tree = thread_view_post(cpds, table, 0, qid, wid)
+
+        def decoded(deltas):
+            shift = table._bits * tree.thread
+            return [
+                (d >> table._qshift, (d >> shift) & table._mask) for d in deltas
+            ]
+
+        before = decoded(tree.deltas(table))
+        assert before == list(zip(tree.qids, tree.wids))
+        assert tree.deltas(table) is tree.deltas(table)  # memoized
+        old_era = table.era
+        # Overflow the shared pool to force a repack.
+        for extra in range(70000):
+            table.shared_id(("filler", extra))
+            if table.era != old_era:
+                break
+        assert table.era != old_era
+        assert decoded(tree.deltas(table)) == list(zip(tree.qids, tree.wids))
 
     def test_divergence_guard(self):
         from repro.errors import ContextExplosionError

@@ -6,8 +6,7 @@ from repro.core import AlwaysSafe, MutualExclusion, SharedStateReachability, Ver
 from repro.cpds import VisibleState
 from repro.cuba import algorithm3
 from repro.models import fig1_cpds, fig2_cpds
-from repro.pds import EMPTY
-from repro.reach import ExplicitReach, SymbolicReach
+from repro.reach import ExplicitReach
 
 
 def vs(shared, *tops):

@@ -18,7 +18,7 @@ from repro.pds import (
     pre_star_naive,
     psa_for_configs,
 )
-from repro.util.meter import METER, scoped
+from repro.util.meter import scoped
 
 
 def fig7_pds():

@@ -104,6 +104,33 @@ def test_per_state_mode_expands_duplicates():
     )
 
 
+@pytest.mark.parametrize("n_threads", [15, 16, 17, 20])
+def test_many_threads_views_do_not_alias(n_threads):
+    """The packed view key's thread field is sized per engine: with more
+    than 16 threads a fixed 4-bit field would silently alias views (a
+    thread index spilling into the stack-id field) and corrupt Rk."""
+    spec = RandomSpec(
+        n_threads=n_threads, n_shared=2, n_symbols=2, rules_per_thread=2
+    )
+    cpds = random_cpds(7, spec)
+    batched = ExplicitReach(
+        cpds, max_states_per_context=200, track_traces=False, batched=True
+    )
+    per_state = ExplicitReach(
+        cpds, max_states_per_context=200, track_traces=False, batched=False
+    )
+    exploded = [False, False]
+    for position, engine in enumerate((batched, per_state)):
+        try:
+            engine.ensure_level(2)
+        except ContextExplosionError:
+            exploded[position] = True
+    assert exploded[0] == exploded[1]
+    if not exploded[0]:
+        for k in range(3):
+            assert batched.states_new_at(k) == per_state.states_new_at(k)
+
+
 @pytest.mark.parametrize("seed", range(40))
 def test_randomized_differential(seed):
     """Randomized CPDSs: batched and per-state engines agree level for

@@ -70,7 +70,7 @@ class TestFig1GoldenTable:
     def test_cumulative_counts(self, engine):
         assert len(engine.states_up_to(0)) == 1
         assert len(engine.states_up_to(2)) == 6
-        assert len(engine.states_up_to(6)) == sum(len(l) for l in FIG1_LEVELS)
+        assert len(engine.states_up_to(6)) == sum(len(level) for level in FIG1_LEVELS)
 
     def test_visible_up_to_is_union(self, engine):
         expected = set()

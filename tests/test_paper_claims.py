@@ -10,12 +10,12 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core import AlwaysSafe, terminology
+from repro.core import terminology
 from repro.cpds import CPDS
 from repro.cuba import check_fcr, compute_z
 from repro.errors import ContextExplosionError
 from repro.models import fig1_cpds, fig2_cpds
-from repro.pds import PDS, PDSState, post_star, post_star_explicit, psa_for_configs
+from repro.pds import PDS, PDSState, post_star_explicit
 from repro.pds.saturation import shallow_configs_psa
 from repro.reach import ExplicitReach, SymbolicReach, validate_trace
 

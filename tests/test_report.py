@@ -1,6 +1,5 @@
 """Tests for the report renderer (and its CLI hook)."""
 
-import pytest
 
 from repro.core import AlwaysSafe, SharedStateReachability
 from repro.cuba import Cuba

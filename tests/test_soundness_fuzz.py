@@ -12,7 +12,7 @@ rather than hypothesis so the corpus is stable across runs.
 
 import pytest
 
-from repro.core import SharedStateReachability, Verdict, VisiblePredicate
+from repro.core import Verdict, VisiblePredicate
 from repro.cuba import algorithm3, quick_check, scheme1_sk
 from repro.models import RandomSpec, random_cpds
 from repro.reach import SymbolicReach
