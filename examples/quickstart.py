@@ -72,6 +72,42 @@ def main() -> None:
     print(f"trace: {report.result.trace}")
     print()
 
+    print("== Persistent analysis service: submit twice, hit the store ==")
+    # The service layer (PR 5) content-addresses each problem
+    # (CPDS + property + engine config), stores verdicts and engine
+    # snapshots in sqlite, and deduplicates identical work: the first
+    # submission runs an engine, the second is answered from the store
+    # without touching one — METER proves it.  `cuba serve` wraps this
+    # same core in a JSON-over-HTTP server; `cuba submit` is its client.
+    import tempfile
+    from pathlib import Path
+
+    from repro import format_cpds
+    from repro.service import AnalysisRequest, AnalysisService, AnalysisStore
+    from repro.util.meter import scoped
+
+    with tempfile.TemporaryDirectory() as workdir:
+        service = AnalysisService(AnalysisStore(Path(workdir) / "store.sqlite"))
+        request = AnalysisRequest(
+            cpds_text=format_cpds(cpds), property_spec="shared:3", max_rounds=10
+        )
+        with scoped() as first_work:
+            first = service.run(request)
+        with scoped() as second_work:
+            second = service.run(request)
+        service.close()
+    print(
+        f"first submit:  {first['verdict']} at k={first['bound']} "
+        f"(engine runs: {first_work.get('service.engine_runs', 0)})"
+    )
+    print(
+        f"second submit: {second['verdict']} at k={second['bound']} "
+        f"(engine runs: {second_work.get('service.engine_runs', 0)}, "
+        f"store hit: {second['cached']})"
+    )
+    assert second["cached"] and second_work.get("service.engine_runs", 0) == 0
+    print()
+
     print("== Multiprocess view saturation (jobs=N) ==")
     # Each frontier level's unique (thread, shared, stack) views are
     # independent, so the explicit engine can saturate them across a

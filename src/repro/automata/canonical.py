@@ -43,6 +43,7 @@ caller does; copy first if you need to mutate).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, deque
 from collections.abc import Hashable, Iterable
 from contextlib import contextmanager
@@ -66,6 +67,15 @@ _NO_EDGES: dict = {}
 _cache: OrderedDict[tuple, tuple["CanonicalNFA", "Signature"]] = OrderedDict()
 #: Hash-cons table: canonical (symbols, bits, table) -> interned pair.
 _interned: dict[tuple, tuple["CanonicalNFA", "Signature"]] = {}
+#: Guards the memo/hash-cons tables and their counters.  The analysis
+#: service (PR 5) runs engines on a thread executor, which made these
+#: previously single-threaded globals concurrently mutated for the
+#: first time (``get`` → ``move_to_end`` must not race a clear or an
+#: eviction, and two threads must not intern two pairs for one
+#: language).  The heavy work — the dense pipeline itself — runs
+#: outside the lock; at worst two threads canonicalize the same miss
+#: and the second's result is discarded at intern time.
+_lock = threading.Lock()
 _token = count()
 # Per-cache hit/miss totals: kept here (not read back from METER) so the
 # info dict stays consistent with the cache even if METER is reset.
@@ -183,24 +193,26 @@ def backend(name: str):
 
 def canonical_cache_clear() -> None:
     """Drop every memoized canonicalization, the hash-cons table, and the
-    hit/miss totals (test isolation)."""
+    hit/miss totals (test isolation; the shared runtime-cache cleanup)."""
     global _hits, _misses
-    _cache.clear()
-    _interned.clear()
-    _hits = 0
-    _misses = 0
+    with _lock:
+        _cache.clear()
+        _interned.clear()
+        _hits = 0
+        _misses = 0
 
 
 def canonical_cache_info() -> dict[str, int]:
     """Current size and hit/miss totals (since the last clear) of the
     memo cache, plus the number of hash-consed distinct languages."""
-    return {
-        "size": len(_cache),
-        "maxsize": CANONICAL_CACHE_SIZE,
-        "hits": _hits,
-        "misses": _misses,
-        "interned": len(_interned),
-    }
+    with _lock:
+        return {
+            "size": len(_cache),
+            "maxsize": CANONICAL_CACHE_SIZE,
+            "hits": _hits,
+            "misses": _misses,
+            "interned": len(_interned),
+        }
 
 
 def _structural_key(nfa: NFA, symbols: tuple, entry: frozenset) -> tuple:
@@ -277,6 +289,26 @@ def _intern(symbols: tuple, bits: tuple, table: tuple):
     return pair
 
 
+def intern_canonical_form(
+    symbols: tuple, bits: tuple, table: tuple
+) -> tuple[CanonicalNFA, Signature]:
+    """Hash-cons an already-canonical ``(symbols, bits, table)`` form —
+    the payload of a :class:`Signature` key — into its unique interned
+    ``(DFA, signature)`` pair.
+
+    This is the restore path of engine snapshots
+    (:mod:`repro.service.snapshot`): a persisted symbolic frontier
+    stores signature keys only, and rebuilding through the hash-cons
+    table guarantees the restored automata share identity (and the
+    per-language analysis caches) with anything the process
+    canonicalizes afterwards.  The caller vouches that the form really
+    is canonical (snapshots only ever persist keys that came out of
+    :func:`canonical_nfa`).
+    """
+    with _lock:
+        return _intern(symbols, bits, table)
+
+
 def canonical_nfa(
     nfa: NFA, alphabet: Iterable[Symbol], initial: Iterable | None = None
 ) -> tuple[CanonicalNFA, Signature]:
@@ -301,22 +333,24 @@ def canonical_nfa(
     entry = frozenset(nfa.initial if initial is None else initial)
     key = _structural_key(nfa, symbols, entry)
     global _hits, _misses
-    cached = _cache.get(key)
-    if cached is not None:
-        _cache.move_to_end(key)
-        _hits += 1
-        METER.bump("canonical.cache_hits")
-        return cached
-    _misses += 1
+    with _lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            METER.bump("canonical.cache_hits")
+            return cached
+        _misses += 1
     METER.bump("canonical.cache_misses")
     if _backend == "dense":
         bits, table = dense.canonical_form(nfa, symbols, initial=initial)
     else:
         bits, table = _canonical_form_moore(nfa, list(symbols), initial)
-    result = _intern(symbols, bits, table)
-    _cache[key] = result
-    while len(_cache) > CANONICAL_CACHE_SIZE:
-        _cache.popitem(last=False)
+    with _lock:
+        result = _intern(symbols, bits, table)
+        _cache[key] = result
+        while len(_cache) > CANONICAL_CACHE_SIZE:
+            _cache.popitem(last=False)
     return result
 
 

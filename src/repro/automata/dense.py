@@ -20,6 +20,7 @@ produce identical canonical forms on randomized NFAs.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable, Sequence
 
@@ -52,11 +53,17 @@ PRE_CACHE_MIN_CELLS = 64
 #: never invalidated, only evicted (and cleared by
 #: :func:`pre_cache_clear` for test isolation / benchmark cold runs).
 _pre_cache: OrderedDict[tuple, list] = OrderedDict()
+#: The analysis service's thread executor (PR 5) mutates the cache
+#: concurrently; ``get`` → ``move_to_end`` must not race a clear or an
+#: eviction.  The list build runs outside the lock.
+_pre_lock = threading.Lock()
 
 
 def pre_cache_clear() -> None:
-    """Drop the memoized Hopcroft inverse-edge lists (test isolation)."""
-    _pre_cache.clear()
+    """Drop the memoized Hopcroft inverse-edge lists (test isolation;
+    the shared runtime-cache cleanup)."""
+    with _pre_lock:
+        _pre_cache.clear()
 
 
 def _build_inverse(rows: list[list[int]], n: int, m: int) -> list[list[list[int]]]:
@@ -78,16 +85,18 @@ def _inverse_lists(rows: list[list[int]]) -> list:
     if n * m <= PRE_CACHE_MIN_CELLS:
         return _build_inverse(rows, n, m)
     key = tuple(map(tuple, rows))
-    cached = _pre_cache.get(key)
-    if cached is not None:
-        _pre_cache.move_to_end(key)
-        METER.bump("canonical.hopcroft_pre_hits")
-        return cached
+    with _pre_lock:
+        cached = _pre_cache.get(key)
+        if cached is not None:
+            _pre_cache.move_to_end(key)
+            METER.bump("canonical.hopcroft_pre_hits")
+            return cached
     METER.bump("canonical.hopcroft_pre_builds")
     pre = _build_inverse(rows, n, m)
-    _pre_cache[key] = pre
-    while len(_pre_cache) > PRE_CACHE_SIZE:
-        _pre_cache.popitem(last=False)
+    with _pre_lock:
+        _pre_cache[key] = pre
+        while len(_pre_cache) > PRE_CACHE_SIZE:
+            _pre_cache.popitem(last=False)
     return pre
 
 

@@ -25,12 +25,19 @@ thread) view: a frozen tuple of the alphabet in global order plus a dense
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Hashable, Iterable
 
 Symbol = Hashable
 
 #: Global symbol order: symbol -> order id, assigned at first intern.
 _ORDER: dict[Symbol, int] = {}
+#: Guards order-id assignment.  The analysis service (PR 5) interns
+#: from executor threads; two racing first-interns must not hand the
+#: same rank to two symbols (equal ranks would make the canonical sort
+#: unstable and split signatures for equal languages).  Reads of
+#: already-assigned ids stay lock-free.
+_order_lock = threading.Lock()
 
 
 def _fallback_key(symbol: Symbol) -> tuple[str, str]:
@@ -42,17 +49,21 @@ def order_of(symbol: Symbol) -> int:
     """The symbol's global order id, interning it if it is new."""
     rank = _ORDER.get(symbol)
     if rank is None:
-        rank = len(_ORDER)
-        _ORDER[symbol] = rank
+        with _order_lock:
+            rank = _ORDER.get(symbol)
+            if rank is None:
+                rank = len(_ORDER)
+                _ORDER[symbol] = rank
     return rank
 
 
 def intern_symbols(symbols: Iterable[Symbol]) -> None:
     """Intern a batch of symbols, assigning fresh order ids in fallback
     order so the batch sorts exactly as the seed's repr-keyed sort did."""
-    fresh = {s for s in symbols if s not in _ORDER}
-    for symbol in sorted(fresh, key=_fallback_key):
-        _ORDER[symbol] = len(_ORDER)
+    with _order_lock:
+        fresh = {s for s in symbols if s not in _ORDER}
+        for symbol in sorted(fresh, key=_fallback_key):
+            _ORDER[symbol] = len(_ORDER)
 
 
 def sort_symbols(symbols: Iterable[Symbol]) -> list[Symbol]:

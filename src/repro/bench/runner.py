@@ -43,7 +43,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.automata import canonical, dense
+from repro.automata import canonical
 from repro.automata.ops import _sort_key
 from repro.cuba.algorithm3 import algorithm3
 from repro.cuba.scheme1 import scheme1_rk
@@ -51,6 +51,7 @@ from repro.models.registry import runnable_benchmarks, smallest_per_row
 from repro.pds.saturation import post_star, psa_for_configs
 from repro.pds.state import PDSState
 from repro.reach.symbolic import SymbolicReach
+from repro.util.caches import clear_runtime_caches
 from repro.util.meter import METER, measure
 
 SCHEMA = "cuba-bench/1"
@@ -73,14 +74,14 @@ def _clear_caches() -> None:
     leased view-saturation worker pools (PR 4 — warm, pre-registered
     workers would otherwise carry state across repetitions; per-engine
     array tables and packed-delta caches die with the engine and need
-    no reset).  The parallel module is imported lazily so serial bench
-    processes never pay for (or perturb timings with) multiprocessing
-    machinery."""
-    canonical.canonical_cache_clear()
-    dense.pre_cache_clear()
-    parallel = sys.modules.get("repro.reach.parallel")
-    if parallel is not None:
-        parallel.pool_cache_clear()
+    no reset).  Delegates to the shared
+    :func:`~repro.util.caches.clear_runtime_caches` (PR 5) — the same
+    cleanup the analysis server's shutdown and the store's size-pressure
+    eviction hook run, so every long-lived owner of these caches clears
+    them identically (the parallel module stays lazily imported inside
+    it: serial bench processes never pay for, or perturb timings with,
+    multiprocessing machinery)."""
+    clear_runtime_caches()
 
 
 def _calibrate() -> float:

@@ -3,14 +3,16 @@
 Subcommands::
 
     cuba verify file.cpds [--property shared:ERR] [--engine auto|explicit|symbolic]
-    cuba verify prog.bp --boolean [--init x=*,y=1]
+    cuba verify prog.bp --boolean [--init x=*,y=1] [--witness]
     cuba fcr file.cpds
     cuba table file.cpds [--levels 6]      # Fig. 1 style reachability table
     cuba bench [--rows 1,2,9]              # Table 2 reproduction
     cuba bench --json [--quick] [--compare BENCH_x.json]  # perf trajectory
+    cuba serve [--port 8765] [--store cuba-store.sqlite]  # analysis service
+    cuba submit file.cpds [--engine ...] [--port 8765]    # query the service
 
-``verify`` exits 0 when the property is proved, 1 when refuted, and 2
-when no conclusion was reached within the round budget.
+``verify`` and ``submit`` exit 0 when the property is proved, 1 when
+refuted, and 2 when no conclusion was reached within the round budget.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.bp.translate import compile_source
-from repro.core.property import AlwaysSafe, Property, SharedStateReachability
+from repro.core.property import Property, property_from_spec
 from repro.core.result import Verdict
 from repro.cpds.format import parse_cpds
 from repro.cuba.algorithm3 import algorithm3
@@ -32,20 +34,11 @@ from repro.reach.explicit import ExplicitReach
 from repro.util.table import render_table
 
 
-def _atom(token: str):
-    try:
-        return int(token)
-    except ValueError:
-        return token
-
-
 def _parse_property(spec: str | None) -> Property:
-    if spec is None:
-        return AlwaysSafe()
-    kind, _sep, payload = spec.partition(":")
-    if kind == "shared" and payload:
-        return SharedStateReachability({_atom(s) for s in payload.split(",")})
-    raise SystemExit(f"cannot parse property {spec!r}; use shared:STATE[,STATE...]")
+    try:
+        return property_from_spec(spec)
+    except ValueError as bad:
+        raise SystemExit(str(bad)) from bad
 
 
 def _parse_init(spec: str | None) -> dict:
@@ -80,6 +73,8 @@ def cmd_verify(args) -> int:
             from repro.report import render_report
 
             print(render_report(report, cpds, prop))
+            if args.witness:
+                _print_witness(cpds, report.result)
             return {
                 Verdict.SAFE: 0, Verdict.UNSAFE: 1, Verdict.UNKNOWN: 2
             }[report.verdict]
@@ -102,7 +97,37 @@ def cmd_verify(args) -> int:
     if result.trace is not None:
         print(f"witness trace ({result.trace.n_contexts} contexts):")
         print(f"  {result.trace}")
+    if args.witness:
+        _print_witness(cpds, result)
     return {Verdict.SAFE: 0, Verdict.UNSAFE: 1, Verdict.UNKNOWN: 2}[result.verdict]
+
+
+def _print_witness(cpds, result) -> None:
+    """The ``--witness`` rendering: replay the counterexample through
+    :func:`repro.reach.witness.validate_trace` and print it step by
+    step — the guarantee that the reported path is a real execution."""
+    from repro.reach.witness import validate_trace
+
+    if result.verdict is not Verdict.UNSAFE:
+        print("no witness: the property was not refuted")
+        return
+    if result.trace is None:
+        print(
+            "no witness trace recorded (the symbolic engine proves "
+            "reachability without paths; rerun with --engine auto or "
+            "--engine explicit)"
+        )
+        return
+    trace = result.trace
+    validate_trace(cpds, trace)  # raises on any illegal step
+    print(
+        f"witness: {len(trace)} step(s) across {trace.n_contexts} "
+        "context(s), validated against the CPDS step semantics"
+    )
+    print(f"  start  {trace.initial}")
+    for step in trace.steps:
+        label = step.action.label or step.action.kind.value
+        print(f"  T{step.thread + 1} {label:<12} → {step.state}")
 
 
 def cmd_fcr(args) -> int:
@@ -189,6 +214,63 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import AnalysisService, AnalysisStore, ServiceServer
+
+    store = AnalysisStore(
+        args.store, max_snapshot_bytes=int(args.store_mb * 1024 * 1024)
+    )
+    service = AnalysisService(store, workers=args.workers, jobs=args.jobs)
+    server = ServiceServer(service, host=args.host, port=args.port)
+    server.run()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    text = Path(args.file).read_text()
+    client = ServiceClient(host=args.host, port=args.port)
+    kwargs = dict(
+        property_spec=args.prop,
+        engine=args.engine,
+        max_rounds=args.max_rounds,
+        wait=not args.no_wait,
+    )
+    if args.boolean or args.file.endswith(".bp"):
+        response = client.submit(
+            bp_text=text, bp_init=_parse_init(args.init) or None, **kwargs
+        )
+    else:
+        response = client.submit(cpds_text=text, **kwargs)
+    if args.no_wait:
+        print(f"submitted: id={response['id']} status={response['status']}")
+        print(
+            f"poll with: cuba-status via GET http://{args.host}:{args.port}"
+            f"/result?id={response['id']}"
+        )
+        return 0
+    source = (
+        "store hit"
+        if response.get("cached")
+        else "joined running analysis"
+        if response.get("deduplicated")
+        else "resumed from snapshot"
+        if response.get("resumed")
+        else "fresh run"
+    )
+    print(
+        f"[{response['method']}] {response['verdict']} at k={response['bound']} "
+        f"({source}): {response['message']}"
+    )
+    if response.get("witness"):
+        print(f"witness: {response['witness']}")
+    if response.get("trace"):
+        print(f"trace: {response['trace']}")
+    print(f"fingerprint: {response['fingerprint']}")
+    return {"safe": 0, "unsafe": 1, "unknown": 2}[response["verdict"]]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cuba",
@@ -223,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--report", action="store_true", help="print the full multi-section report"
+    )
+    verify.add_argument(
+        "--witness",
+        action="store_true",
+        help="on a refuted property, validate the counterexample against "
+        "the CPDS step semantics and print it step by step",
     )
     verify.set_defaults(handler=cmd_verify)
 
@@ -271,6 +359,56 @@ def build_parser() -> argparse.ArgumentParser:
         "only compare against a matching value)",
     )
     bench.set_defaults(handler=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent analysis service (JSON over HTTP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--store",
+        default="cuba-store.sqlite",
+        help="path of the persistent verdict/snapshot store (sqlite)",
+    )
+    serve.add_argument(
+        "--store-mb",
+        type=float,
+        default=64.0,
+        help="snapshot size budget in MB; least-recently-used snapshots "
+        "are evicted beyond it (verdicts are kept)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="bounded analysis executor threads (concurrent engine runs)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="saturation worker processes per explicit engine "
+        "(see `cuba verify --jobs`)",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a verification request to a running service"
+    )
+    add_common(submit)
+    submit.add_argument(
+        "--engine", choices=["auto", "explicit", "symbolic"], default="auto"
+    )
+    submit.add_argument("--max-rounds", type=int, default=30)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8765)
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return the request id immediately instead of blocking for "
+        "the verdict",
+    )
+    submit.set_defaults(handler=cmd_submit)
     return parser
 
 

@@ -13,6 +13,7 @@ import abc
 from collections.abc import Callable, Collection, Hashable, Iterable, Mapping
 
 from repro.cpds.state import VisibleState
+from repro.errors import FingerprintError
 
 Shared = Hashable
 Symbol = Hashable
@@ -35,6 +36,34 @@ class Property(abc.ABC):
     def describe(self) -> str:
         return type(self).__name__
 
+    def fingerprint_token(self) -> tuple:
+        """A canonical, process-independent token identifying this
+        property's *semantics*, consumed by the content-addressed
+        fingerprint of :mod:`repro.service.fingerprint`.  Two property
+        objects with identical semantics must return equal tokens.
+
+        The base implementation refuses: a property that does not
+        declare its semantics (e.g. an opaque callable) cannot be
+        content-addressed and must not silently collide in the
+        persistent analysis store.
+        """
+        raise FingerprintError(
+            f"property {type(self).__name__} is not fingerprintable; "
+            "implement fingerprint_token() to use it with the analysis "
+            "service"
+        )
+
+
+def _value_token(value) -> tuple[str, str]:
+    """Process-independent identity of a model value (shared state or
+    stack symbol).  This is the symbol interner's fallback ordering key
+    — shared deliberately: the service fingerprint requires property
+    tokens and CPDS value tokens to agree, so there is exactly one
+    definition of "value identity" in the codebase."""
+    from repro.automata.intern import _fallback_key
+
+    return _fallback_key(value)
+
 
 class SharedStateReachability(Property):
     """Violated when the shared state enters a bad set.
@@ -53,6 +82,9 @@ class SharedStateReachability(Property):
     def describe(self) -> str:
         bad = ", ".join(sorted(map(str, self.bad_shared)))
         return f"shared state never in {{{bad}}}"
+
+    def fingerprint_token(self) -> tuple:
+        return ("shared", tuple(sorted(map(_value_token, self.bad_shared))))
 
 
 class VisiblePredicate(Property):
@@ -95,6 +127,15 @@ class MutualExclusion(Property):
         threads = ", ".join(str(index) for index in sorted(self.critical))
         return f"mutual exclusion among threads {{{threads}}}"
 
+    def fingerprint_token(self) -> tuple:
+        return (
+            "mutex",
+            tuple(
+                (index, tuple(sorted(map(_value_token, tops))))
+                for index, tops in sorted(self.critical.items())
+            ),
+        )
+
 
 class AlwaysSafe(Property):
     """The trivially true property — used to drive pure convergence runs
@@ -105,3 +146,33 @@ class AlwaysSafe(Property):
 
     def describe(self) -> str:
         return "true"
+
+    def fingerprint_token(self) -> tuple:
+        return ("true",)
+
+
+def _atom(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def property_from_spec(spec: str | None) -> Property:
+    """Parse the textual property grammar shared by the CLI and the
+    analysis-service wire format: ``None`` means trivially safe,
+    ``shared:STATE[,STATE...]`` a shared-state reachability property
+    (integer-looking tokens become ints, matching the CPDS format's
+    atom rule).  There is deliberately one parser: the two entry points
+    must agree for service fingerprints to be entry-point independent.
+    Raises :class:`ValueError` on anything else — callers wrap it in
+    their surface's error type.
+    """
+    if spec is None:
+        return AlwaysSafe()
+    kind, _sep, payload = str(spec).partition(":")
+    if kind == "shared" and payload:
+        return SharedStateReachability({_atom(s) for s in payload.split(",")})
+    raise ValueError(
+        f"cannot parse property {spec!r}; use shared:STATE[,STATE...]"
+    )

@@ -326,6 +326,57 @@ class StateTable:
             self._visibles[sid] = vis
         return vis
 
+    # ------------------------------------------------------------------
+    # Snapshot support (see :mod:`repro.service.snapshot`)
+    # ------------------------------------------------------------------
+    def component_pools(self) -> tuple[list, list[list[tuple]]]:
+        """Copies of the component pools in dense-id order: the shared
+        pool and the per-thread stack pools.  Pools can hold components
+        no live global state references (cached context trees index
+        them), so snapshots persist them in full."""
+        return list(self._shareds), [list(pool) for pool in self._stacks]
+
+    def export_rows(self):
+        """The global states as one interleaved ``array('q')`` of
+        ``(qid, wid_0, ..., wid_{n-1})`` rows in dense-id order.
+
+        Component ids are persisted instead of packed keys: packed keys
+        depend on the adaptive bit-field geometry (and can exceed 64
+        bits at high thread counts), while component ids are small,
+        era-independent, and re-pack losslessly on restore."""
+        from array import array
+
+        rows = array("q")
+        extend = rows.extend
+        unpack = self.unpack
+        for key in self._packed:
+            qid, wids = unpack(key)
+            rows.append(qid)
+            extend(wids)
+        return rows
+
+    @classmethod
+    def from_snapshot(
+        cls, n_threads: int, shareds: list, stacks: list, rows
+    ) -> "StateTable":
+        """Rebuild a table from :meth:`component_pools` +
+        :meth:`export_rows` output.  Interning replays in pool order,
+        so every component id, global-state id, and the adaptive
+        geometry come out exactly as the engine that produced the
+        snapshot assigned them."""
+        table = cls(n_threads)
+        for value in shareds:
+            table.shared_id(value)
+        for index, pool in enumerate(stacks):
+            stack_id = table.stack_id
+            for word in pool:
+                stack_id(index, tuple(word))
+        width = n_threads + 1
+        intern_key = table.intern_key
+        for base in range(0, len(rows), width):
+            intern_key(rows[base], tuple(rows[base + 1 : base + width]))
+        return table
+
     def __len__(self) -> int:
         return len(self._packed)
 

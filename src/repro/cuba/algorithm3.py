@@ -39,7 +39,11 @@ def algorithm3(
 
     ``engine`` selects the representation: ``"explicit"`` (Table 2's
     ``Alg. 3(T(Rk))``, FCR required), ``"symbolic"`` (``Alg. 3(T(Sk))``),
-    or a prepared engine instance.
+    or a prepared engine instance.  ``max_rounds`` is the *total*
+    context-bound budget: a prepared engine's existing levels — warm
+    reuse, or a checkpoint restore — are replayed through the verdict
+    and plateau checks first and count toward it, so a resumed run
+    reports exactly what an uninterrupted run would.
 
     SAFE results carry the collapse bound ``kmax`` of ``(T(Rk))``;
     UNSAFE results the context bound revealing the violation.  ``stats``
@@ -84,35 +88,49 @@ def algorithm3(
     if witness is not None:
         return unsafe(0, witness)
 
-    try:
-        for _round in range(max_rounds):
-            engine.advance()
-            k = engine.k
-            witness = prop.find_violation(engine.visible_new_at(k))
-            if witness is not None:
-                return unsafe(k, witness)
-            # New plateau: |T(Rk−2)| < |T(Rk−1)| = |T(Rk)|.
-            new_plateau = not engine.visible_new_at(k) and engine.visible_new_at(k - 1)
-            if not new_plateau:
-                continue
-            seen = engine.visible_up_to(k)
-            missing = reachable_generators - seen
-            if missing:
-                stats["plateaus_rejected"].append(
-                    {"k": k - 1, "missing": frozenset(missing)}
-                )
-                continue  # stuttering cannot be excluded: skip forward
-            stats["visible_states"] = len(seen)
-            return VerificationResult(
-                Verdict.SAFE,
-                bound=k - 1,
-                method=method,
-                message=(
-                    "visible sequence collapsed: plateau with all reachable "
-                    "generators seen (Thm. 11)"
-                ),
-                stats=dict(stats),
+    def examine(k: int) -> VerificationResult | None:
+        """The per-bound body: violation check, then the strengthened
+        new-plateau test of Thm. 11."""
+        witness = prop.find_violation(engine.visible_new_at(k))
+        if witness is not None:
+            return unsafe(k, witness)
+        # New plateau: |T(Rk−2)| < |T(Rk−1)| = |T(Rk)|.
+        new_plateau = not engine.visible_new_at(k) and engine.visible_new_at(k - 1)
+        if not new_plateau:
+            return None
+        seen = engine.visible_up_to(k)
+        missing = reachable_generators - seen
+        if missing:
+            stats["plateaus_rejected"].append(
+                {"k": k - 1, "missing": frozenset(missing)}
             )
+            return None  # stuttering cannot be excluded: skip forward
+        stats["visible_states"] = len(seen)
+        return VerificationResult(
+            Verdict.SAFE,
+            bound=k - 1,
+            method=method,
+            message=(
+                "visible sequence collapsed: plateau with all reachable "
+                "generators seen (Thm. 11)"
+            ),
+            stats=dict(stats),
+        )
+
+    try:
+        # Replay bounds the engine already holds (a fresh engine has
+        # only level 0), then advance to the budget.  Capped at the
+        # budget: a deeper-than-requested restored engine must not leak
+        # verdicts from beyond what an uninterrupted run would explore.
+        for k in range(1, min(engine.k, max_rounds) + 1):
+            result = examine(k)
+            if result is not None:
+                return result
+        while engine.k < max_rounds:
+            engine.advance()
+            result = examine(engine.k)
+            if result is not None:
+                return result
     except ContextExplosionError as explosion:
         return VerificationResult(
             Verdict.UNKNOWN,
@@ -123,7 +141,7 @@ def algorithm3(
         )
     return VerificationResult(
         Verdict.UNKNOWN,
-        bound=engine.k,
+        bound=min(engine.k, max_rounds),
         method=method,
         message=f"no conclusion within {max_rounds} rounds",
         stats=dict(stats),

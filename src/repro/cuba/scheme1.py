@@ -65,6 +65,13 @@ def scheme1_rk(
     a pool of worker processes, see :mod:`repro.reach.parallel`); all
     are ignored when a prepared ``engine`` instance is passed (configure
     that engine at construction instead).
+
+    ``max_rounds`` is the *total* context-bound budget.  A prepared
+    engine may arrive with computed history — warm reuse, or a
+    checkpoint restore (:meth:`ExplicitReach.restore`): its existing
+    levels are replayed through the verdict checks first and count
+    toward the budget, so a run resumed from a level-``k`` snapshot
+    reports exactly what an uninterrupted ``max_rounds`` run would.
     """
     meter_before = METER.snapshot()
     if engine is None:
@@ -93,24 +100,35 @@ def scheme1_rk(
             stats=_stats(engine, meter_before),
         )
 
-    result = check(0)
-    if result is not None:
-        return result
+    def safe(bound: int) -> VerificationResult:
+        return VerificationResult(
+            Verdict.SAFE,
+            bound=bound,
+            method=method,
+            message="(Rk) collapsed (stutter-free plateau, Lemma 7)",
+            stats=_stats(engine, meter_before),
+        )
+
+    # Replay the checks over any levels the engine already holds (a
+    # fresh engine has only level 0), then advance to the budget.  The
+    # replay is capped at the budget: an engine restored from a
+    # deeper-than-requested snapshot must not leak verdicts from beyond
+    # the bound an uninterrupted ``max_rounds`` run would explore.
+    for bound in range(min(engine.k, max_rounds) + 1):
+        result = check(bound)
+        if result is not None:
+            return result
+        if engine.plateaued_at(bound):
+            return safe(bound)
     try:
-        for _round in range(max_rounds):
+        while engine.k < max_rounds:
             engine.advance()
             k = engine.k
             result = check(k)
             if result is not None:
                 return result
             if engine.plateaued_at(k):
-                return VerificationResult(
-                    Verdict.SAFE,
-                    bound=k,
-                    method=method,
-                    message="(Rk) collapsed (stutter-free plateau, Lemma 7)",
-                    stats=_stats(engine, meter_before),
-                )
+                return safe(k)
     except ContextExplosionError as explosion:
         return VerificationResult(
             Verdict.UNKNOWN,
@@ -121,7 +139,9 @@ def scheme1_rk(
         )
     return VerificationResult(
         Verdict.UNKNOWN,
-        bound=engine.k,
+        # min(): a deeper-than-budget restored engine reports the bound
+        # an uninterrupted max_rounds run would have reached.
+        bound=min(engine.k, max_rounds),
         method=method,
         message=f"no conclusion within {max_rounds} rounds",
         stats=_stats(engine, meter_before),

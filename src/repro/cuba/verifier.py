@@ -28,6 +28,7 @@ from repro.cuba.overapprox import compute_z
 from repro.errors import ContextExplosionError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach.explicit import ExplicitReach
+from repro.reach.symbolic import SymbolicReach
 
 
 @dataclass(slots=True)
@@ -79,15 +80,39 @@ class Cuba:
         #: (:mod:`repro.reach.parallel`); the symbolic fallback path
         #: ignores it.
         self.jobs = jobs
+        #: The reachability engine the last :meth:`verify` call ran on
+        #: (explicit when FCR holds, symbolic otherwise) — the handle
+        #: the analysis service snapshots for deeper-``k`` resume.
+        self.last_engine: ExplicitReach | SymbolicReach | None = None
 
     # ------------------------------------------------------------------
-    def verify(self, max_rounds: int = 50) -> CubaReport:
-        """Run the front-end procedure and collect the full report."""
+    def verify(
+        self,
+        max_rounds: int = 50,
+        engine: ExplicitReach | SymbolicReach | None = None,
+    ) -> CubaReport:
+        """Run the front-end procedure and collect the full report.
+
+        ``engine`` optionally supplies a prepared engine of the lane
+        FCR selects (explicit when it holds, symbolic otherwise) — warm
+        reuse, or a checkpoint restore.  Its existing levels are
+        replayed through the verdict checks and count toward the
+        ``max_rounds`` total-bound budget, so a resumed run reports
+        exactly what an uninterrupted run would.
+        """
         fcr = check_fcr(self.cpds)
         if fcr.holds:
-            return self._verify_explicit_pair(fcr, max_rounds)
+            return self._verify_explicit_pair(fcr, max_rounds, engine)
+        if engine is None:
+            engine = SymbolicReach(self.cpds)
+        elif not isinstance(engine, SymbolicReach):
+            raise ValueError(
+                "FCR fails: the prepared engine must be a SymbolicReach, "
+                f"got {type(engine).__name__}"
+            )
+        self.last_engine = engine
         result = algorithm3(
-            self.cpds, self.prop, engine="symbolic", max_rounds=max_rounds
+            self.cpds, self.prop, engine=engine, max_rounds=max_rounds
         )
         trk = result.bound if result.verdict is Verdict.SAFE else None
         return CubaReport(
@@ -101,13 +126,25 @@ class Cuba:
         )
 
     # ------------------------------------------------------------------
-    def _verify_explicit_pair(self, fcr: FCRReport, max_rounds: int) -> CubaReport:
+    def _verify_explicit_pair(
+        self,
+        fcr: FCRReport,
+        max_rounds: int,
+        engine: ExplicitReach | None = None,
+    ) -> CubaReport:
         """Alg. 3(T(Rk)) ∥ Scheme 1(Rk) on one shared explicit engine."""
-        engine = ExplicitReach(
-            self.cpds,
-            max_states_per_context=self.max_states_per_context,
-            jobs=self.jobs,
-        )
+        if engine is None:
+            engine = ExplicitReach(
+                self.cpds,
+                max_states_per_context=self.max_states_per_context,
+                jobs=self.jobs,
+            )
+        elif not isinstance(engine, ExplicitReach):
+            raise ValueError(
+                "FCR holds: the prepared engine must be an ExplicitReach, "
+                f"got {type(engine).__name__}"
+            )
+        self.last_engine = engine
         analysis = generator_analysis(self.cpds)
         reachable_generators = analysis.intersect(compute_z(self.cpds))
 
@@ -117,45 +154,59 @@ class Cuba:
 
         rk_bound: int | None = None
         trk_bound: int | None = None
+
+        def examine(k: int) -> CubaReport | None:
+            """Both methods' per-bound checks; a report ends the race."""
+            nonlocal rk_bound, trk_bound
+            witness = self.prop.find_violation(engine.visible_new_at(k))
+            if witness is not None:
+                return self._unsafe_report(fcr, engine, k, witness)
+
+            if rk_bound is None and engine.plateaued_at(k):
+                rk_bound = k  # (Rk) collapsed (Lemma 7)
+            if trk_bound is None:
+                new_plateau = (
+                    not engine.visible_new_at(k) and engine.visible_new_at(k - 1)
+                )
+                if new_plateau and reachable_generators <= engine.visible_up_to(k):
+                    trk_bound = k - 1  # (T(Rk)) collapsed (Thm. 11)
+
+            if rk_bound is None and trk_bound is None:
+                return None
+            winner = "scheme1(Rk)" if trk_bound is None else "alg3(T(Rk))"
+            result = VerificationResult(
+                Verdict.SAFE,
+                bound=trk_bound if trk_bound is not None else rk_bound,
+                method=winner,
+                message="observation sequence converged",
+                stats={
+                    "global_states": engine.n_states,
+                    "visible_states": len(engine.visible_up_to()),
+                },
+            )
+            return CubaReport(
+                fcr=fcr,
+                result=result,
+                winner=winner,
+                rk_bound=rk_bound,
+                trk_bound=trk_bound,
+                interrupted_at=k,
+            )
+
         try:
-            for _round in range(max_rounds):
+            # Replay bounds the engine already holds (a fresh engine has
+            # only level 0), then advance to the budget.  Capped at the
+            # budget: a deeper-than-requested restored engine must not
+            # leak verdicts past what an uninterrupted run explores.
+            for k in range(1, min(engine.k, max_rounds) + 1):
+                report = examine(k)
+                if report is not None:
+                    return report
+            while engine.k < max_rounds:
                 engine.advance()
-                k = engine.k
-                witness = self.prop.find_violation(engine.visible_new_at(k))
-                if witness is not None:
-                    return self._unsafe_report(fcr, engine, k, witness)
-
-                if rk_bound is None and engine.plateaued_at(k):
-                    rk_bound = k  # (Rk) collapsed (Lemma 7)
-                if trk_bound is None:
-                    new_plateau = (
-                        not engine.visible_new_at(k) and engine.visible_new_at(k - 1)
-                    )
-                    if new_plateau and reachable_generators <= engine.visible_up_to(k):
-                        trk_bound = k - 1  # (T(Rk)) collapsed (Thm. 11)
-
-                if rk_bound is not None or trk_bound is not None:
-                    winner = (
-                        "scheme1(Rk)" if trk_bound is None else "alg3(T(Rk))"
-                    )
-                    result = VerificationResult(
-                        Verdict.SAFE,
-                        bound=trk_bound if trk_bound is not None else rk_bound,
-                        method=winner,
-                        message="observation sequence converged",
-                        stats={
-                            "global_states": engine.n_states,
-                            "visible_states": len(engine.visible_up_to()),
-                        },
-                    )
-                    return CubaReport(
-                        fcr=fcr,
-                        result=result,
-                        winner=winner,
-                        rk_bound=rk_bound,
-                        trk_bound=trk_bound,
-                        interrupted_at=k,
-                    )
+                report = examine(engine.k)
+                if report is not None:
+                    return report
         except ContextExplosionError as explosion:
             result = VerificationResult(
                 Verdict.UNKNOWN,
@@ -167,13 +218,14 @@ class Cuba:
                 fcr=fcr, result=result, winner="none", interrupted_at=engine.k
             )
 
+        explored = min(engine.k, max_rounds)
         result = VerificationResult(
             Verdict.UNKNOWN,
-            bound=engine.k,
+            bound=explored,
             method="cuba",
             message=f"no conclusion within {max_rounds} rounds",
         )
-        return CubaReport(fcr=fcr, result=result, winner="none", interrupted_at=engine.k)
+        return CubaReport(fcr=fcr, result=result, winner="none", interrupted_at=explored)
 
     # ------------------------------------------------------------------
     def _unsafe_report(

@@ -41,6 +41,23 @@ class BoundExceededError(CubaError):
         self.partial = partial
 
 
+class FingerprintError(CubaError):
+    """An analysis input cannot be content-addressed — e.g. a property
+    carrying an opaque predicate whose semantics the fingerprint cannot
+    capture (see :meth:`repro.core.property.Property.fingerprint_token`)."""
+
+
+class SnapshotError(CubaError):
+    """An engine snapshot could not be decoded or does not belong to the
+    CPDS it is being restored against.  The persistent store treats this
+    as a cache miss (bad blob ⇒ recompute), never as a crash."""
+
+
+class ServiceError(CubaError):
+    """The analysis service rejected a request (unknown engine lane,
+    unparseable payload, unsupported property spec, ...)."""
+
+
 class FormatError(CubaError):
     """A textual CPDS description could not be parsed."""
 

@@ -495,3 +495,36 @@ class ExplicitReach(ReachabilityEngine):
             if table.visible(sid) == visible:
                 return table.state(sid)
         return None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the committed levels, interned core, witness
+        parents, and cross-level tree cache into a versioned binary
+        blob (:mod:`repro.service.snapshot`).  A restored engine's
+        ``ensure_level`` continues level-for-level identically to an
+        uninterrupted run, including METER expansion counts."""
+        from repro.service.snapshot import snapshot_explicit
+
+        return snapshot_explicit(self)
+
+    @classmethod
+    def restore(
+        cls,
+        cpds: CPDS,
+        data: bytes,
+        *,
+        jobs: int = 1,
+        max_states_per_context: int | None = None,
+    ) -> "ExplicitReach":
+        """Rebuild a warm engine from a :meth:`snapshot` blob taken on
+        the same CPDS.  ``jobs`` is a pure execution knob and may
+        differ from the snapshotted engine's; raises
+        :class:`~repro.errors.SnapshotError` on any undecodable or
+        mismatched blob."""
+        from repro.service.snapshot import restore_explicit
+
+        return restore_explicit(
+            cpds, data, jobs=jobs, max_states_per_context=max_states_per_context
+        )

@@ -383,3 +383,27 @@ class SymbolicReach(ReachabilityEngine):
             ),
             "batched": self.batched,
         }
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the canonical-signature frontier (per-level
+        symbolic states) and the cross-expansion memo into a versioned
+        binary blob (:mod:`repro.service.snapshot`); automata persist
+        as signature keys and are rebuilt through the hash-cons table
+        on restore."""
+        from repro.service.snapshot import snapshot_symbolic
+
+        return snapshot_symbolic(self)
+
+    @classmethod
+    def restore(
+        cls, cpds: CPDS, data: bytes, *, batched: bool | None = None
+    ) -> "SymbolicReach":
+        """Rebuild a warm engine from a :meth:`snapshot` blob taken on
+        the same CPDS; raises :class:`~repro.errors.SnapshotError` on
+        any undecodable or mismatched blob."""
+        from repro.service.snapshot import restore_symbolic
+
+        return restore_symbolic(cpds, data, batched=batched)

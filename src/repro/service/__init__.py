@@ -1,0 +1,41 @@
+"""Persistent analysis service (PR 5).
+
+The paper's Cuba tool answers one query per invocation and forgets
+everything it computed.  This package turns the library into a
+persistent, incremental service:
+
+* :mod:`repro.service.fingerprint` — stable content-addressed identity
+  of an analysis problem ``(CPDS, property, engine config)``;
+* :mod:`repro.service.snapshot` — compact binary checkpoint/restore of
+  engine progress (both lanes), so a bounded run at level ``k`` resumes
+  warm instead of starting over;
+* :mod:`repro.service.store` — crash-safe sqlite store of verdicts and
+  snapshots keyed by fingerprint, with LRU size bounding;
+* :mod:`repro.service.server` — the sync :class:`AnalysisService` core
+  (in-flight dedup, store-hit short-circuit, deeper-``k`` resume) and
+  the stdlib-asyncio JSON-over-HTTP server around it (``cuba serve``);
+* :mod:`repro.service.client` — the matching stdlib HTTP client
+  (``cuba submit``).
+
+Soundness hinges on the monotone-by-level shape of the bounded
+sequences ``(Rk)``/``(T(Sk))``: a checkpoint at level ``k`` plus
+continued ``ensure_level`` is provably identical to an uninterrupted
+run (differentially tested level-for-level in
+``tests/service/test_snapshot.py``).
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.fingerprint import cpds_digest, fingerprint
+from repro.service.server import AnalysisRequest, AnalysisService, ServiceServer
+from repro.service.store import AnalysisStore, StoreEntry
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisService",
+    "AnalysisStore",
+    "ServiceClient",
+    "ServiceServer",
+    "StoreEntry",
+    "cpds_digest",
+    "fingerprint",
+]

@@ -1,0 +1,119 @@
+"""Stdlib HTTP client for the analysis service (``cuba submit``).
+
+Synchronous and dependency-free: each call opens one
+:class:`http.client.HTTPConnection` (the server answers
+connection-per-request), sends JSON, and returns the decoded response
+dict.  Non-2xx responses raise :class:`~repro.errors.ServiceError`
+carrying the server's error message.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """Talk to a running ``cuba serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError as bad:
+                raise ServiceError(
+                    f"service answered non-JSON ({response.status}): {raw[:200]!r}"
+                ) from bad
+            return response.status, decoded
+        except OSError as unreachable:
+            raise ServiceError(
+                f"cannot reach cuba service at {self.host}:{self.port}: "
+                f"{unreachable}"
+            ) from unreachable
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, decoded = self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(
+                decoded.get("error", f"service error (HTTP {status})")
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        cpds_text: str | None = None,
+        *,
+        bp_text: str | None = None,
+        bp_init: dict | None = None,
+        property_spec: str | None = None,
+        engine: str = "auto",
+        max_rounds: int = 30,
+        wait: bool = True,
+    ) -> dict:
+        """Submit one analysis — a textual CPDS (``cpds_text``) or a
+        concurrent Boolean program (``bp_text``, compiled server-side).
+        With ``wait=True`` (default) blocks for the final response;
+        otherwise returns ``{"id", "status"}`` immediately — poll
+        :meth:`status`/:meth:`result`."""
+        payload: dict = {
+            "property": property_spec,
+            "engine": engine,
+            "max_rounds": max_rounds,
+            "wait": wait,
+        }
+        if cpds_text is not None:
+            payload["cpds"] = cpds_text
+        if bp_text is not None:
+            payload["bp"] = bp_text
+        if bp_init is not None:
+            payload["init"] = bp_init
+        return self._checked("POST", "/submit", payload)
+
+    def status(self, problem_id: str) -> dict:
+        return self._checked("GET", f"/status?id={problem_id}")
+
+    def result(self, problem_id: str) -> dict | None:
+        """The finished response, or ``None`` while still running."""
+        status, decoded = self._request("GET", f"/result?id={problem_id}")
+        if status == 202:
+            return None
+        if status >= 400:
+            raise ServiceError(
+                decoded.get("error", f"service error (HTTP {status})")
+            )
+        return decoded
+
+    def health(self) -> dict:
+        return self._checked("GET", "/health")
+
+    def meter(self) -> dict:
+        """The server's service/snapshot/engine METER window — how the
+        smoke harness proves claims like "two concurrent identical
+        submissions ran one engine"."""
+        return self._checked("GET", "/meter")
+
+    def shutdown(self) -> dict:
+        """Ask the server to shut down gracefully (flush store, drain
+        executor, release leased worker pools)."""
+        return self._checked("POST", "/shutdown")

@@ -1,0 +1,708 @@
+"""The analysis service: sync core + stdlib asyncio JSON-over-HTTP server.
+
+:class:`AnalysisService` is the transport-independent core every entry
+point shares (the HTTP server below, ``cuba submit`` via the client,
+tests, and the quickstart demo).  One ``run()`` call resolves a request
+through four layers, cheapest first:
+
+1. **In-flight dedup** — concurrent identical fingerprints join the one
+   running analysis (``service.dedup_joins``); METER proves exactly one
+   engine run (``service.engine_runs``).
+2. **Store hit** — a stored verdict that satisfies the request's budget
+   returns without touching an engine (``service.store_hits``).
+3. **Snapshot resume** — a stored inconclusive run at level ``k`` with
+   a snapshot resumes warm and continues to the requested budget
+   (``service.resumes``) instead of starting over; sound because the
+   bounded sequences are monotone by level and the resumed engines are
+   differentially proven level-for-level identical to uninterrupted
+   runs.
+4. **Fresh run** — the requested lane executes; inconclusive-but-
+   resumable outcomes persist their snapshot for the next caller.
+
+Parsed CPDS objects are interned by content digest so repeated
+submissions of the same program share one object — which is what lets
+``jobs > 1`` requests reuse the leased worker pools of
+:mod:`repro.reach.parallel` (the pool cache keys on CPDS identity).
+
+The HTTP layer (:class:`ServiceServer`) is a minimal HTTP/1.1 loop on
+``asyncio.start_server`` — no frameworks, connection-per-request —
+with endpoints ``POST /submit``, ``GET /status``, ``GET /result``,
+``GET /health``, ``GET /meter`` (the smoke test's work-counter
+window), and ``POST /shutdown``.  Analyses run on the service's
+bounded thread executor; graceful shutdown drains it, flushes the
+store, and routes through the shared
+:func:`~repro.util.caches.clear_runtime_caches` cleanup so a daemon
+never leaks pooled worker processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.property import Property, property_from_spec
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.cpds import CPDS
+from repro.cpds.format import parse_cpds
+from repro.cuba.algorithm3 import algorithm3
+from repro.cuba.scheme1 import scheme1_rk
+from repro.cuba.verifier import Cuba
+from repro.errors import CubaError, ServiceError, SnapshotError
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.explicit import ExplicitReach
+from repro.reach.symbolic import SymbolicReach
+from repro.service.fingerprint import cpds_digest, fingerprint
+from repro.service.snapshot import KIND_EXPLICIT, snapshot_kind
+from repro.service.store import AnalysisStore
+from repro.util.caches import clear_runtime_caches
+from repro.util.meter import METER
+
+ENGINE_LANES = ("auto", "explicit", "symbolic")
+
+#: Parsed-CPDS intern cache size (objects shared across requests).
+_CPDS_CACHE_LIMIT = 8
+
+
+def parse_property_spec(spec: str | None) -> Property:
+    """The wire form of a property — the grammar shared with the CLI
+    (:func:`repro.core.property.property_from_spec`), re-raised as
+    :class:`ServiceError`: the service only accepts properties it can
+    content-address."""
+    try:
+        return property_from_spec(spec)
+    except ValueError as bad:
+        raise ServiceError(str(bad)) from bad
+
+
+@dataclass(slots=True)
+class AnalysisRequest:
+    """One validated verification request.
+
+    The program arrives as exactly one of ``cpds_text`` (the textual
+    CPDS exchange format) or ``bp_text`` (a concurrent Boolean program,
+    compiled server-side; ``bp_init`` seeds its variables).  Either way
+    the fingerprint is computed over the *compiled* CPDS, so the same
+    program submitted in either form lands on the same store entry.
+    """
+
+    cpds_text: str | None = None
+    bp_text: str | None = None
+    bp_init: dict | None = None
+    property_spec: str | None = None
+    engine: str = "auto"
+    max_rounds: int = 30
+    max_states_per_context: int = DEFAULT_STATE_LIMIT
+
+    def __post_init__(self) -> None:
+        if (self.cpds_text is None) == (self.bp_text is None):
+            raise ServiceError(
+                "a request carries exactly one of 'cpds' or 'bp' program text"
+            )
+        if self.engine not in ENGINE_LANES:
+            raise ServiceError(
+                f"unknown engine lane {self.engine!r}; pick one of {ENGINE_LANES}"
+            )
+        if self.max_rounds < 0:
+            raise ServiceError(f"max_rounds must be >= 0, got {self.max_rounds}")
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AnalysisRequest":
+        if not isinstance(payload, dict):
+            raise ServiceError("request payload must be a JSON object")
+        cpds_text = payload.get("cpds")
+        bp_text = payload.get("bp")
+        for name, text in (("cpds", cpds_text), ("bp", bp_text)):
+            if text is not None and (not isinstance(text, str) or not text.strip()):
+                raise ServiceError(f"'{name}' must be a non-empty text field")
+        bp_init = payload.get("init")
+        if bp_init is not None and not isinstance(bp_init, dict):
+            raise ServiceError("'init' must be a JSON object of variable values")
+        try:
+            return cls(
+                cpds_text=cpds_text,
+                bp_text=bp_text,
+                bp_init=bp_init,
+                property_spec=payload.get("property"),
+                engine=payload.get("engine", "auto"),
+                max_rounds=int(payload.get("max_rounds", 30)),
+                max_states_per_context=int(
+                    payload.get("max_states_per_context", DEFAULT_STATE_LIMIT)
+                ),
+            )
+        except (TypeError, ValueError) as bad:
+            raise ServiceError(f"malformed request field: {bad}") from bad
+
+
+class AnalysisService:
+    """Transport-independent service core (see the module docstring)."""
+
+    def __init__(
+        self,
+        store: AnalysisStore,
+        *,
+        workers: int = 2,
+        jobs: int = 1,
+    ) -> None:
+        self.store = store
+        if store.on_evict is None:
+            # Size pressure sheds the in-process caches through the same
+            # path bench's cold-run contract and server shutdown use —
+            # minus the leased worker pools: eviction fires from an
+            # executor thread while other analyses may be mid-level on a
+            # leased pool, and closing one under them would fail valid
+            # requests.  Pools are bounded by their own LRU cache and
+            # are torn down on :meth:`close`.
+            store.on_evict = lambda: clear_runtime_caches(pools=False)
+        #: Saturation worker processes per explicit engine (deployment
+        #: config, not a request knob; results are jobs-invariant).
+        self.jobs = jobs
+        #: Bounded analysis executor — the HTTP layer schedules every
+        #: ``run()`` through it, capping concurrent engine work.
+        self.executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cuba-analysis"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._cpds_cache: OrderedDict[str, CPDS] = OrderedDict()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+    def prepare(self, request: AnalysisRequest) -> tuple[str, CPDS, Property]:
+        """Parse/compile and intern the CPDS, build the property, and
+        compute the problem fingerprint.  Raises
+        :class:`~repro.errors.CubaError` subclasses on malformed input."""
+        compiled_prop: Property | None = None
+        if request.cpds_text is not None:
+            cpds = parse_cpds(request.cpds_text)
+        else:
+            from repro.bp.translate import compile_source
+
+            compiled = compile_source(request.bp_text, init=request.bp_init or {})
+            cpds = compiled.cpds
+            compiled_prop = compiled.prop
+        digest = cpds_digest(cpds)
+        with self._lock:
+            cached = self._cpds_cache.get(digest)
+            if cached is not None:
+                self._cpds_cache.move_to_end(digest)
+                cpds = cached
+            else:
+                self._cpds_cache[digest] = cpds
+                while len(self._cpds_cache) > _CPDS_CACHE_LIMIT:
+                    self._cpds_cache.popitem(last=False)
+        if request.property_spec is not None or compiled_prop is None:
+            prop = parse_property_spec(request.property_spec)
+        else:
+            prop = compiled_prop
+        problem = fingerprint(
+            cpds,
+            prop,
+            {
+                "engine": request.engine,
+                "max_states_per_context": request.max_states_per_context,
+            },
+        )
+        return problem, cpds, prop
+
+    def run(
+        self,
+        request: AnalysisRequest,
+        prepared: tuple[str, CPDS, Property] | None = None,
+    ) -> dict:
+        """Resolve one request to a response dict (blocking).
+
+        ``prepared`` optionally carries an earlier :meth:`prepare`
+        result for this request, so callers that needed the fingerprint
+        up front (the HTTP submit path hands it out as the job id)
+        don't parse and hash the program twice."""
+        problem, cpds, prop = self.prepare(request) if prepared is None else prepared
+        while True:
+            own_future: Future | None = None
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("service is shut down")
+                existing = self._inflight.get(problem)
+                if existing is None:
+                    own_future = Future()
+                    self._inflight[problem] = own_future
+            if own_future is None:
+                METER.bump("service.dedup_joins")
+                response = existing.result()
+                if self._satisfies(response, request):
+                    return response | {"deduplicated": True}
+                continue  # joined run was shallower; resume from its snapshot
+            # Owner path.  The store probe runs OUTSIDE the service lock
+            # (sqlite I/O must not serialize unrelated submits behind
+            # this problem); registering first keeps the one-run
+            # invariant — concurrent identical submits join the future
+            # and are answered below whether it resolves to a store hit
+            # or a fresh run.  One verdict-columns read serves both the
+            # hit check and (via has_snapshot) the resume decision —
+            # the blob itself is only fetched when resuming.
+            try:
+                entry = self.store.get(problem, include_snapshot=False)
+                if (
+                    entry is not None
+                    and entry.result is not None
+                    and self._satisfies(entry.result, request)
+                ):
+                    METER.bump("service.store_hits")
+                    response = entry.result | {"cached": True}
+                else:
+                    response = self._analyze(problem, cpds, prop, request, entry)
+            except BaseException as failure:
+                with self._lock:
+                    self._inflight.pop(problem, None)
+                own_future.set_exception(failure)
+                # The future may never be awaited by a joiner; don't let
+                # its destructor warn about the unconsumed exception.
+                own_future.exception()
+                raise
+            with self._lock:
+                self._inflight.pop(problem, None)
+            own_future.set_result(response)
+            return response
+
+    def _satisfies(self, response: dict, request: AnalysisRequest) -> bool:
+        """Does an existing outcome answer this request?  Conclusive and
+        non-resumable (diverged) outcomes always do; an inconclusive one
+        only when it explored at least the requested budget."""
+        if response.get("final"):
+            return True
+        return response.get("bound", -1) >= request.max_rounds
+
+    # ------------------------------------------------------------------
+    # The engine run
+    # ------------------------------------------------------------------
+    def _restore_engine(
+        self, problem: str, cpds: CPDS, request: AnalysisRequest, entry
+    ):
+        """A warm engine from the stored snapshot, or ``None`` when
+        there is nothing (or nothing decodable) to resume from.
+        ``entry`` is the verdict-columns row ``run()`` already fetched;
+        the blob is read only when it signals a snapshot exists."""
+        if entry is None or not entry.has_snapshot:
+            return None
+        entry = self.store.get(problem)
+        if entry is None or entry.snapshot is None:
+            return None
+        try:
+            if snapshot_kind(entry.snapshot) == KIND_EXPLICIT:
+                engine = ExplicitReach.restore(
+                    cpds,
+                    entry.snapshot,
+                    jobs=self.jobs,
+                    max_states_per_context=request.max_states_per_context,
+                )
+            else:
+                engine = SymbolicReach.restore(cpds, entry.snapshot)
+        except SnapshotError:
+            METER.bump("service.snapshot_rejects")
+            return None  # bad blob ⇒ miss, never a crash
+        METER.bump("service.resumes")
+        return engine
+
+    def _analyze(
+        self,
+        problem: str,
+        cpds: CPDS,
+        prop: Property,
+        request: AnalysisRequest,
+        entry=None,
+    ) -> dict:
+        METER.bump("service.engine_runs")
+        engine = self._restore_engine(problem, cpds, request, entry)
+        resumed = engine is not None
+        kind = "explicit"
+        if request.engine == "explicit":
+            if engine is None:
+                engine = ExplicitReach(
+                    cpds,
+                    max_states_per_context=request.max_states_per_context,
+                    jobs=self.jobs,
+                )
+            result = scheme1_rk(
+                cpds, prop, max_rounds=request.max_rounds, engine=engine
+            )
+        elif request.engine == "symbolic":
+            if engine is None:
+                engine = SymbolicReach(cpds)
+            kind = "symbolic"
+            result = algorithm3(
+                cpds, prop, engine=engine, max_rounds=request.max_rounds
+            )
+        else:  # auto — the Sec. 6 front-end
+            verifier = Cuba(
+                cpds,
+                prop,
+                max_states_per_context=request.max_states_per_context,
+                jobs=self.jobs,
+            )
+            result = verifier.verify(max_rounds=request.max_rounds, engine=engine).result
+            engine = verifier.last_engine
+            kind = "symbolic" if isinstance(engine, SymbolicReach) else "explicit"
+
+        explored = engine.k if engine is not None else result.bound
+        # UNKNOWN below the budget means the run stopped for a reason
+        # deeper k cannot fix (explicit-engine divergence): final.
+        resumable = (
+            result.verdict is Verdict.UNKNOWN and explored >= request.max_rounds
+        )
+        response = self._describe(result, problem, kind, explored, resumable)
+        response["resumed"] = resumed
+        snapshot = None
+        if resumable and engine is not None:
+            try:
+                snapshot = engine.snapshot()
+            except SnapshotError:  # pragma: no cover - defensive
+                snapshot = None
+        self.store.record(
+            problem,
+            {key: value for key, value in response.items() if key != "resumed"},
+            bound=explored,
+            engine=kind,
+            snapshot=snapshot,
+        )
+        return response
+
+    @staticmethod
+    def _describe(
+        result: VerificationResult,
+        problem: str,
+        kind: str,
+        explored: int,
+        resumable: bool,
+    ) -> dict:
+        return {
+            "fingerprint": problem,
+            "verdict": result.verdict.value,
+            "bound": result.bound,
+            "k": explored,
+            "method": result.method,
+            "message": result.message,
+            "witness": str(result.witness) if result.witness is not None else None,
+            "trace": str(result.trace) if result.trace is not None else None,
+            "engine": kind,
+            "final": result.verdict is not Verdict.UNKNOWN or not resumable,
+            "cached": False,
+            "deduplicated": False,
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the executor, flush and close the store, and clear the
+        process-global runtime caches (canonical memo, Hopcroft
+        pre-cache, leased worker pools) — the same cleanup the bench
+        runner's cold-run contract performs, so a stopped daemon leaves
+        no pooled worker processes behind."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.executor.shutdown(wait=True, cancel_futures=False)
+        self.store.close()
+        clear_runtime_caches()
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+_METER_WINDOW_PREFIXES = ("service.", "snapshot.", "explicit.", "symbolic.")
+
+#: Settled /status history kept per server (running jobs never count
+#: against it).
+_JOB_HISTORY_LIMIT = 256
+
+#: Hard caps on an HTTP request.  Every other resource the server
+#: holds is bounded (executor, job history, CPDS cache, pool cache,
+#: store size); neither the client's Content-Length nor an endless
+#: header stream may be the one untrusted input that can exhaust
+#: memory.  64 MB dwarfs any real program text; 16 KB dwarfs any real
+#: header section.
+MAX_REQUEST_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 16 * 1024
+
+
+class ServiceServer:
+    """Minimal asyncio HTTP/1.1 front for an :class:`AnalysisService`."""
+
+    def __init__(
+        self, service: AnalysisService, host: str = "127.0.0.1", port: int = 8765
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._closing: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: fingerprint -> job record for async submits and /status —
+        #: bounded LRU: finished verdicts live in the store, so settled
+        #: records are only kept as a recent-history convenience and a
+        #: long-lived daemon must not accumulate one per fingerprint
+        #: ever submitted.
+        self._jobs: OrderedDict[str, dict] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown request, then tear down gracefully:
+        stop accepting, drain in-flight analyses, flush the store, shut
+        the leased pools (via the shared cache cleanup)."""
+        assert self._closing is not None
+        await self._closing.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await asyncio.get_running_loop().run_in_executor(None, self.service.close)
+
+    def run(self) -> None:
+        """Synchronous convenience used by ``cuba serve``."""
+
+        async def main() -> None:
+            await self.start()
+            print(f"cuba service listening on http://{self.host}:{self.port}")
+            await self.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:  # graceful Ctrl-C
+            self.service.close()
+
+    def request_shutdown(self) -> None:
+        """Trigger graceful shutdown; safe to call from any thread (the
+        asyncio event is set on the server's own loop)."""
+        if self._closing is None or self._loop is None:
+            return
+        if self._loop.is_closed():  # already torn down
+            return
+        self._loop.call_soon_threadsafe(self._closing.set)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, body = request
+            status, payload = await self._route(method, path, query, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except CubaError as refused:
+            status, payload = 400, {"error": str(refused)}
+        except Exception as crashed:  # noqa: BLE001 - server must answer
+            status, payload = 500, {"error": f"{type(crashed).__name__}: {crashed}"}
+        try:
+            await self._respond(writer, status, payload)
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError as bad:
+            raise ServiceError(f"malformed request line {line!r}") from bad
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            header_bytes += len(header)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise ServiceError(
+                    f"request header section exceeds the "
+                    f"{MAX_HEADER_BYTES}-byte limit"
+                )
+            name, _sep, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError as bad:
+            raise ServiceError("malformed Content-Length header") from bad
+        if length < 0 or length > MAX_REQUEST_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_REQUEST_BYTES}-byte limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        query = {
+            name: values[-1] for name, values in parse_qs(parts.query).items()
+        }
+        return method.upper(), parts.path, query, body
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict) -> None:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   404: "Not Found", 500: "Internal Server Error"}
+        body = json.dumps(payload).encode()
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, query: dict, body: bytes):
+        if method == "POST" and path == "/submit":
+            return await self._submit(body)
+        if method == "GET" and path == "/status":
+            return await self._off_loop(self._status, query.get("id"))
+        if method == "GET" and path == "/result":
+            return await self._off_loop(self._result, query.get("id"))
+        if method == "GET" and path == "/health":
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job["status"]] = by_status.get(job["status"], 0) + 1
+            stats = await self._off_loop(self.service.store.stats)
+            return 200, {
+                "status": "ok",
+                "jobs": by_status,
+                "store": stats,
+            }
+        if method == "GET" and path == "/meter":
+            return 200, {
+                name: value
+                for name, value in METER.snapshot().items()
+                if name.startswith(_METER_WINDOW_PREFIXES)
+            }
+        if method == "POST" and path == "/shutdown":
+            self.request_shutdown()
+            return 200, {"status": "shutting down"}
+        return 404, {"error": f"no route {method} {path}"}
+
+    @staticmethod
+    async def _off_loop(fn, *args):
+        """Run a store-touching handler on the loop's default executor:
+        sqlite reads contend the store lock, and a worker thread inside
+        a large snapshot-blob transaction must not stall the event loop
+        (which would stop the server answering *every* connection,
+        /shutdown included).  The default executor — not the bounded
+        analysis executor — so polls cannot be starved by long runs."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: fn(*args)
+        )
+
+    async def _submit(self, body: bytes):
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError as bad:
+            raise ServiceError(f"submit body is not JSON: {bad}") from bad
+        request = AnalysisRequest.from_payload(payload)
+        wait = bool(payload.get("wait", True))
+        loop = asyncio.get_running_loop()
+        prepared = await loop.run_in_executor(
+            self.service.executor, self.service.prepare, request
+        )
+        problem = prepared[0]
+        job = self._record_job(problem)
+        task = loop.run_in_executor(
+            self.service.executor, self.service.run, request, prepared
+        )
+        job["status"] = "running"
+
+        async def finish() -> dict:
+            try:
+                response = await task
+            except BaseException as failure:
+                # Record EVERY failure mode on the job — a polling
+                # client must see "failed", never a forever-"running".
+                job["status"] = "failed"
+                job["error"] = f"{type(failure).__name__}: {failure}"
+                raise
+            job["status"] = "done"
+            job["response"] = response
+            return response
+
+        if wait:
+            return 200, await finish()
+        asyncio.ensure_future(self._swallow(finish()))
+        return 202, {"id": problem, "status": job["status"]}
+
+    def _record_job(self, problem: str) -> dict:
+        job = self._jobs.get(problem)
+        if job is None:
+            job = {"status": "queued", "response": None, "error": None}
+            self._jobs[problem] = job
+        else:
+            # Clear the previous run's outcome: a poller must never be
+            # handed the stale shallower response while a deeper
+            # re-submission is in flight.
+            job.update(status="queued", error=None, response=None)
+            self._jobs.move_to_end(problem)
+        # Evict the oldest *settled* records past the bound; running
+        # jobs are never dropped (their status must stay pollable).
+        settled = [
+            key
+            for key, record in self._jobs.items()
+            if record["status"] in ("done", "failed")
+        ]
+        for key in settled[: max(0, len(self._jobs) - _JOB_HISTORY_LIMIT)]:
+            del self._jobs[key]
+        return job
+
+    @staticmethod
+    async def _swallow(awaitable) -> None:
+        try:
+            await awaitable
+        except Exception:
+            pass  # recorded on the job; surfaced via /status and /result
+
+    def _status(self, problem: str | None):
+        if problem is None:
+            return 400, {"error": "missing ?id=<fingerprint>"}
+        job = self._jobs.get(problem)
+        if job is None:
+            entry = self.service.store.get(problem, include_snapshot=False)
+            if entry is not None and entry.result is not None:
+                return 200, {"id": problem, "status": "done"}
+            return 404, {"id": problem, "status": "unknown"}
+        return 200, {
+            "id": problem, "status": job["status"], "error": job["error"]
+        }
+
+    def _result(self, problem: str | None):
+        if problem is None:
+            return 400, {"error": "missing ?id=<fingerprint>"}
+        job = self._jobs.get(problem)
+        if job is not None and job["response"] is not None:
+            return 200, job["response"]
+        if job is not None and job["status"] in ("queued", "running"):
+            return 202, {"id": problem, "status": job["status"]}
+        if job is not None and job["status"] == "failed":
+            return 500, {
+                "id": problem,
+                "status": "failed",
+                "error": job["error"],
+            }
+        # Poll handlers run on the event loop thread: read the verdict
+        # columns only, never the snapshot blob.
+        entry = self.service.store.get(problem, include_snapshot=False)
+        if entry is not None and entry.result is not None:
+            return 200, entry.result | {"cached": True}
+        return 404, {"id": problem, "status": "unknown"}

@@ -1,0 +1,455 @@
+"""Binary checkpoint/restore of reachability-engine progress.
+
+The bounded sequences ``(Rk)`` / ``(Sk)`` are monotone by level and the
+engines only ever append — exactly the shape that makes checkpointing
+sound: persist the committed levels (plus the caches whose contents are
+pure functions of them) and a restored engine's ``ensure_level``
+continues from the stored bound, level-for-level identical to an
+uninterrupted run, including the METER expansion counts
+(differentially tested in ``tests/service/test_snapshot.py``).
+
+Format (``SNAPSHOT_VERSION`` 1)
+-------------------------------
+``MAGIC ║ u16 version ║ u8 kind ║ payload`` — the payload is a pickled
+dict whose integer columns are contiguous ``array('q')`` blobs:
+
+* **explicit** (kind 1): the :class:`~repro.cpds.interning.StateTable`
+  component pools plus interleaved ``(qid, wids...)`` rows (component
+  ids, not packed keys — era-independent and immune to the adaptive
+  bit-field geometry), ``first_seen``, the per-level id sets
+  (lengths + flat ids), the id-encoded witness parents, and the
+  cross-level context-tree cache as raw CSR columns.  The per-thread
+  successor memos are *not* persisted — they are pure semantic facts
+  the warm engine re-derives without touching any METER counter.
+* **symbolic** (kind 2): pools of distinct shared states and canonical
+  signature keys, the per-level symbolic states as
+  ``(shared_idx, sig_idx...)`` rows, and the cross-expansion memo.
+  Automata are persisted as signature keys only and rebuilt through
+  the hash-cons table
+  (:func:`~repro.automata.canonical.intern_canonical_form`), so
+  restored automata share identity with everything the process
+  canonicalizes afterwards.  Stored canonical forms carry the
+  *snapshotting* process's symbol order; restore re-canonicalizes each
+  one under the current process's per-thread alphabets, so a restarted
+  daemon with different symbol-interning history still resumes instead
+  of silently recomputing from scratch.
+
+Snapshots are trusted data: they are produced and consumed by the same
+store (pickle is not safe against adversarial blobs, same as every
+other pickle-based checkpoint format).  A blob that fails *any* decode
+step raises :class:`~repro.errors.SnapshotError`, which the store
+layer treats as a cache miss.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from array import array
+
+from repro.automata.canonical import canonical_nfa, intern_canonical_form
+from repro.cpds.cpds import CPDS
+from repro.cpds.interning import StateTable
+from repro.cpds.semantics import ContextTree
+from repro.errors import SnapshotError
+from repro.util.meter import METER
+
+MAGIC = b"CUSN"
+SNAPSHOT_VERSION = 1
+
+KIND_EXPLICIT = 1
+KIND_SYMBOLIC = 2
+
+_HEADER = struct.Struct("<4sHB")
+
+
+def _encode(kind: int, payload: dict) -> bytes:
+    blob = _HEADER.pack(MAGIC, SNAPSHOT_VERSION, kind) + pickle.dumps(
+        payload, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    METER.bump("snapshot.saves")
+    METER.bump("snapshot.save_bytes", len(blob))
+    return blob
+
+
+def _parse_header(data: bytes) -> int:
+    """Validate the framing header and return the kind byte; raises
+    :class:`SnapshotError` on truncation, wrong magic, or a future
+    version."""
+    try:
+        magic, version, kind = _HEADER.unpack_from(data)
+    except struct.error as broken:
+        raise SnapshotError(f"snapshot header truncated: {broken}") from broken
+    if magic != MAGIC:
+        raise SnapshotError(f"bad snapshot magic {magic!r}")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version} != supported {SNAPSHOT_VERSION}"
+        )
+    return kind
+
+
+def decode(data: bytes, expected_kind: int | None = None) -> tuple[int, dict]:
+    """Validate framing and unpickle the payload; every failure mode —
+    truncation, wrong magic, future version, garbage pickle — raises
+    :class:`SnapshotError`."""
+    kind = _parse_header(data)
+    if expected_kind is not None and kind != expected_kind:
+        raise SnapshotError(f"snapshot kind {kind} != expected {expected_kind}")
+    try:
+        payload = pickle.loads(data[_HEADER.size :])
+        if not isinstance(payload, dict):
+            raise SnapshotError(f"snapshot payload is {type(payload).__name__}")
+    except SnapshotError:
+        raise
+    except Exception as broken:
+        raise SnapshotError(f"snapshot payload undecodable: {broken}") from broken
+    METER.bump("snapshot.restores")
+    return kind, payload
+
+
+def snapshot_kind(data: bytes) -> int:
+    """The kind byte of a blob — header validation only, so callers
+    dispatching on kind before a full restore don't unpickle a large
+    payload twice (or double-count ``snapshot.restores``)."""
+    return _parse_header(data)
+
+
+# ----------------------------------------------------------------------
+# Explicit engine (Rk)
+# ----------------------------------------------------------------------
+def snapshot_explicit(engine) -> bytes:
+    """Checkpoint an :class:`~repro.reach.explicit.ExplicitReach` built
+    on the interned core (``batched=True``; the seed per-state oracle
+    keys its bookkeeping by decoded states and is not snapshottable)."""
+    if not engine.batched:
+        raise SnapshotError(
+            "only the batched explicit engine supports snapshots "
+            "(the per-state oracle path is a differential test fixture)"
+        )
+    table = engine.table
+    shareds, stacks = table.component_pools()
+
+    level_lens = array("q", (len(level) for level in engine._level_ids))
+    level_ids = array("q")
+    for level in engine._level_ids:
+        level_ids.extend(level)
+
+    parents = engine._parents
+    if parents is None:
+        parent_rows = None
+    else:
+        children = array("q")
+        parent_sids = array("q")
+        threads = array("q")
+        actions = []
+        for child, entry in parents.items():
+            if entry is None:
+                continue
+            children.append(child)
+            parent_sids.append(entry[0])
+            threads.append(entry[1])
+            actions.append(entry[2])
+        parent_rows = (children, parent_sids, threads, actions)
+
+    cache = engine._tree_cache
+    if cache is None:
+        tree_rows = None
+    else:
+        views = array("q")
+        trees = []
+        for view, tree in cache.items():
+            index, qid, wid = engine._view_parts(view)
+            views.extend((index, qid, wid))
+            trees.append(
+                (tree.thread, tree.root_qid, tree.root_wid,
+                 tree.offsets, tree.qids, tree.wids, tree.actions)
+            )
+        tree_rows = (views, trees)
+
+    return _encode(
+        KIND_EXPLICIT,
+        {
+            "n_threads": table.n_threads,
+            "max_states_per_context": engine.max_states_per_context,
+            "track_traces": parents is not None,
+            "incremental": cache is not None,
+            "shareds": shareds,
+            "stacks": stacks,
+            "rows": table.export_rows(),
+            "first_seen": array("q", engine._first_seen),
+            "level_lens": level_lens,
+            "level_ids": level_ids,
+            "parents": parent_rows,
+            "trees": tree_rows,
+        },
+    )
+
+
+def restore_explicit(
+    cpds: CPDS,
+    data: bytes,
+    *,
+    jobs: int = 1,
+    max_states_per_context: int | None = None,
+):
+    """Rebuild a warm :class:`~repro.reach.explicit.ExplicitReach` from
+    a :func:`snapshot_explicit` blob.  ``jobs`` (a pure execution knob)
+    may differ from the snapshotted engine's; ``max_states_per_context``
+    defaults to the snapshotted guard.  Raises :class:`SnapshotError`
+    when the blob is undecodable or does not belong to ``cpds``."""
+    from repro.reach.explicit import ExplicitReach
+
+    _kind, payload = decode(data, expected_kind=KIND_EXPLICIT)
+    try:
+        n_threads = payload["n_threads"]
+        if n_threads != cpds.n_threads:
+            raise SnapshotError(
+                f"snapshot has {n_threads} threads, CPDS has {cpds.n_threads}"
+            )
+        table = StateTable.from_snapshot(
+            n_threads, payload["shareds"], payload["stacks"], payload["rows"]
+        )
+        engine = ExplicitReach(
+            cpds,
+            max_states_per_context=(
+                payload["max_states_per_context"]
+                if max_states_per_context is None
+                else max_states_per_context
+            ),
+            track_traces=payload["track_traces"],
+            incremental=payload["incremental"],
+            batched=True,
+            jobs=jobs,
+        )
+        if len(table) == 0 or table.state(0) != cpds.initial_state():
+            raise SnapshotError("snapshot does not belong to this CPDS")
+        engine.table = table
+
+        levels = []
+        cursor = 0
+        level_ids = payload["level_ids"]
+        for length in payload["level_lens"]:
+            levels.append(tuple(level_ids[cursor : cursor + length]))
+            cursor += length
+        engine._level_ids = levels
+        engine._first_seen = list(payload["first_seen"])
+        if len(engine._first_seen) != len(table):
+            raise SnapshotError("snapshot columns disagree on state count")
+
+        parent_rows = payload["parents"]
+        if parent_rows is None:
+            engine._parents = None
+        else:
+            children, parent_sids, threads, actions = parent_rows
+            rebuilt: dict = {levels[0][0]: None}
+            for child, parent, thread, action in zip(
+                children, parent_sids, threads, actions
+            ):
+                rebuilt[child] = (parent, thread, action)
+            engine._parents = rebuilt
+
+        tree_rows = payload["trees"]
+        if tree_rows is None:
+            engine._tree_cache = None
+        else:
+            views, trees = tree_rows
+            cache: dict = {}
+            qid_shift = engine._view_qid_shift
+            wid_shift = engine._view_wid_shift
+            for position, row in enumerate(trees):
+                base = 3 * position
+                index, qid, wid = views[base], views[base + 1], views[base + 2]
+                cache[(qid << qid_shift) | (wid << wid_shift) | index] = ContextTree(
+                    *row
+                )
+            engine._tree_cache = cache
+
+        # Rebuild the base-class visible records by replaying the level
+        # projections (decoded lazily off the restored core).
+        engine.visible_levels.clear()
+        engine._visible_cumulative.clear()
+        visible = table.visible
+        for level in levels:
+            engine._record_visible(frozenset(visible(sid) for sid in level))
+        engine._decoded_levels = []
+        engine._first_seen_view = None
+        return engine
+    except SnapshotError:
+        raise
+    except Exception as broken:
+        raise SnapshotError(f"explicit snapshot malformed: {broken}") from broken
+
+
+# ----------------------------------------------------------------------
+# Symbolic engine (Sk)
+# ----------------------------------------------------------------------
+def snapshot_symbolic(engine) -> bytes:
+    """Checkpoint a :class:`~repro.reach.symbolic.SymbolicReach`: the
+    canonical-signature frontier (per-level symbolic states) and the
+    cross-expansion memo, both id-encoded against pools of distinct
+    shared states and signature keys."""
+    shared_ids: dict = {}
+    shared_pool: list = []
+    sig_ids: dict = {}
+    sig_pool: list = []
+
+    def shared_idx(value) -> int:
+        idx = shared_ids.get(value)
+        if idx is None:
+            idx = shared_ids[value] = len(shared_pool)
+            shared_pool.append(value)
+        return idx
+
+    def sig_idx(signature) -> int:
+        idx = sig_ids.get(signature)
+        if idx is None:
+            idx = sig_ids[signature] = len(sig_pool)
+            sig_pool.append(signature.key)
+        return idx
+
+    level_lens = array("q", (len(level) for level in engine.levels))
+    state_rows = array("q")
+    for level in engine.levels:
+        for symbolic in level:
+            state_rows.append(shared_idx(symbolic.shared))
+            state_rows.extend(sig_idx(s) for s in symbolic.signatures)
+
+    memo = engine._expansions
+    if memo is None:
+        memo_rows = None
+    else:
+        keys = array("q")
+        part_lens = array("q")
+        part_pairs = array("q")
+        for (thread, shared, signature), parts in memo.items():
+            keys.extend((thread, shared_idx(shared), sig_idx(signature)))
+            part_lens.append(len(parts))
+            for part_shared, _canonical, part_sig in parts:
+                part_pairs.extend((shared_idx(part_shared), sig_idx(part_sig)))
+        memo_rows = (keys, part_lens, part_pairs)
+
+    return _encode(
+        KIND_SYMBOLIC,
+        {
+            "n_threads": engine.cpds.n_threads,
+            "batched": engine.batched,
+            "shared_pool": shared_pool,
+            "sig_pool": sig_pool,
+            "level_lens": level_lens,
+            "state_rows": state_rows,
+            "expansions": memo_rows,
+        },
+    )
+
+
+def restore_symbolic(cpds: CPDS, data: bytes, *, batched: bool | None = None):
+    """Rebuild a warm :class:`~repro.reach.symbolic.SymbolicReach` from
+    a :func:`snapshot_symbolic` blob.  ``batched`` defaults to the
+    snapshotted engine's mode.  Raises :class:`SnapshotError` when the
+    blob is undecodable or does not belong to ``cpds``."""
+    from repro.reach.symbolic import SymbolicReach, SymbolicState, nfa_tops
+
+    _kind, payload = decode(data, expected_kind=KIND_SYMBOLIC)
+    try:
+        n = payload["n_threads"]
+        if n != cpds.n_threads:
+            raise SnapshotError(
+                f"snapshot has {n} threads, CPDS has {cpds.n_threads}"
+            )
+        engine = SymbolicReach(
+            cpds,
+            incremental=payload["expansions"] is not None,
+            batched=payload["batched"] if batched is None else batched,
+        )
+        initial_level = engine.levels[0]
+
+        shared_pool = payload["shared_pool"]
+        # Stored canonical forms embed the *snapshotting* process's
+        # symbol order (canonical BFS numbering visits symbols in
+        # SymbolTable order, which depends on interning history).  A
+        # restarted daemon with different history would compute
+        # different signatures for the same languages, so every stored
+        # form is re-canonicalized under THIS process's per-thread
+        # alphabet — a no-op returning the identical interned pair when
+        # the orders agree, and an exact translation when they don't.
+        raw = [intern_canonical_form(*key) for key in payload["sig_pool"]]
+        alphabets = engine._alphabets
+        translated: dict[tuple[int, int], tuple] = {}
+
+        def pair_for(idx: int, thread: int) -> tuple:
+            pair = translated.get((idx, thread))
+            if pair is None:
+                pair = canonical_nfa(raw[idx][0], alphabets[thread])
+                translated[(idx, thread)] = pair
+            return pair
+
+        levels: list[frozenset] = []
+        cursor = 0
+        state_rows = payload["state_rows"]
+        width = 1 + n
+        for length in payload["level_lens"]:
+            bucket = []
+            for _ in range(length):
+                shared = shared_pool[state_rows[cursor]]
+                chosen = tuple(
+                    pair_for(state_rows[cursor + 1 + offset], offset)
+                    for offset in range(n)
+                )
+                bucket.append(
+                    SymbolicState(
+                        shared,
+                        tuple(pair[0] for pair in chosen),
+                        tuple(pair[1] for pair in chosen),
+                    )
+                )
+                cursor += width
+            levels.append(frozenset(bucket))
+        if not levels or levels[0] != initial_level:
+            raise SnapshotError("snapshot does not belong to this CPDS")
+
+        memo_rows = payload["expansions"]
+        if memo_rows is None:
+            engine._expansions = None
+        else:
+            keys, part_lens, part_pairs = memo_rows
+            memo: dict = {}
+            pair_cursor = 0
+            for position, length in enumerate(part_lens):
+                base = 3 * position
+                thread = keys[base]
+                key = (
+                    thread,
+                    shared_pool[keys[base + 1]],
+                    pair_for(keys[base + 2], thread)[1],
+                )
+                parts = []
+                for _ in range(length):
+                    part_shared = shared_pool[part_pairs[pair_cursor]]
+                    dfa, signature = pair_for(part_pairs[pair_cursor + 1], thread)
+                    parts.append((part_shared, dfa, signature))
+                    pair_cursor += 2
+                memo[key] = tuple(parts)
+            engine._expansions = memo
+
+        engine.levels = levels
+        seen: set = set()
+        for level in levels:
+            seen |= level
+        engine._seen = seen
+
+        engine.visible_levels.clear()
+        engine._visible_cumulative.clear()
+        for level in levels:
+            visible: set = set()
+            for symbolic in level:
+                visible |= engine._visible_product(
+                    symbolic.shared,
+                    tuple(nfa_tops(automaton) for automaton in symbolic.automata),
+                )
+            engine._record_visible(frozenset(visible))
+        return engine
+    except SnapshotError:
+        raise
+    except Exception as broken:
+        raise SnapshotError(f"symbolic snapshot malformed: {broken}") from broken

@@ -1,0 +1,345 @@
+"""Crash-safe persistent analysis store (sqlite, stdlib only).
+
+One row per problem fingerprint (:mod:`repro.service.fingerprint`),
+holding the verdict record (JSON) and, for inconclusive runs, the
+engine snapshot blob (:mod:`repro.service.snapshot`) that lets a later,
+deeper-``k`` request resume instead of starting over.
+
+Layout (``STORE_SCHEMA_VERSION`` 1, tracked via ``PRAGMA
+user_version``)::
+
+    analyses(
+        fingerprint      TEXT PRIMARY KEY,   -- sha256 hex
+        result           TEXT,               -- JSON verdict record
+        bound            INTEGER,            -- deepest explored k
+        engine           TEXT,               -- lane: explicit|symbolic|auto
+        snapshot         BLOB,               -- NULL once conclusive
+        snapshot_version INTEGER,
+        created          REAL,
+        last_used        REAL,               -- LRU clock
+        snapshot_bytes   INTEGER
+    )
+
+Robustness contract:
+
+* **Crash safety** — every write commits in its own transaction; WAL
+  journaling is enabled best-effort (falls back silently where the
+  filesystem refuses).
+* **Corruption tolerance** — a bad row, an undecodable JSON record, or
+  a wholesale-corrupt database file degrade to cache *misses*, never
+  to crashes: reads catch :class:`sqlite3.DatabaseError`, and an
+  unopenable file is rotated aside to ``<path>.corrupt`` and recreated
+  empty.  (Snapshot blobs are validated downstream — the service
+  treats :class:`~repro.errors.SnapshotError` as a miss too.)
+* **Schema versioning** — a version mismatch wipes and recreates the
+  tables; the store holds only recomputable cache data.
+* **Size bounding** — when the summed snapshot bytes exceed
+  ``max_snapshot_bytes``, least-recently-used snapshots are evicted
+  (their verdict rows stay — verdicts are tiny and the valuable part).
+  Eviction fires the ``on_evict`` hook, which the analysis server
+  routes to the shared
+  :func:`~repro.util.caches.clear_runtime_caches` cleanup — the same
+  path the benchmark runner's cold-run contract and server shutdown
+  use — so size pressure also sheds the in-process canonical tables
+  instead of letting a long-lived daemon accumulate them.  (The server
+  excludes the leased worker pools here: they are bounded by their own
+  LRU cache, and closing one mid-eviction would break analyses running
+  on it; pools are released on server shutdown.)
+
+All methods are thread-safe (one connection guarded by a lock): the
+server's bounded executor calls in from worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.meter import METER
+
+STORE_SCHEMA_VERSION = 1
+
+#: Default snapshot budget: plenty for thousands of registry-sized
+#: snapshots while keeping a runaway daemon's disk use bounded.
+DEFAULT_MAX_SNAPSHOT_BYTES = 64 * 1024 * 1024
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS analyses (
+    fingerprint      TEXT PRIMARY KEY,
+    result           TEXT,
+    bound            INTEGER NOT NULL DEFAULT 0,
+    engine           TEXT,
+    snapshot         BLOB,
+    snapshot_version INTEGER,
+    created          REAL NOT NULL,
+    last_used        REAL NOT NULL,
+    snapshot_bytes   INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+
+@dataclass(slots=True)
+class StoreEntry:
+    """One decoded store row.  ``result`` is ``None`` when the stored
+    JSON is missing or undecodable (corruption ⇒ miss); ``snapshot`` is
+    ``None`` when absent, evicted, written by a different snapshot
+    format version, or simply not requested (``include_snapshot=False``
+    — check ``has_snapshot`` for existence without the blob
+    transfer)."""
+
+    fingerprint: str
+    result: dict | None
+    bound: int
+    engine: str | None
+    snapshot: bytes | None
+    has_snapshot: bool = False
+
+
+class AnalysisStore:
+    """Disk-backed verdict + snapshot store keyed by fingerprint."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        max_snapshot_bytes: int = DEFAULT_MAX_SNAPSHOT_BYTES,
+        on_evict=None,
+    ) -> None:
+        self.path = Path(path)
+        self.max_snapshot_bytes = max_snapshot_bytes
+        #: Called (once per eviction sweep) after LRU eviction dropped
+        #: snapshots; the server wires this to the shared runtime-cache
+        #: cleanup (see the module docstring).
+        self.on_evict = on_evict
+        self._lock = threading.Lock()
+        #: Strictly increasing LRU clock: wall time, nudged past the
+        #: previous tick so bursts within the timer resolution still
+        #: order by access (sqlite ORDER BY must see distinct values).
+        self._clock = 0.0
+        self._conn = self._open()
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _open(self) -> sqlite3.Connection:
+        try:
+            return self._connect()
+        except sqlite3.DatabaseError:
+            # Wholesale-corrupt file: rotate it aside and start empty —
+            # the store only ever holds recomputable cache data, and a
+            # service must not crash-loop on a bad cache file.  The WAL
+            # sidecars must move with it: an orphaned -wal next to a
+            # freshly created empty database would be replayed into it
+            # (SQLite's separated-WAL corruption hazard), recorrupting
+            # the replacement.
+            METER.bump("service.store_corrupt_rotations")
+            for suffix in ("", "-wal", "-shm"):
+                source = self.path.with_name(self.path.name + suffix)
+                target = self.path.with_name(self.path.name + suffix + ".corrupt")
+                try:
+                    source.replace(target)
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    source.unlink(missing_ok=True)
+            return self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.DatabaseError:  # pragma: no cover - odd filesystems
+            pass
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version != STORE_SCHEMA_VERSION:
+            with conn:
+                conn.execute("DROP TABLE IF EXISTS analyses")
+                conn.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION:d}")
+        with conn:
+            conn.execute(_SCHEMA)
+        return conn
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.commit()
+                    self._conn.close()
+                except sqlite3.DatabaseError:  # pragma: no cover
+                    pass
+                self._conn = None
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.commit()
+
+    def _tick(self) -> float:
+        """Next LRU clock value (call under the lock)."""
+        self._clock = max(time.time(), self._clock + 1e-6)
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(
+        self, fingerprint: str, *, include_snapshot: bool = True
+    ) -> StoreEntry | None:
+        """The entry for ``fingerprint`` (bumping its LRU clock), or
+        ``None`` on miss — including every corruption mode.
+
+        ``include_snapshot=False`` skips transferring the (potentially
+        large) blob: verdict-only consumers — the service's hit check —
+        read the cheap columns plus a ``has_snapshot`` flag and fetch
+        the blob in a second call only when they actually resume."""
+        blob_column = "snapshot" if include_snapshot else "NULL"
+        with self._lock:
+            if self._conn is None:
+                return None
+            try:
+                row = self._conn.execute(
+                    f"SELECT result, bound, engine, {blob_column},"
+                    " snapshot_version, snapshot IS NOT NULL "
+                    "FROM analyses WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+                if row is None:
+                    return None
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE analyses SET last_used = ? WHERE fingerprint = ?",
+                        (self._tick(), fingerprint),
+                    )
+            except sqlite3.DatabaseError:
+                METER.bump("service.store_read_errors")
+                return None
+        result_json, bound, engine, snapshot, snapshot_version, has_snapshot = row
+        result = None
+        if result_json is not None:
+            try:
+                result = json.loads(result_json)
+            except (TypeError, ValueError):
+                METER.bump("service.store_corrupt_results")
+        from repro.service.snapshot import SNAPSHOT_VERSION
+
+        if snapshot_version is not None and snapshot_version != SNAPSHOT_VERSION:
+            snapshot = None
+            has_snapshot = False
+        return StoreEntry(
+            fingerprint, result, bound or 0, engine, snapshot, bool(has_snapshot)
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        fingerprint: str,
+        result: dict,
+        *,
+        bound: int,
+        engine: str,
+        snapshot: bytes | None = None,
+    ) -> None:
+        """Upsert the verdict record (and snapshot, when the run was
+        inconclusive and resumable) for ``fingerprint``, then enforce
+        the snapshot size budget."""
+        from repro.service.snapshot import SNAPSHOT_VERSION
+
+        with self._lock:
+            if self._conn is None:
+                return
+            now = self._tick()
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT INTO analyses (fingerprint, result, bound, engine,"
+                        " snapshot, snapshot_version, created, last_used,"
+                        " snapshot_bytes) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                        "ON CONFLICT(fingerprint) DO UPDATE SET"
+                        " result = excluded.result, bound = excluded.bound,"
+                        " engine = excluded.engine, snapshot = excluded.snapshot,"
+                        " snapshot_version = excluded.snapshot_version,"
+                        " last_used = excluded.last_used,"
+                        " snapshot_bytes = excluded.snapshot_bytes",
+                        (
+                            fingerprint,
+                            json.dumps(result, sort_keys=True),
+                            bound,
+                            engine,
+                            snapshot,
+                            SNAPSHOT_VERSION if snapshot is not None else None,
+                            now,
+                            now,
+                            len(snapshot) if snapshot is not None else 0,
+                        ),
+                    )
+            except sqlite3.DatabaseError:  # pragma: no cover - disk trouble
+                METER.bump("service.store_write_errors")
+                return
+        self._evict_to_budget()
+
+    def _evict_to_budget(self) -> None:
+        """Drop least-recently-used snapshots until the summed blob
+        size fits the budget; verdict rows survive eviction."""
+        evicted = 0
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                total = self._conn.execute(
+                    "SELECT COALESCE(SUM(snapshot_bytes), 0) FROM analyses"
+                ).fetchone()[0]
+                while total > self.max_snapshot_bytes:
+                    victim = self._conn.execute(
+                        "SELECT fingerprint, snapshot_bytes FROM analyses "
+                        "WHERE snapshot IS NOT NULL "
+                        "ORDER BY last_used, rowid LIMIT 1"
+                    ).fetchone()
+                    if victim is None:
+                        break
+                    with self._conn:
+                        self._conn.execute(
+                            "UPDATE analyses SET snapshot = NULL,"
+                            " snapshot_version = NULL, snapshot_bytes = 0 "
+                            "WHERE fingerprint = ?",
+                            (victim[0],),
+                        )
+                    total -= victim[1]
+                    evicted += 1
+            except sqlite3.DatabaseError:  # pragma: no cover
+                METER.bump("service.store_write_errors")
+                return
+        if evicted:
+            METER.bump("service.store_evictions", evicted)
+            if self.on_evict is not None:
+                self.on_evict()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Row/byte totals for health reporting."""
+        with self._lock:
+            if self._conn is None:
+                return {"open": False}
+            try:
+                rows, with_snapshot, snapshot_bytes = self._conn.execute(
+                    "SELECT COUNT(*), COUNT(snapshot),"
+                    " COALESCE(SUM(snapshot_bytes), 0) FROM analyses"
+                ).fetchone()
+            except sqlite3.DatabaseError:  # pragma: no cover
+                return {"open": True, "error": "unreadable"}
+        return {
+            "open": True,
+            "path": str(self.path),
+            "entries": rows,
+            "snapshots": with_snapshot,
+            "snapshot_bytes": snapshot_bytes,
+            "max_snapshot_bytes": self.max_snapshot_bytes,
+        }

@@ -1,0 +1,40 @@
+"""Process-global runtime-cache lifecycle — one cleanup path for all.
+
+Several subsystems keep process-global caches: the canonicalization
+memo and hash-cons tables (:mod:`repro.automata.canonical`), the
+Hopcroft preimage-list cache (:mod:`repro.automata.dense`), and the
+leased view-saturation worker pools (:mod:`repro.reach.parallel`).
+Before the analysis service existed, only the benchmark runner cleared
+them (its cold-run contract); a long-lived daemon that never routed
+through the bench path would accumulate canonical tables without bound
+and leak pooled worker processes across shutdowns.
+
+:func:`clear_runtime_caches` is the single shared cleanup: the bench
+runner's ``_clear_caches``, the analysis server's shutdown path, and
+the store's size-pressure eviction hook all call it, so every owner of
+a long-lived process drops the same state the same way.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def clear_runtime_caches(*, pools: bool = True) -> None:
+    """Reset every process-global cache: the canonicalization memo and
+    hash-cons table, the Hopcroft pre-cache, and (with ``pools=True``)
+    the leased view-saturation worker pools.
+
+    The parallel module is only touched when it was already imported —
+    serial processes never pay for (or perturb timings with)
+    multiprocessing machinery just to shut down pools they never
+    started.
+    """
+    from repro.automata import canonical, dense
+
+    canonical.canonical_cache_clear()
+    dense.pre_cache_clear()
+    if pools:
+        parallel = sys.modules.get("repro.reach.parallel")
+        if parallel is not None:
+            parallel.pool_cache_clear()

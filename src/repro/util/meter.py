@@ -11,6 +11,7 @@ region of code without disturbing concurrent totals.
 
 from __future__ import annotations
 
+import threading
 import time
 import tracemalloc
 from collections import Counter
@@ -31,34 +32,47 @@ class Counters:
 
     def __init__(self) -> None:
         self._counts: Counter[str] = Counter()
+        # The analysis service (PR 5) runs engines on a thread
+        # executor, so the global METER is bumped concurrently;
+        # ``counts[name] += amount`` is a non-atomic read-modify-write
+        # and would silently drop increments — and METER totals are
+        # load-bearing (batching invariants, the service's
+        # one-engine-run proofs).  An uncontended lock acquire costs
+        # tens of nanoseconds against bumps that are already batched on
+        # the hot paths.
+        self._lock = threading.Lock()
 
     def bump(self, name: str, amount: int = 1) -> None:
-        """Increment ``name`` by ``amount`` (must be ≥ 0)."""
+        """Increment ``name`` by ``amount`` (must be ≥ 0); thread-safe."""
         if amount < 0:
             raise ValueError("counters are monotone; amount must be >= 0")
-        self._counts[name] += amount
+        with self._lock:
+            self._counts[name] += amount
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 
     def snapshot(self) -> dict[str, int]:
         """Immutable view of all current totals."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def delta(self, since: dict[str, int]) -> dict[str, int]:
         """Per-counter growth relative to an earlier :meth:`snapshot`,
         omitting counters that did not move."""
         out: dict[str, int] = {}
-        for name, value in self._counts.items():
-            grown = value - since.get(name, 0)
-            if grown:
-                out[name] = grown
+        with self._lock:
+            for name, value in self._counts.items():
+                grown = value - since.get(name, 0)
+                if grown:
+                    out[name] = grown
         return out
 
     def reset(self) -> None:
         """Zero every counter (test isolation; production code never calls
         this)."""
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Counters({dict(self._counts)!r})"

@@ -1,0 +1,123 @@
+"""Content-addressed fingerprint properties.
+
+The store key must collide exactly for semantically identical problems:
+invariant under rule order, rule labels, construction history, and the
+process-global symbol-intern order — and sensitive to any change of
+rules, property, or engine config.
+"""
+
+import pytest
+
+from repro.automata.intern import order_of
+from repro.core.property import (
+    AlwaysSafe,
+    MutualExclusion,
+    SharedStateReachability,
+    VisiblePredicate,
+)
+from repro.cpds.cpds import CPDS
+from repro.errors import FingerprintError
+from repro.models import fig1_cpds
+from repro.models.registry import smallest_per_row
+from repro.pds.pds import PDS
+from repro.service.fingerprint import cpds_digest, fingerprint
+
+
+def _two_thread_cpds(rule_order=(0, 1, 2), labels=("f1", "f2", "f3")):
+    pds1 = PDS(initial_shared=0, name="P1")
+    rules = [
+        (0, "a", 1, ("b",)),
+        (1, "b", 0, ()),
+        (0, "a", 0, ("a", "a")),
+    ]
+    for position in rule_order:
+        src, read, dst, write = rules[position]
+        pds1.rule(src, read, dst, write, label=labels[position])
+    pds2 = PDS(initial_shared=0, name="P2")
+    pds2.rule(0, "x", 1, ("x",), label="g")
+    return CPDS([pds1, pds2], initial_stacks=[("a",), ("x",)])
+
+
+class TestCollisions:
+    def test_identical_builds_collide(self):
+        assert fingerprint(_two_thread_cpds()) == fingerprint(_two_thread_cpds())
+
+    def test_rule_insertion_order_is_canonicalized(self):
+        assert fingerprint(_two_thread_cpds((0, 1, 2))) == fingerprint(
+            _two_thread_cpds((2, 0, 1))
+        )
+
+    def test_rule_labels_are_semantically_irrelevant(self):
+        assert fingerprint(_two_thread_cpds(labels=("f1", "f2", "f3"))) == fingerprint(
+            _two_thread_cpds(labels=("x", "y", "z"))
+        )
+
+    def test_global_intern_order_does_not_leak_in(self):
+        """The process-global symbol order depends on interning history;
+        the fingerprint must not (a persistent store outlives the
+        process)."""
+        before = fingerprint(_two_thread_cpds())
+        # Perturb the global order with symbols from this CPDS's
+        # alphabet interned in a hostile order.
+        for symbol in ("x", "b", "a", "zzz_unrelated"):
+            order_of(symbol)
+        assert fingerprint(_two_thread_cpds()) == before
+
+    def test_registry_rows_are_fingerprintable_and_distinct(self):
+        prints = {}
+        for bench in smallest_per_row():
+            cpds, prop = bench.build()
+            prints[bench.row] = fingerprint(cpds, prop, {"engine": "auto"})
+        assert len(set(prints.values())) == len(prints)
+
+
+class TestSensitivity:
+    def test_different_rules_differ(self):
+        other = _two_thread_cpds()
+        changed = _two_thread_cpds(rule_order=(0, 1))  # one rule dropped
+        assert fingerprint(other) != fingerprint(changed)
+
+    def test_property_changes_the_fingerprint(self):
+        cpds = fig1_cpds()
+        assert fingerprint(cpds, SharedStateReachability({3})) != fingerprint(
+            cpds, SharedStateReachability({2})
+        )
+        assert fingerprint(cpds, AlwaysSafe()) != fingerprint(
+            cpds, SharedStateReachability({3})
+        )
+
+    def test_config_changes_the_fingerprint(self):
+        cpds = fig1_cpds()
+        assert fingerprint(cpds, None, {"engine": "explicit"}) != fingerprint(
+            cpds, None, {"engine": "symbolic"}
+        )
+        assert fingerprint(cpds, None, {"engine": "explicit"}) != fingerprint(
+            cpds, None, None
+        )
+
+    def test_cpds_digest_ignores_property(self):
+        cpds = fig1_cpds()
+        assert cpds_digest(cpds) == cpds_digest(fig1_cpds())
+        assert cpds_digest(cpds) != fingerprint(cpds)
+
+
+class TestPropertyTokens:
+    def test_shared_reachability_token_is_order_free(self):
+        assert (
+            SharedStateReachability({1, 2, 3}).fingerprint_token()
+            == SharedStateReachability({3, 2, 1}).fingerprint_token()
+        )
+
+    def test_mutex_token_covers_thread_map(self):
+        first = MutualExclusion({0: {"c"}, 1: {"c"}})
+        second = MutualExclusion({0: {"c"}, 1: {"d"}})
+        assert first.fingerprint_token() != second.fingerprint_token()
+
+    def test_opaque_predicate_is_refused(self):
+        prop = VisiblePredicate(lambda v: False, "opaque")
+        with pytest.raises(FingerprintError):
+            fingerprint(fig1_cpds(), prop)
+
+    def test_non_scalar_config_is_refused(self):
+        with pytest.raises(FingerprintError):
+            fingerprint(fig1_cpds(), None, {"bad": object()})

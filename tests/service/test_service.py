@@ -1,0 +1,248 @@
+"""AnalysisService core: store hits, in-flight dedup, deeper-k resume.
+
+These run the sync core without HTTP — the transport-independent
+behavior the server, the CLI, and the quickstart demo all share.
+"""
+
+import threading
+
+import pytest
+
+from repro.cpds import format_cpds
+from repro.errors import ServiceError
+from repro.models import fig1_cpds
+from repro.models.dekker import dekker_source
+from repro.service import AnalysisRequest, AnalysisService, AnalysisStore
+from repro.service.server import parse_property_spec
+from repro.util.meter import scoped
+
+FIG1 = format_cpds(fig1_cpds())
+DEKKER = dekker_source()
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = AnalysisService(
+        AnalysisStore(tmp_path / "cuba-store.sqlite"), workers=2
+    )
+    yield service
+    service.close()
+
+
+class TestStoreHits:
+    def test_second_identical_submission_is_a_store_hit(self, service):
+        request = AnalysisRequest(
+            cpds_text=FIG1, property_spec="shared:3", max_rounds=10
+        )
+        with scoped() as first_work:
+            first = service.run(request)
+        with scoped() as second_work:
+            second = service.run(request)
+        assert first_work.get("service.engine_runs") == 1
+        assert second_work.get("service.engine_runs", 0) == 0
+        assert second["cached"] and not first["cached"]
+        assert (first["verdict"], first["bound"]) == (
+            second["verdict"],
+            second["bound"],
+        ) == ("unsafe", 2)
+
+    def test_bp_and_equivalent_budget_share_one_entry(self, service):
+        """max_rounds is the anytime knob, not part of the identity: a
+        shallower request is answered by a deeper stored verdict."""
+        deep = AnalysisRequest(bp_text=DEKKER, engine="auto", max_rounds=25)
+        with scoped() as first_work:
+            first = service.run(deep)
+        shallow = AnalysisRequest(bp_text=DEKKER, engine="auto", max_rounds=10)
+        with scoped() as second_work:
+            second = service.run(shallow)
+        assert first["verdict"] == "safe"
+        assert second["cached"]
+        assert first_work.get("service.engine_runs") == 1
+        assert second_work.get("service.engine_runs", 0) == 0
+
+    def test_different_property_is_a_different_problem(self, service):
+        with scoped() as work:
+            service.run(AnalysisRequest(cpds_text=FIG1, property_spec="shared:3"))
+            service.run(AnalysisRequest(cpds_text=FIG1, property_spec="shared:2"))
+        assert work.get("service.engine_runs") == 2
+
+
+class TestDedup:
+    def test_concurrent_identical_submissions_run_one_engine(self, service):
+        """The acceptance criterion: two concurrent identical
+        fingerprints join one running analysis — METER proves a single
+        engine run — and both callers get the verdict."""
+        request = AnalysisRequest(bp_text=DEKKER, engine="auto", max_rounds=25)
+        results = []
+        with scoped() as work:
+            threads = [
+                threading.Thread(target=lambda: results.append(service.run(request)))
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert work.get("service.engine_runs") == 1
+        assert work.get("service.dedup_joins") == 1
+        assert len(results) == 2
+        assert results[0]["verdict"] == results[1]["verdict"] == "safe"
+        assert results[0]["bound"] == results[1]["bound"]
+
+
+class TestResume:
+    def test_deeper_budget_resumes_the_stored_snapshot(self, service):
+        shallow = AnalysisRequest(bp_text=DEKKER, engine="explicit", max_rounds=2)
+        with scoped() as shallow_work:
+            first = service.run(shallow)
+        assert first["verdict"] == "unknown" and not first["final"]
+
+        deep = AnalysisRequest(bp_text=DEKKER, engine="explicit", max_rounds=25)
+        with scoped() as deep_work:
+            second = service.run(deep)
+        assert second["verdict"] == "safe" and second["resumed"]
+        assert deep_work.get("service.resumes") == 1
+
+        # Resume soundness at the service level: summed engine work over
+        # (shallow run + resumed run) equals one fresh deep run.
+        fresh_service = AnalysisService(
+            AnalysisStore(service.store.path.with_name("fresh.sqlite"))
+        )
+        try:
+            with scoped() as fresh_work:
+                fresh = fresh_service.run(deep)
+        finally:
+            fresh_service.close()
+        assert (fresh["verdict"], fresh["bound"]) == (
+            second["verdict"],
+            second["bound"],
+        )
+        resumed_total = shallow_work.get("explicit.expansions", 0) + deep_work.get(
+            "explicit.expansions", 0
+        )
+        assert resumed_total == fresh_work.get("explicit.expansions", 0)
+
+    def test_symbolic_lane_resumes_too(self, service):
+        shallow = AnalysisRequest(bp_text=DEKKER, engine="symbolic", max_rounds=2)
+        first = service.run(shallow)
+        assert first["verdict"] == "unknown" and not first["final"]
+        deep = AnalysisRequest(bp_text=DEKKER, engine="symbolic", max_rounds=25)
+        with scoped() as work:
+            second = service.run(deep)
+        assert second["resumed"] and work.get("service.resumes") == 1
+        assert second["verdict"] == "safe"
+
+    def test_diverged_run_is_final_and_never_resumed(self, service):
+        """An explicit-engine divergence (non-FCR program) is UNKNOWN
+        for a reason deeper k cannot fix: the outcome is final, cached,
+        and a bigger budget must not trigger an engine run."""
+        pump = "init: 0\nthread T\n  stack: a\n  rule (0, a) -> (0, a a)\n"
+        first = service.run(
+            AnalysisRequest(
+                cpds_text=pump, engine="explicit", max_rounds=5,
+                max_states_per_context=200,
+            )
+        )
+        assert first["verdict"] == "unknown" and first["final"]
+        with scoped() as work:
+            second = service.run(
+                AnalysisRequest(
+                    cpds_text=pump, engine="explicit", max_rounds=50,
+                    max_states_per_context=200,
+                )
+            )
+        assert second["cached"]
+        assert work.get("service.engine_runs", 0) == 0
+
+    def test_corrupt_stored_snapshot_degrades_to_fresh_run(self, service):
+        shallow = AnalysisRequest(bp_text=DEKKER, engine="explicit", max_rounds=2)
+        first = service.run(shallow)
+        problem = first["fingerprint"]
+        entry = service.store.get(problem)
+        service.store.record(
+            problem,
+            entry.result,
+            bound=entry.bound,
+            engine=entry.engine,
+            snapshot=b"garbage, not a snapshot",
+        )
+        deep = AnalysisRequest(bp_text=DEKKER, engine="explicit", max_rounds=25)
+        with scoped() as work:
+            second = service.run(deep)
+        assert second["verdict"] == "safe"
+        assert not second["resumed"]
+        assert work.get("service.snapshot_rejects") == 1
+        assert work.get("service.engine_runs") == 1
+
+
+class TestValidation:
+    def test_request_needs_exactly_one_program_form(self):
+        with pytest.raises(ServiceError):
+            AnalysisRequest()
+        with pytest.raises(ServiceError):
+            AnalysisRequest(cpds_text=FIG1, bp_text=DEKKER)
+
+    def test_unknown_engine_lane_is_rejected(self):
+        with pytest.raises(ServiceError):
+            AnalysisRequest(cpds_text=FIG1, engine="quantum")
+
+    def test_property_spec_parsing(self):
+        from repro.core.property import AlwaysSafe, SharedStateReachability
+
+        assert isinstance(parse_property_spec(None), AlwaysSafe)
+        prop = parse_property_spec("shared:ERR,3")
+        assert isinstance(prop, SharedStateReachability)
+        assert prop.bad_shared == frozenset({"ERR", 3})
+        with pytest.raises(ServiceError):
+            parse_property_spec("nonsense")
+
+    def test_payload_validation(self):
+        with pytest.raises(ServiceError):
+            AnalysisRequest.from_payload({"cpds": "   "})
+        with pytest.raises(ServiceError):
+            AnalysisRequest.from_payload({"cpds": FIG1, "max_rounds": "many"})
+        with pytest.raises(ServiceError):
+            AnalysisRequest.from_payload([])
+
+    def test_closed_service_refuses(self, tmp_path):
+        service = AnalysisService(AnalysisStore(tmp_path / "s.sqlite"))
+        service.close()
+        with pytest.raises(ServiceError):
+            service.run(AnalysisRequest(cpds_text=FIG1))
+
+
+def test_jobs_service_reuses_leased_pools_and_releases_on_close(tmp_path):
+    """With ``jobs>1``, repeated submissions of one program (including a
+    snapshot resume) lease the SAME warm worker pool — the point of
+    interning parsed CPDS objects by digest — and ``close()`` releases
+    every pool through the shared cache cleanup (no leaked workers)."""
+    from repro.reach import parallel
+
+    service = AnalysisService(
+        AnalysisStore(tmp_path / "pools.sqlite"), workers=2, jobs=2
+    )
+    try:
+        service.run(AnalysisRequest(bp_text=DEKKER, engine="explicit", max_rounds=2))
+        assert len(parallel._POOL_CACHE) == 1
+        pool = next(iter(parallel._POOL_CACHE.values()))
+        # Deeper budget: resumes the stored snapshot on the interned
+        # CPDS object, so the same pool serves the warm engine.
+        second = service.run(
+            AnalysisRequest(bp_text=DEKKER, engine="explicit", max_rounds=4)
+        )
+        assert second["resumed"]
+        assert len(parallel._POOL_CACHE) == 1
+        assert next(iter(parallel._POOL_CACHE.values())) is pool
+        assert not pool.broken
+    finally:
+        service.close()
+    assert len(parallel._POOL_CACHE) == 0
+
+
+def test_cpds_objects_are_interned_across_requests(service):
+    """Repeated submissions of one program share a parsed CPDS object —
+    the identity the worker-pool cache keys on."""
+    request = AnalysisRequest(cpds_text=FIG1, property_spec="shared:3")
+    _problem, first_cpds, _prop = service.prepare(request)
+    _problem, second_cpds, _prop = service.prepare(request)
+    assert first_cpds is second_cpds

@@ -76,6 +76,65 @@ class TestVerify:
         assert "error:" in capsys.readouterr().err
 
 
+class TestWitness:
+    def test_witness_prints_validated_trace(self, fig1_file, capsys):
+        code = main(["verify", fig1_file, "--property", "shared:3", "--witness"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "validated against the CPDS step semantics" in out
+        assert "start  ⟨0|1,4⟩" in out
+        # One line per step, thread-tagged.
+        assert "T1 f1" in out and "T2 b3" in out
+
+    def test_witness_on_safe_run_reports_nothing_to_show(self, fig1_file, capsys):
+        code = main(["verify", fig1_file, "--witness"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no witness: the property was not refuted" in out
+
+    def test_witness_on_symbolic_engine_explains_absence(self, fig1_file, capsys):
+        code = main(
+            ["verify", fig1_file, "--property", "shared:3",
+             "--engine", "symbolic", "--witness"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no witness trace recorded" in out
+
+    def test_witness_with_report(self, fig1_file, capsys):
+        code = main(
+            ["verify", fig1_file, "--property", "shared:3",
+             "--report", "--witness"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "validated against the CPDS step semantics" in out
+
+
+class TestServiceCommands:
+    def test_serve_and_submit_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "9999", "--store", "x.sqlite", "--workers", "3"]
+        )
+        assert args.handler.__name__ == "cmd_serve"
+        assert args.port == 9999 and args.workers == 3
+        args = parser.parse_args(
+            ["submit", "file.cpds", "--engine", "explicit", "--no-wait"]
+        )
+        assert args.handler.__name__ == "cmd_submit"
+        assert args.engine == "explicit" and args.no_wait
+
+    def test_submit_without_server_reports_cleanly(self, fig1_file, capsys):
+        # Port 9 (discard) is never a cuba service; the CubaError path
+        # must exit 3 with a clean message, not a traceback.
+        code = main(["submit", fig1_file, "--port", "9"])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFcr:
     def test_fcr_holds(self, fig1_file, capsys):
         assert main(["fcr", fig1_file]) == 0
