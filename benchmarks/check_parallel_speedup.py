@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI gate: a multi-core runner must show a real parallel win.
+
+Usage: ``python benchmarks/check_parallel_speedup.py BENCH.json [...]``
+(paths or globs; the newest payload carrying a parallel/shard mode is
+checked).
+
+On a runner with >= 2 CPUs, at least one multi-core-eligible workload
+must show ``parallel_speedup > 1.0`` or ``shard_speedup > 1.0`` —
+otherwise the jobs=N machinery is overhead, not parallelism, and the
+lane fails.  On a single-core runner (or a payload recorded on one) the
+gate skips: there is nothing to win there, only IPC overhead, and
+failing would just punish the hardware.
+
+Exit codes: 0 pass/skip, 1 no speedup on eligible hardware, 2 usage or
+payload problems (no files, no parallel/shard modes recorded).
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_parallel_speedup.py BENCH.json [...]", file=sys.stderr)
+        return 2
+    paths = sorted(
+        {path for pattern in argv[1:] for path in glob.glob(pattern)}
+    )
+    if not paths:
+        print(f"no BENCH files match {argv[1:]}", file=sys.stderr)
+        return 2
+    candidates = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if any(
+            key in workload
+            for workload in payload.get("workloads", [])
+            for key in ("parallel_speedup", "shard_speedup")
+        ):
+            candidates.append((payload.get("stamp", ""), path, payload))
+    if not candidates:
+        print(
+            "no payload records a parallel or shard mode — run the bench "
+            "runner with --modes ...,parallel,shard first",
+            file=sys.stderr,
+        )
+        return 2
+    _stamp, path, payload = max(candidates)
+    cores = payload.get("cpu_count") or os.cpu_count() or 1
+    if cores < 2:
+        print(
+            f"{path}: recorded on {cores} CPU(s) — parallel speedup is "
+            "not expected there, skipping the gate"
+        )
+        return 0
+    best = (0.0, None, None)
+    for workload in payload.get("workloads", []):
+        for key in ("parallel_speedup", "shard_speedup"):
+            ratio = workload.get(key)
+            if ratio is not None and ratio > best[0]:
+                best = (ratio, workload.get("name"), key)
+    ratio, name, key = best
+    if ratio > 1.0:
+        print(f"{path}: {name} {key}={ratio} on {cores} CPUs — pass")
+        return 0
+    print(
+        f"{path}: no workload beats serial on {cores} CPUs "
+        f"(best {key}={ratio} on {name}) — the jobs=N path is overhead, "
+        "not parallelism",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

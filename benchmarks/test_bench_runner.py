@@ -254,6 +254,53 @@ class TestJobsField:
         )
 
 
+class TestShardMode:
+    def test_shard_mode_runs_the_sharded_advance(self):
+        """The ``shard`` sub-mode measures the fully sharded advance
+        (saturation in-process, member x edge replay on the pool) on
+        the explicit lanes only, with its own serial-vs-sharded ratio."""
+        from repro.reach.parallel import pool_cache_clear
+
+        try:
+            payload = run_suite(
+                quick=True,
+                rows={"9"},
+                modes=("optimized", "shard"),
+                max_rounds=3,
+                repeats=1,
+            )
+        finally:
+            pool_cache_clear()
+        by_lane = {w["lane"]: w for w in payload["workloads"]}
+        explicit = by_lane["explicit"]
+        assert explicit["modes"]["shard"]["jobs"] == 2
+        assert explicit["modes"]["shard"]["seconds"] > 0
+        assert "shard_speedup" in explicit
+        assert "shard" not in by_lane["symbolic"]["modes"]
+        assert "shard" not in by_lane["canonical-micro"]["modes"]
+        assert (
+            explicit["modes"]["shard"].get("verdict")
+            == explicit["modes"]["optimized"].get("verdict")
+        )
+        # The sharded replay actually fanned out worker units.
+        meter = explicit["modes"]["shard"]["meter"]
+        assert meter.get("explicit.replay_shards", 0) > 0
+
+    def test_mismatched_shards_refuses_comparison(self, payload):
+        """A --shards run is a different hardware story: not gated
+        against a serial baseline.  Absent means 0 (pre-PR 6 files stay
+        comparable when the knob is unused)."""
+        sharded = json.loads(json.dumps(payload))
+        sharded["shards"] = 4
+        ok, messages = compare_bench(sharded, payload, tolerance=0.25)
+        assert not ok
+        assert any("NOT COMPARABLE" in m for m in messages)
+        legacy = json.loads(json.dumps(payload))
+        del legacy["shards"]
+        ok, messages = compare_bench(payload, legacy, tolerance=0.25)
+        assert ok, messages
+
+
 class TestMemoryDiscipline:
     """The satellite's memory assertion: hot-path records are slotted."""
 

@@ -37,6 +37,7 @@ are the committed perf trajectory every perf PR is judged against.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -171,22 +172,44 @@ def _symbolic_run(cpds, prop, max_rounds: int, mode: str, jobs: int = 1):
     return run
 
 
-#: Worker count of the opt-in ``parallel`` bench mode.
+#: Worker count of the opt-in ``parallel`` bench mode (end-to-end
+#: advance: view saturation + sharded replay) and the floor of the
+#: replay-isolating ``shard`` sub-mode.
 _PARALLEL_MODE_JOBS = 2
 
 
-def _explicit_run(cpds, prop, max_rounds: int, mode: str, jobs: int = 1):
+def _explicit_run(
+    cpds, prop, max_rounds: int, mode: str, jobs: int = 1, shards: int = 0
+):
     backend = "moore" if mode == "legacy" else "dense"
     batched = mode != "legacy"
+    parallel_saturation = True
+    shard_min_work = None
     if mode == "parallel":
         jobs = max(jobs, _PARALLEL_MODE_JOBS)
+    elif mode == "shard":
+        # Replay sharding in isolation: saturation stays in-process and
+        # every level shards, so the sub-mode measures the replay
+        # fan-out itself rather than the PR 4 saturation win.
+        jobs = max(shards, _PARALLEL_MODE_JOBS)
+        parallel_saturation = False
+        shard_min_work = 0
     elif mode == "legacy":
         jobs = 1
 
     def run():
+        kwargs = {}
+        if shard_min_work is not None:
+            kwargs["shard_min_work"] = shard_min_work
         with canonical.backend(backend):
             return scheme1_rk(
-                cpds, prop, max_rounds=max_rounds, batched=batched, jobs=jobs
+                cpds,
+                prop,
+                max_rounds=max_rounds,
+                batched=batched,
+                jobs=jobs,
+                parallel_saturation=parallel_saturation,
+                **kwargs,
             )
 
     return run
@@ -243,13 +266,18 @@ def run_suite(
     label: str | None = None,
     memory: bool = False,
     jobs: int = 1,
+    shards: int = 0,
 ) -> dict:
     """Run the registry workloads and return the BENCH payload dict.
 
-    ``jobs`` configures the ``optimized`` explicit lane's saturation
-    worker count and is recorded top-level in the payload; the opt-in
-    ``parallel`` mode (explicit lanes only) always runs with at least
-    :data:`_PARALLEL_MODE_JOBS` workers regardless.
+    ``jobs`` configures the ``optimized`` explicit lane's worker count
+    and is recorded top-level in the payload; the opt-in ``parallel``
+    mode (explicit lanes only) always runs the end-to-end advance with
+    at least :data:`_PARALLEL_MODE_JOBS` workers regardless.
+    ``shards`` sets the replay-isolating ``shard`` sub-mode's worker
+    count (0 = its :data:`_PARALLEL_MODE_JOBS` default) and is recorded
+    top-level too, so payloads with mismatched shard counts are never
+    gated against each other (:func:`comparable_configs`).
     """
     if max_rounds is None:
         max_rounds = 6 if quick else 10
@@ -271,15 +299,19 @@ def run_suite(
             for lane, maker in lanes:
                 entry = {"name": bench.name, "lane": lane, "modes": {}}
                 for mode in modes:
-                    if mode == "parallel" and lane != "explicit":
-                        continue  # multiprocess saturation is explicit-only
-                    record = _measured(
-                        maker(cpds, prop, max_rounds, mode, jobs=jobs),
-                        repeats,
-                        memory=memory,
-                    )
+                    if mode in ("parallel", "shard") and lane != "explicit":
+                        continue  # the multiprocess advance is explicit-only
+                    if mode in ("parallel", "shard"):
+                        runner = maker(
+                            cpds, prop, max_rounds, mode, jobs=jobs, shards=shards
+                        )
+                    else:
+                        runner = maker(cpds, prop, max_rounds, mode, jobs=jobs)
+                    record = _measured(runner, repeats, memory=memory)
                     if mode == "parallel":
                         record["jobs"] = max(jobs, _PARALLEL_MODE_JOBS)
+                    elif mode == "shard":
+                        record["jobs"] = max(shards, _PARALLEL_MODE_JOBS)
                     entry["modes"][mode] = record
                 _add_speedup(entry)
                 workloads.append(entry)
@@ -293,7 +325,7 @@ def run_suite(
             micro_inputs = _canonical_micro_inputs(built)
             repetitions = 2 if quick else 5
             for mode in modes:
-                if mode == "parallel":
+                if mode in ("parallel", "shard"):
                     continue
                 entry["modes"][mode] = _measured(
                     _canonical_micro(micro_inputs, repetitions, mode),
@@ -318,6 +350,8 @@ def run_suite(
         "quick": quick,
         "max_rounds": max_rounds,
         "jobs": jobs,
+        "shards": shards,
+        "cpu_count": os.cpu_count(),
         "repeats": repeats,
         "calibration_seconds": round(_calibrate(), 5),
         "workloads": workloads,
@@ -333,9 +367,14 @@ def _add_speedup(entry: dict) -> None:
             modes["legacy"]["seconds"] / modes["optimized"]["seconds"], 2
         )
     if "optimized" in modes and "parallel" in modes and modes["parallel"]["seconds"]:
-        # > 1.0 means the multiprocess saturation beat the serial path.
+        # > 1.0 means the multiprocess end-to-end advance beat serial.
         entry["parallel_speedup"] = round(
             modes["optimized"]["seconds"] / modes["parallel"]["seconds"], 2
+        )
+    if "optimized" in modes and "shard" in modes and modes["shard"]["seconds"]:
+        # > 1.0 means sharded replay alone beat the serial replay loop.
+        entry["shard_speedup"] = round(
+            modes["optimized"]["seconds"] / modes["shard"]["seconds"], 2
         )
 
 
@@ -447,11 +486,15 @@ def comparable_configs(current: dict, baseline: dict) -> bool:
     ``jobs`` must match too (absent = 1, the pre-PR 4 default): a
     parallel run's wall times carry worker startup/IPC and scale with
     the machine's core count, so gating them against a serial baseline
-    — or vice versa — would be meaningless."""
+    — or vice versa — would be meaningless.  So must ``shards`` (absent
+    = 0, the pre-PR 6 default): mismatched shard counts change the
+    ``shard`` sub-mode's fan-out and must never be gated against each
+    other."""
     return (
         current.get("quick") == baseline.get("quick")
         and current.get("max_rounds") == baseline.get("max_rounds")
         and current.get("jobs", 1) == baseline.get("jobs", 1)
+        and current.get("shards", 0) == baseline.get("shards", 0)
     )
 
 
@@ -605,15 +648,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--modes",
         default="optimized,legacy",
-        help="comma list: optimized,legacy,parallel (parallel = explicit "
-        "lanes with jobs=2 multiprocess view saturation)",
+        help="comma list: optimized,legacy,parallel,shard (parallel = "
+        "explicit lanes with the jobs=2 end-to-end multiprocess advance; "
+        "shard = replay sharding only, saturation in-process)",
     )
     parser.add_argument(
         "--jobs",
         type=int,
         default=1,
-        help="saturation worker processes for the optimized explicit lane "
-        "(recorded in the payload; baselines only compare on a match)",
+        help="worker processes for the optimized explicit lane's whole "
+        "advance (recorded in the payload; baselines only compare on a "
+        "match)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="worker count for the 'shard' sub-mode (0 = its default of 2; "
+        "recorded in the payload; baselines only compare on a match)",
     )
     parser.add_argument(
         "--engines", default="symbolic,explicit", help="comma list: symbolic,explicit"
@@ -659,6 +711,7 @@ def main(argv: list[str] | None = None) -> int:
         label=args.label,
         memory=args.memory,
         jobs=args.jobs,
+        shards=args.shards,
     )
     if args.merge_before:
         other = json.loads(Path(args.merge_before).read_text())

@@ -180,6 +180,8 @@ def cmd_bench(args) -> int:
             forward.extend(["--merge-before", args.merge_before])
         if args.jobs != 1:
             forward.extend(["--jobs", str(args.jobs)])
+        if args.shards:
+            forward.extend(["--shards", str(args.shards)])
         return bench_main(forward)
 
     from repro.models.registry import runnable_benchmarks
@@ -220,7 +222,9 @@ def cmd_serve(args) -> int:
     store = AnalysisStore(
         args.store, max_snapshot_bytes=int(args.store_mb * 1024 * 1024)
     )
-    service = AnalysisService(store, workers=args.workers, jobs=args.jobs)
+    service = AnalysisService(
+        store, workers=args.workers, jobs=args.jobs, executor=args.executor
+    )
     server = ServiceServer(service, host=args.host, port=args.port)
     server.run()
     return 0
@@ -300,7 +304,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="saturate the explicit engine's unique views across N worker "
+        help="run the explicit engine's whole advance — unique-view "
+        "saturation and sharded context-tree replay — across N worker "
         "processes (default 1 = in-process; the symbolic engine ignores it)",
     )
     verify.add_argument(
@@ -355,8 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="with --json: run the explicit lane's optimized mode with N "
-        "saturation worker processes (recorded in the payload; baselines "
-        "only compare against a matching value)",
+        "worker processes for the whole advance (recorded in the payload; "
+        "baselines only compare against a matching value)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="with --json: worker count for the replay-sharding 'shard' "
+        "sub-mode (0 = its default of 2; recorded in the payload so "
+        "mismatched shard counts are never gated against each other)",
     )
     bench.set_defaults(handler=cmd_bench)
 
@@ -387,8 +400,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="saturation worker processes per explicit engine "
+        help="worker processes per explicit engine's parallel advance "
         "(see `cuba verify --jobs`)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="process",
+        help="engine-run execution: 'process' dispatches each run to a "
+        "pool of worker processes over the snapshot codec (default); "
+        "'thread' runs engines inline on the service threads",
     )
     serve.set_defaults(handler=cmd_serve)
 

@@ -242,6 +242,27 @@ class StateTable:
             self._visibles.append(None)
         return sid
 
+    def intern_packed(self, key: int) -> int:
+        """Dense id for a current-era packed key, assigning one on
+        first sight — :meth:`intern_key` minus the packing step.
+
+        This is the shard-merge primitive: replay workers emit candidate
+        packed keys computed against *this* table's geometry (all
+        component interning happened before replay began, so no repack
+        can invalidate them), and the parent merge pass dedupes them
+        here.  The caller detects freshness by comparing the returned id
+        with its own lock-step column length (``first_seen``), exactly
+        like the inlined serial replay loop.
+        """
+        sid = self._ids.get(key)
+        if sid is None:
+            sid = len(self._packed)
+            self._ids[key] = sid
+            self._packed.append(key)
+            self._states.append(None)
+            self._visibles.append(None)
+        return sid
+
     def truncate(self, base: int) -> None:
         """Discard every global-state id at ``base`` or later — the
         inverse of the append protocol, used by the explicit engine to

@@ -33,6 +33,7 @@ def context_bounded_analysis(
     incremental: bool = True,
     batched: bool = True,
     jobs: int = 1,
+    shard_replay: bool = True,
 ) -> VerificationResult:
     """Check ``prop`` for executions with at most ``bound`` contexts.
 
@@ -45,9 +46,11 @@ def context_bounded_analysis(
     constructed here (context-tree memoization for explicit, expansion
     memoization for symbolic); ``batched`` selects view-batched frontier
     expansion (``False`` = the per-state oracle path; the symbolic
-    engine has its own ``batched`` default); ``jobs > 1`` saturates the
-    explicit engine's unique views across worker processes
-    (:mod:`repro.reach.parallel`; the symbolic engine ignores it).  All
+    engine has its own ``batched`` default); ``jobs > 1`` runs the
+    explicit engine's whole advance — view saturation and (unless
+    ``shard_replay=False``) sharded tree replay — across worker
+    processes (:mod:`repro.reach.parallel`; the symbolic engine ignores
+    both).  All
     are ignored when a prepared engine instance is passed.  The UNKNOWN
     result's ``stats["meter"]`` records the saturation/cache/
     frontier-batching work counters this analysis produced, plus the
@@ -63,6 +66,7 @@ def context_bounded_analysis(
                 incremental=incremental,
                 batched=batched,
                 jobs=jobs,
+                shard_replay=shard_replay,
             )
         elif engine == "symbolic":
             engine = SymbolicReach(cpds, incremental=incremental)

@@ -50,6 +50,9 @@ def scheme1_rk(
     incremental: bool = True,
     batched: bool = True,
     jobs: int = 1,
+    parallel_saturation: bool = True,
+    shard_replay: bool = True,
+    shard_min_work: int | None = None,
 ) -> VerificationResult:
     """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
 
@@ -59,12 +62,15 @@ def scheme1_rk(
     result's ``stats["meter"]`` carries the work counters (context-cache
     hits, saturation work) accumulated during this run.
 
-    ``incremental``, ``batched`` and ``jobs`` configure the engine
-    constructed here (``batched=False`` selects the seed per-state
-    oracle path; ``jobs > 1`` saturates each level's unique views across
-    a pool of worker processes, see :mod:`repro.reach.parallel`); all
-    are ignored when a prepared ``engine`` instance is passed (configure
-    that engine at construction instead).
+    ``incremental``, ``batched``, ``jobs``, ``parallel_saturation``
+    and ``shard_replay`` configure the engine constructed here
+    (``batched=False`` selects the seed per-state oracle path;
+    ``jobs > 1`` runs the whole advance — view saturation and sharded
+    tree replay — across a pool of worker processes, see
+    :mod:`repro.reach.parallel`; the two boolean knobs isolate either
+    half for benchmarking); all are ignored when a prepared ``engine``
+    instance is passed (configure that engine at construction
+    instead).
 
     ``max_rounds`` is the *total* context-bound budget.  A prepared
     engine may arrive with computed history — warm reuse, or a
@@ -81,6 +87,13 @@ def scheme1_rk(
             incremental=incremental,
             batched=batched,
             jobs=jobs,
+            parallel_saturation=parallel_saturation,
+            shard_replay=shard_replay,
+            **(
+                {}
+                if shard_min_work is None
+                else {"shard_min_work": shard_min_work}
+            ),
         )
     method = "scheme1(Rk)"
 

@@ -72,14 +72,17 @@ class Cuba:
         prop: Property,
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
         jobs: int = 1,
+        shard_replay: bool = True,
     ) -> None:
         self.cpds = cpds
         self.prop = prop
         self.max_states_per_context = max_states_per_context
-        #: Worker-process count for explicit view saturation
-        #: (:mod:`repro.reach.parallel`); the symbolic fallback path
-        #: ignores it.
+        #: Worker-process count for the explicit engine's parallel
+        #: advance (:mod:`repro.reach.parallel`); the symbolic fallback
+        #: path ignores it, as it does ``shard_replay`` (which gates
+        #: the replay half of the ``jobs>1`` fan-out).
         self.jobs = jobs
+        self.shard_replay = shard_replay
         #: The reachability engine the last :meth:`verify` call ran on
         #: (explicit when FCR holds, symbolic otherwise) — the handle
         #: the analysis service snapshots for deeper-``k`` resume.
@@ -138,6 +141,7 @@ class Cuba:
                 self.cpds,
                 max_states_per_context=self.max_states_per_context,
                 jobs=self.jobs,
+                shard_replay=self.shard_replay,
             )
         elif not isinstance(engine, ExplicitReach):
             raise ValueError(

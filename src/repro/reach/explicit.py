@@ -37,13 +37,22 @@ global product.  Three layers kill it:
   materialized anywhere on the path.  Decoding happens lazily in the
   observation API.
 
-With ``jobs=N`` (opt-in), each level's *uncached* unique views are
-saturated by a pool of worker processes
-(:mod:`repro.reach.parallel`) — the per-view explorations are
+With ``jobs=N`` (opt-in), the whole advance is parallel
+(:mod:`repro.reach.parallel`): each level's *uncached* unique views are
+saturated by a pool of worker processes — the per-view explorations are
 independent, the same embarrassing parallelism context-bounded analyses
-exploit — while tree replay and the seen-set stay in the parent.
-``jobs=1`` keeps everything in-process; both paths produce identical
-levels and identical METER expansion counts.
+exploit — and, when the level's replay work clears ``shard_min_work``,
+the member x edge replay itself is **sharded** across the same pool:
+each worker replays its slice of the CSR trees by pure integer
+arithmetic against a private seen set and the parent merge pass dedupes
+the candidate keys into the canonical table
+(:meth:`~repro.cpds.interning.StateTable.intern_packed`), resolving
+cross-shard successors in submission order.  The seen-set itself always
+stays in the parent.  ``jobs=1`` keeps everything in-process;
+``shard_replay=False`` restores the PR 4 saturation-only fan-out and
+``parallel_saturation=False`` isolates replay sharding (the benchmark
+``shard`` sub-mode).  All paths produce identical levels and identical
+METER work counts.
 
 The seed per-state formulation — one
 :func:`~repro.cpds.semantics.thread_context_post` call per (state,
@@ -92,17 +101,33 @@ class ExplicitReach(ReachabilityEngine):
         incremental: bool = True,
         batched: bool = True,
         jobs: int = 1,
+        parallel_saturation: bool = True,
+        shard_replay: bool = True,
+        shard_min_work: int = 4096,
     ) -> None:
         super().__init__()
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if jobs > 1 and not batched:
             raise ValueError("jobs > 1 requires the batched engine (batched=True)")
+        if shard_min_work < 0:
+            raise ValueError(
+                f"shard_min_work must be >= 0, got {shard_min_work}"
+            )
         self.cpds = cpds
         self.max_states_per_context = max_states_per_context
         self.batched = batched
-        #: Worker-process count for view saturation; 1 = in-process.
+        #: Worker-process count for the parallel advance; 1 = in-process.
         self.jobs = jobs
+        #: With ``jobs>1``: fan uncached view saturations out to the
+        #: pool (False isolates replay sharding for benchmarking).
+        self.parallel_saturation = parallel_saturation
+        #: With ``jobs>1``: shard the member x edge tree replay across
+        #: the pool too (False restores saturation-only parallelism).
+        self.shard_replay = shard_replay
+        #: Minimum member x edge products in a level before replay
+        #: sharding pays for its IPC; smaller levels replay in-process.
+        self.shard_min_work = shard_min_work
         self._pool = None
         #: View-key geometry (see :data:`View`): the thread field is
         #: sized to this CPDS so view keys cannot alias however many
@@ -231,6 +256,15 @@ class ExplicitReach(ReachabilityEngine):
             return
         trees = self._trees_for(list(shards))
 
+        if self.jobs > 1 and self.shard_replay:
+            work = sum(
+                len(members) * len(trees[view].qids)
+                for view, members in shards.items()
+            )
+            if work >= self.shard_min_work:
+                self._replay_sharded(shards, trees, level, fresh)
+                return
+
         first_seen = self._first_seen
         parents = self._parents
         append_fresh = fresh.append
@@ -289,6 +323,114 @@ class ExplicitReach(ReachabilityEngine):
                             parents[nsid] = (by_pos[parent_pos], index, action)
                         record(nsid)
 
+    def _replay_sharded(
+        self,
+        shards: dict[View, list[int]],
+        trees: dict[View, ContextTree],
+        level: int,
+        fresh: list[int],
+    ) -> None:
+        """Shard the member x edge replay across the worker pool.
+
+        Every tree is already saturated (``_trees_for`` ran), so no
+        component interning — and therefore no table repack — can happen
+        during replay: the packing geometry read here stays valid for
+        the whole level, and worker-computed candidate keys
+        (``frozen | delta``) are directly internable by the parent.
+
+        The merge pass consumes bucket results in submission order and
+        dedupes through :meth:`StateTable.intern_packed`; freshness is
+        the lock-step length test, exactly like the serial inlined loop.
+        Worker rows are emitted parents-first within a bucket, so a
+        tracked candidate's ``parent_key`` always resolves to an id by
+        the time it is read (cross-shard successors resolve against the
+        canonical table — a key another shard also produced simply stops
+        being fresh).  A dead worker raises
+        :class:`~repro.errors.CubaError` and ``advance`` rolls the
+        partial level back, so the advance is re-runnable.
+        """
+        table = self.table
+        packed = table._packed
+        bits = table._bits
+        mask = table._mask
+        qshift = table._qshift
+        low_mask = (1 << qshift) - 1
+        index_mask = self._view_index_mask
+        track = self._parents is not None
+
+        total = 0
+        specs: list[tuple[View, list[int], int]] = []
+        for view, members in shards.items():
+            n_edges = len(trees[view].qids)
+            if not n_edges:
+                continue  # the context reaches nothing beyond its root
+            total += len(members) * n_edges
+            specs.append((view, members, n_edges))
+        if not specs:
+            return
+        # Per-bucket work target; a view whose member range exceeds it
+        # is split so one giant view cannot serialize the level.
+        target = max(1, -(-total // self.jobs))
+        units: list[tuple] = []
+        unit_views: list[View] = []
+        unit_work: list[int] = []
+        for view, members, n_edges in specs:
+            tree = trees[view]
+            index = view & index_mask
+            move_clear = ~(mask << (bits * index))
+            deltas = list(tree.deltas(table))
+            parent_pos = list(tree.parent_positions()) if track else None
+            step = max(1, target // n_edges)
+            for start in range(0, len(members), step):
+                chunk = members[start:start + step]
+                frozen = [packed[sid] & low_mask & move_clear for sid in chunk]
+                member_keys = [packed[sid] for sid in chunk] if track else None
+                units.append((frozen, member_keys, deltas, parent_pos))
+                unit_views.append(view)
+                unit_work.append(len(chunk) * n_edges)
+
+        n_buckets = min(self.jobs, len(units))
+        buckets: list[list] = [[] for _ in range(n_buckets)]
+        bucket_views: list[list[View]] = [[] for _ in range(n_buckets)]
+        loads = [0] * n_buckets
+        # Deterministic greedy balance, heaviest units first.
+        for position in sorted(
+            range(len(units)), key=lambda u: (-unit_work[u], u)
+        ):
+            bucket = loads.index(min(loads))
+            loads[bucket] += unit_work[position]
+            buckets[bucket].append(units[position])
+            bucket_views[bucket].append(unit_views[position])
+        METER.bump("explicit.replay_shards", len(units))
+
+        results = self._lease().replay(buckets, track)
+
+        first_seen = self._first_seen
+        parents = self._parents
+        intern_packed = table.intern_packed
+        append_fresh = fresh.append
+        if not track:
+            for rows in results:
+                for key in rows:
+                    nsid = intern_packed(key)
+                    if nsid == len(first_seen):
+                        first_seen.append(level)
+                        append_fresh(nsid)
+            return
+        ids = table._ids
+        for views_of, rows in zip(bucket_views, results):
+            for key, parent_key, unit_pos, edge_idx in rows:
+                nsid = intern_packed(key)
+                if nsid == len(first_seen):
+                    first_seen.append(level)
+                    append_fresh(nsid)
+                    view = views_of[unit_pos]
+                    parents[nsid] = (
+                        ids[parent_key],
+                        view & index_mask,
+                        trees[view].actions[edge_idx],
+                    )
+
     def _view_parts(self, view: View) -> tuple[int, int, int]:
         """Unpack a view key to ``(thread, shared_id, stack_id)``."""
         return (
@@ -313,7 +455,7 @@ class ExplicitReach(ReachabilityEngine):
                 missing.append(view)
         if not missing:
             return trees
-        if self.jobs > 1 and len(missing) > 1:
+        if self.jobs > 1 and self.parallel_saturation and len(missing) > 1:
             saturated = self._saturate_parallel(missing)
             METER.bump("explicit.expansions", len(missing))
             if cache is not None:
@@ -335,18 +477,27 @@ class ExplicitReach(ReachabilityEngine):
                 trees[view] = tree
         return trees
 
+    def _lease(self):
+        """The engine's worker pool, (re-)leased from the shared cache
+        when absent or broken (a crashed pool was evicted — the next
+        lease spawns a fresh one, making failed advances re-runnable)."""
+        from repro.reach.parallel import lease_pool
+
+        if self._pool is None or self._pool.broken:
+            self._pool = lease_pool(
+                self.cpds, self.max_states_per_context, self.jobs
+            )
+        return self._pool
+
     def _saturate_parallel(
         self, missing: list[View]
     ) -> dict[View, ContextTree]:
         """Fan the uncached views out to the leased worker pool and
         remap the returned slice-local trees onto this table's ids (in
         submission order, so pool growth is deterministic)."""
-        from repro.reach.parallel import lease_pool, remap_slice
+        from repro.reach.parallel import remap_slice
 
-        if self._pool is None or self._pool.broken:
-            self._pool = lease_pool(
-                self.cpds, self.max_states_per_context, self.jobs
-            )
+        pool = self._lease()
         table = self.table
         roots = [self._view_parts(view) for view in missing]
         decoded = [
@@ -354,7 +505,7 @@ class ExplicitReach(ReachabilityEngine):
             for index, qid, wid in roots
         ]
         trees: dict[View, ContextTree] = {}
-        for start, result in self._pool.saturate(decoded):
+        for start, result in pool.saturate(decoded):
             for position, tree in enumerate(remap_slice(table, roots, start, result)):
                 trees[missing[start + position]] = tree
         return trees
@@ -461,6 +612,7 @@ class ExplicitReach(ReachabilityEngine):
             "levels": self.level_sizes(),
             "batched": self.batched,
             "jobs": self.jobs,
+            "shard_replay": self.shard_replay,
             "context_memo": len(cache) if cache is not None else 0,
         }
 
@@ -516,15 +668,20 @@ class ExplicitReach(ReachabilityEngine):
         data: bytes,
         *,
         jobs: int = 1,
+        shard_replay: bool = True,
         max_states_per_context: int | None = None,
     ) -> "ExplicitReach":
         """Rebuild a warm engine from a :meth:`snapshot` blob taken on
-        the same CPDS.  ``jobs`` is a pure execution knob and may
-        differ from the snapshotted engine's; raises
+        the same CPDS.  ``jobs`` and ``shard_replay`` are pure execution
+        knobs and may differ from the snapshotted engine's; raises
         :class:`~repro.errors.SnapshotError` on any undecodable or
         mismatched blob."""
         from repro.service.snapshot import restore_explicit
 
         return restore_explicit(
-            cpds, data, jobs=jobs, max_states_per_context=max_states_per_context
+            cpds,
+            data,
+            jobs=jobs,
+            shard_replay=shard_replay,
+            max_states_per_context=max_states_per_context,
         )

@@ -1,4 +1,4 @@
-"""Multiprocess saturation of unique thread views (``jobs=N``).
+"""Multiprocess saturation AND replay of unique thread views (``jobs=N``).
 
 The sharded explicit engine saturates every unique
 ``(thread, shared, local-stack)`` view of a frontier level exactly once
@@ -6,7 +6,15 @@ The sharded explicit engine saturates every unique
 embarrassingly parallel — a context depends only on the moving thread's
 local view, never on the rest of the product — so with ``jobs=N`` the
 engine fans the level's uncached views out to a pool of worker
-processes, while tree replay and the seen-set stay in the parent.
+processes.  Since PR 6 the *replay* of the saturated trees across the
+level's members is sharded across the same pool too
+(:meth:`ViewSaturationPool.replay`): each worker replays its slice of
+the CSR context trees by pure integer arithmetic against a private seen
+set, and the parent merge pass resolves cross-shard successors and
+dedupes the candidate keys into the canonical
+:class:`~repro.cpds.interning.StateTable`
+(:meth:`~repro.cpds.interning.StateTable.intern_packed`) — extending
+``jobs=N`` from saturation-only to the whole explicit advance.
 
 Protocol
 --------
@@ -120,6 +128,60 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+#: One replay work unit shipped to a worker: ``(frozen_keys,
+#: member_keys_or_None, deltas, parent_positions_or_None)``.  All four
+#: are plain Python int lists — packed keys can exceed 64 bits at high
+#: thread counts, so no ``array('q')`` on this path.
+ReplayUnit = tuple[list, list | None, list, list | None]
+
+
+def _replay_bucket(payload: tuple[bool, list[ReplayUnit]]):
+    """Worker entry point: replay a bucket of ``(view, member-slice)``
+    units by pure integer arithmetic against a private seen set.
+
+    Each member contributes ``frozen | delta`` candidate keys, one per
+    tree edge — exactly the serial inner loop of
+    ``ExplicitReach._advance_batched``, minus the canonical table.  The
+    bucket-wide seen set pre-dedupes candidates; cross-bucket (and
+    cross-level) dedup is the parent merge pass's job.
+
+    Returns, in replay order:
+
+    * untracked: a flat list of candidate packed keys;
+    * tracked: ``(key, parent_key, unit_pos, edge_idx)`` rows, where
+      ``parent_key`` is the packed key of the candidate's predecessor in
+      the member's replay chain (position 0 = the member itself).  Rows
+      are emitted parents-first, so the parent merge can resolve
+      ``parent_key`` to an id before any child that references it.
+    """
+    track, units = payload
+    seen: set[int] = set()
+    add = seen.add
+    out: list = []
+    append = out.append
+    if not track:
+        for frozen_keys, _members, deltas, _ppos in units:
+            for frozen in frozen_keys:
+                for delta in deltas:
+                    key = frozen | delta
+                    if key not in seen:
+                        add(key)
+                        append(key)
+        return out
+    for unit_pos, (frozen_keys, member_keys, deltas, parent_pos) in enumerate(units):
+        edges = list(zip(deltas, parent_pos))
+        for frozen, member_key in zip(frozen_keys, member_keys):
+            keys_by_pos = [member_key]
+            record = keys_by_pos.append
+            for edge_idx, (delta, ppos) in enumerate(edges):
+                key = frozen | delta
+                if key not in seen:
+                    add(key)
+                    append((key, keys_by_pos[ppos], unit_pos, edge_idx))
+                record(key)
+    return out
+
+
 class ViewSaturationPool:
     """A leased pool of pre-registered saturation workers for one CPDS."""
 
@@ -139,6 +201,48 @@ class ViewSaturationPool:
             initargs=(cpds, max_states),
         )
 
+    def _submit_ordered(self, fn, payloads: list, what: str) -> list:
+        """Submit one future per payload and collect results in
+        submission order, mapping infrastructure failures to a clean
+        :class:`CubaError` (and evicting this pool from the cache)."""
+        futures: list = []
+        results: list = []
+        try:
+            for payload in payloads:
+                futures.append(self._executor.submit(fn, payload))
+            for future in futures:
+                results.append(future.result())
+        except (BrokenProcessPool, OSError) as crash:
+            # BrokenProcessPool can surface at submit time (the executor
+            # noticed the dead worker first) or from result().
+            self.broken = True
+            _evict(self)
+            raise CubaError(
+                f"parallel {what} failed: a worker process died "
+                f"({crash.__class__.__name__}: {crash}); the partial level "
+                f"was rolled back — rerun, or fall back to jobs=1"
+            ) from crash
+        except RuntimeError as crash:
+            # A concurrently shut-down executor raises
+            # RuntimeError("cannot schedule new futures after ...") at
+            # submit time; a RuntimeError raised *inside* a healthy
+            # worker re-raises verbatim instead — it is an application
+            # bug, not an infrastructure failure.
+            if "shutdown" not in str(crash) and "interpreter" not in str(crash):
+                raise
+            self.broken = True
+            _evict(self)
+            raise CubaError(
+                f"parallel {what} failed: the worker pool was shut "
+                f"down mid-level ({crash}); the partial level was rolled "
+                f"back — rerun, or fall back to jobs=1"
+            ) from crash
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
     def saturate(self, views: list[DecodedView]) -> list[tuple[int, SliceResult]]:
         """Saturate ``views`` across the workers; return
         ``(slice start offset, SliceResult)`` pairs in submission order.
@@ -148,47 +252,21 @@ class ViewSaturationPool:
         worker process dies.
         """
         per_slice = max(1, -(-len(views) // self.jobs))  # ceil division
-        futures: list[tuple[int, object]] = []
-        results: list[tuple[int, SliceResult]] = []
-        try:
-            for start in range(0, len(views), per_slice):
-                futures.append(
-                    (start, self._executor.submit(
-                        _saturate_slice, views[start:start + per_slice]
-                    ))
-                )
-            for start, future in futures:
-                results.append((start, future.result()))
-        except (BrokenProcessPool, OSError) as crash:
-            # BrokenProcessPool can surface at submit time (the executor
-            # noticed the dead worker first) or from result().
-            self.broken = True
-            _evict(self)
-            raise CubaError(
-                f"parallel view saturation failed: a worker process died "
-                f"({crash.__class__.__name__}: {crash}); the partial level "
-                f"was rolled back — rerun, or fall back to jobs=1"
-            ) from crash
-        except RuntimeError as crash:
-            # A concurrently shut-down executor raises
-            # RuntimeError("cannot schedule new futures after ...") at
-            # submit time; a RuntimeError raised *inside* a healthy
-            # worker's saturation re-raises verbatim instead — it is an
-            # application bug, not an infrastructure failure.
-            if "shutdown" not in str(crash) and "interpreter" not in str(crash):
-                raise
-            self.broken = True
-            _evict(self)
-            raise CubaError(
-                f"parallel view saturation failed: the worker pool was shut "
-                f"down mid-level ({crash}); the partial level was rolled "
-                f"back — rerun, or fall back to jobs=1"
-            ) from crash
-        except BaseException:
-            for _start, future in futures:
-                future.cancel()
-            raise
-        return results
+        starts = list(range(0, len(views), per_slice))
+        slices = [views[start:start + per_slice] for start in starts]
+        results = self._submit_ordered(_saturate_slice, slices, "view saturation")
+        return list(zip(starts, results))
+
+    def replay(self, buckets: list[list[ReplayUnit]], track: bool) -> list:
+        """Replay the level's sharded work units across the workers;
+        return one result list per bucket, in submission order (see
+        :func:`_replay_bucket` for the row formats).
+
+        Raises :class:`CubaError` when a worker process dies — the
+        engine's level rollback makes the advance re-runnable.
+        """
+        payloads = [(track, bucket) for bucket in buckets]
+        return self._submit_ordered(_replay_bucket, payloads, "sharded replay")
 
     def close(self) -> None:
         """Shut the executor down.  Marks the pool broken so an engine

@@ -14,6 +14,10 @@ persistent, incremental service:
 * :mod:`repro.service.server` — the sync :class:`AnalysisService` core
   (in-flight dedup, store-hit short-circuit, deeper-``k`` resume) and
   the stdlib-asyncio JSON-over-HTTP server around it (``cuba serve``);
+* :mod:`repro.service.executor` — the engine-run execution layer
+  (PR 6): inline on the thread executor, or dispatched to a pool of
+  worker processes with the snapshot blobs as the IPC format
+  (``cuba serve --executor process``, the daemon default);
 * :mod:`repro.service.client` — the matching stdlib HTTP client
   (``cuba submit``).
 
@@ -25,6 +29,12 @@ run (differentially tested level-for-level in
 """
 
 from repro.service.client import ServiceClient
+from repro.service.executor import (
+    EngineJob,
+    JobOutcome,
+    ProcessAnalysisExecutor,
+    execute_job,
+)
 from repro.service.fingerprint import cpds_digest, fingerprint
 from repro.service.server import AnalysisRequest, AnalysisService, ServiceServer
 from repro.service.store import AnalysisStore, StoreEntry
@@ -33,9 +43,13 @@ __all__ = [
     "AnalysisRequest",
     "AnalysisService",
     "AnalysisStore",
+    "EngineJob",
+    "JobOutcome",
+    "ProcessAnalysisExecutor",
     "ServiceClient",
     "ServiceServer",
     "StoreEntry",
     "cpds_digest",
+    "execute_job",
     "fingerprint",
 ]

@@ -1,0 +1,283 @@
+"""Engine-run execution for the analysis service: in-thread or on a
+process pool, with the PR 5 snapshot codec as the IPC format.
+
+The service's four resolution layers (in-flight dedup, store hit,
+snapshot resume, fresh run) all stay parent-side in
+:class:`~repro.service.server.AnalysisService` — this module owns only
+the *engine run* itself, factored into one function so both execution
+modes share it verbatim:
+
+* :func:`execute_job` — restore-or-build an engine, run the requested
+  lane to the budget, and package the response plus (when the outcome is
+  resumable) a fresh snapshot blob.  The thread executor calls it
+  inline; METER bumps land directly on the process counters.
+* :class:`ProcessAnalysisExecutor` — ships the same
+  :class:`EngineJob` to a pool of worker processes.  The *stored
+  snapshot blob is the request message* (the parent checkpoints, the
+  worker restores and runs ``ensure_level`` via the engines' resume
+  path) and the *result snapshot blob is the reply message* — both in
+  the versioned ``CUSN`` framing of :mod:`repro.service.snapshot`, so
+  the codec's version/kind validation doubles as IPC hygiene: a worker
+  on a mismatched codec surfaces as a
+  :class:`~repro.errors.SnapshotError` miss, never a poisoned cache.
+
+IPC protocol invariants (see ROADMAP Reference):
+
+* The parent never trusts a worker-returned blob: the ``CUSN`` header
+  is re-validated before the store sees it, and an undecodable blob is
+  dropped (``service.ipc_snapshot_rejects``) while the verdict itself
+  is kept — degradation, not poisoning.
+* Worker METER deltas travel back alongside the outcome and are merged
+  into the parent's counters, so ``/meter`` totals are
+  executor-invariant (the soak test's oracle check).
+* ``service.engine_runs``, in-flight dedup, and store writes stay
+  parent-side; a killed worker surfaces as a clean
+  :class:`~repro.errors.CubaError`, the broken pool is retired, and the
+  job is re-runnable (the next ``run`` spawns a fresh pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.property import Property
+from repro.core.result import Verdict, VerificationResult
+from repro.cpds.cpds import CPDS
+from repro.errors import CubaError, SnapshotError
+from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.util.meter import METER
+
+
+@dataclass(slots=True)
+class EngineJob:
+    """One engine run, fully described by picklable values.
+
+    ``snapshot`` is the parent's checkpoint of the stored engine (or
+    ``None`` on a fingerprint miss / snapshot-less entry): the
+    snapshot-as-message half of the IPC protocol.
+    """
+
+    cpds: CPDS
+    prop: Property
+    problem: str
+    engine: str = "auto"
+    max_rounds: int = 30
+    max_states_per_context: int = DEFAULT_STATE_LIMIT
+    jobs: int = 1
+    snapshot: bytes | None = None
+
+
+@dataclass
+class JobOutcome:
+    """What an engine run produced: the wire-ready response dict, the
+    store-record columns, the result snapshot blob (when resumable),
+    and — on the process path — the worker's METER delta."""
+
+    response: dict
+    bound: int
+    kind: str
+    snapshot: bytes | None = None
+    meter: dict = field(default_factory=dict)
+
+
+def describe_result(
+    result: VerificationResult,
+    problem: str,
+    kind: str,
+    explored: int,
+    resumable: bool,
+) -> dict:
+    """The service wire form of a verification result."""
+    return {
+        "fingerprint": problem,
+        "verdict": result.verdict.value,
+        "bound": result.bound,
+        "k": explored,
+        "method": result.method,
+        "message": result.message,
+        "witness": str(result.witness) if result.witness is not None else None,
+        "trace": str(result.trace) if result.trace is not None else None,
+        "engine": kind,
+        "final": result.verdict is not Verdict.UNKNOWN or not resumable,
+        "cached": False,
+        "deduplicated": False,
+    }
+
+
+def _restore(job: EngineJob):
+    """A warm engine from the job's snapshot message, or ``None`` when
+    there is nothing (or nothing decodable) to resume from."""
+    from repro.reach.explicit import ExplicitReach
+    from repro.reach.symbolic import SymbolicReach
+    from repro.service.snapshot import KIND_EXPLICIT, snapshot_kind
+
+    if job.snapshot is None:
+        return None
+    try:
+        if snapshot_kind(job.snapshot) == KIND_EXPLICIT:
+            engine = ExplicitReach.restore(
+                job.cpds,
+                job.snapshot,
+                jobs=job.jobs,
+                max_states_per_context=job.max_states_per_context,
+            )
+        else:
+            engine = SymbolicReach.restore(job.cpds, job.snapshot)
+    except SnapshotError:
+        METER.bump("service.snapshot_rejects")
+        return None  # bad blob ⇒ miss, never a crash
+    METER.bump("service.resumes")
+    return engine
+
+
+def execute_job(job: EngineJob) -> JobOutcome:
+    """Run one engine job to a verdict or budget (the shared core of
+    both execution modes; ``service.engine_runs`` is the *caller's*
+    bump — dedup accounting stays parent-side)."""
+    from repro.cuba.algorithm3 import algorithm3
+    from repro.cuba.scheme1 import scheme1_rk
+    from repro.cuba.verifier import Cuba
+    from repro.reach.explicit import ExplicitReach
+    from repro.reach.symbolic import SymbolicReach
+
+    engine = _restore(job)
+    resumed = engine is not None
+    kind = "explicit"
+    if job.engine == "explicit":
+        if engine is None:
+            engine = ExplicitReach(
+                job.cpds,
+                max_states_per_context=job.max_states_per_context,
+                jobs=job.jobs,
+            )
+        result = scheme1_rk(
+            job.cpds, job.prop, max_rounds=job.max_rounds, engine=engine
+        )
+    elif job.engine == "symbolic":
+        if engine is None:
+            engine = SymbolicReach(job.cpds)
+        kind = "symbolic"
+        result = algorithm3(
+            job.cpds, job.prop, engine=engine, max_rounds=job.max_rounds
+        )
+    else:  # auto — the Sec. 6 front-end
+        verifier = Cuba(
+            job.cpds,
+            job.prop,
+            max_states_per_context=job.max_states_per_context,
+            jobs=job.jobs,
+        )
+        result = verifier.verify(max_rounds=job.max_rounds, engine=engine).result
+        engine = verifier.last_engine
+        kind = "symbolic" if isinstance(engine, SymbolicReach) else "explicit"
+
+    explored = engine.k if engine is not None else result.bound
+    # UNKNOWN below the budget means the run stopped for a reason
+    # deeper k cannot fix (explicit-engine divergence): final.
+    resumable = result.verdict is Verdict.UNKNOWN and explored >= job.max_rounds
+    response = describe_result(result, job.problem, kind, explored, resumable)
+    response["resumed"] = resumed
+    snapshot = None
+    if resumable and engine is not None:
+        try:
+            snapshot = engine.snapshot()
+        except SnapshotError:  # pragma: no cover - defensive
+            snapshot = None
+    return JobOutcome(
+        response=response, bound=explored, kind=kind, snapshot=snapshot
+    )
+
+
+def _execute_in_worker(job: EngineJob) -> JobOutcome:
+    """Worker entry point: run the job and ship the METER delta home so
+    the parent's counters stay executor-invariant."""
+    from repro.util.caches import clear_runtime_caches
+
+    before = METER.snapshot()
+    try:
+        return_value = execute_job(job)
+    finally:
+        # Worker-leased saturation pools (engine jobs with jobs>1) must
+        # not outlive the job: the parent cannot reach into a worker to
+        # release them on shutdown.
+        clear_runtime_caches()
+    return_value.meter = dict(METER.delta(before))
+    return return_value
+
+
+class ProcessAnalysisExecutor:
+    """A lazily spawned pool of engine-run worker processes.
+
+    Lazy spawn mirrors :class:`~repro.reach.parallel.ViewSaturationPool`
+    lifecycle semantics: a broken pool is retired on failure and the
+    next :meth:`run` call spawns a fresh one, so every failed job is
+    re-runnable without restarting the service.
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"executor needs workers >= 1, got {workers}")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        from repro.reach.parallel import _mp_context
+
+        if self._closed:
+            raise CubaError("process executor is shut down")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_mp_context()
+            )
+        return self._pool
+
+    def _retire(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, job: EngineJob) -> JobOutcome:
+        """Execute ``job`` on a worker; merge its METER delta and
+        validate its snapshot reply before the caller can store it."""
+        pool = self._ensure_pool()
+        try:
+            outcome = pool.submit(_execute_in_worker, job).result()
+        except (BrokenProcessPool, OSError) as crash:
+            self._retire()
+            raise CubaError(
+                f"process-pool engine run failed: a worker process died "
+                f"({crash.__class__.__name__}: {crash}); nothing was "
+                f"recorded — the job is safe to resubmit"
+            ) from crash
+        except RuntimeError as crash:
+            if "shutdown" not in str(crash) and "interpreter" not in str(crash):
+                raise
+            self._retire()
+            raise CubaError(
+                f"process-pool engine run failed: the executor was shut "
+                f"down mid-job ({crash}); nothing was recorded — the job "
+                f"is safe to resubmit"
+            ) from crash
+        for name, value in outcome.meter.items():
+            METER.bump(name, value)
+        if outcome.snapshot is not None:
+            from repro.service.snapshot import snapshot_kind
+
+            try:
+                # Header/version validation only — the full decode runs
+                # on the resume path.  An undecodable reply loses its
+                # blob, never its verdict, and never reaches the store.
+                snapshot_kind(outcome.snapshot)
+            except SnapshotError:
+                METER.bump("service.ipc_snapshot_rejects")
+                outcome.snapshot = None
+        return outcome
+
+    def close(self) -> None:
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)

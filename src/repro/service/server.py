@@ -46,23 +46,27 @@ from dataclasses import dataclass
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.property import Property, property_from_spec
-from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
 from repro.cpds.format import parse_cpds
-from repro.cuba.algorithm3 import algorithm3
-from repro.cuba.scheme1 import scheme1_rk
-from repro.cuba.verifier import Cuba
-from repro.errors import CubaError, ServiceError, SnapshotError
+from repro.errors import CubaError, ServiceError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
-from repro.reach.explicit import ExplicitReach
-from repro.reach.symbolic import SymbolicReach
+from repro.service.executor import (
+    EngineJob,
+    ProcessAnalysisExecutor,
+    execute_job,
+)
 from repro.service.fingerprint import cpds_digest, fingerprint
-from repro.service.snapshot import KIND_EXPLICIT, snapshot_kind
 from repro.service.store import AnalysisStore
 from repro.util.caches import clear_runtime_caches
 from repro.util.meter import METER
 
 ENGINE_LANES = ("auto", "explicit", "symbolic")
+
+#: Engine-run execution modes: "thread" runs engines inline on the
+#: service's thread executor (library/test default); "process" ships
+#: each run to a pool of worker processes over the snapshot codec
+#: (:mod:`repro.service.executor` — the ``cuba serve`` default).
+EXECUTOR_MODES = ("thread", "process")
 
 #: Parsed-CPDS intern cache size (objects shared across requests).
 _CPDS_CACHE_LIMIT = 8
@@ -147,7 +151,13 @@ class AnalysisService:
         *,
         workers: int = 2,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
+        if executor not in EXECUTOR_MODES:
+            raise ServiceError(
+                f"unknown executor mode {executor!r}; pick one of "
+                f"{EXECUTOR_MODES}"
+            )
         self.store = store
         if store.on_evict is None:
             # Size pressure sheds the in-process caches through the same
@@ -158,9 +168,17 @@ class AnalysisService:
             # requests.  Pools are bounded by their own LRU cache and
             # are torn down on :meth:`close`.
             store.on_evict = lambda: clear_runtime_caches(pools=False)
-        #: Saturation worker processes per explicit engine (deployment
-        #: config, not a request knob; results are jobs-invariant).
+        #: Worker processes per explicit engine's parallel advance
+        #: (deployment config, not a request knob; results are
+        #: jobs-invariant).
         self.jobs = jobs
+        #: Engine-run execution mode (see :data:`EXECUTOR_MODES`).
+        self.executor_mode = executor
+        self._engine_executor = (
+            ProcessAnalysisExecutor(workers=workers)
+            if executor == "process"
+            else None
+        )
         #: Bounded analysis executor — the HTTP layer schedules every
         #: ``run()`` through it, capping concurrent engine work.
         self.executor = ThreadPoolExecutor(
@@ -281,33 +299,17 @@ class AnalysisService:
     # ------------------------------------------------------------------
     # The engine run
     # ------------------------------------------------------------------
-    def _restore_engine(
-        self, problem: str, cpds: CPDS, request: AnalysisRequest, entry
-    ):
-        """A warm engine from the stored snapshot, or ``None`` when
-        there is nothing (or nothing decodable) to resume from.
-        ``entry`` is the verdict-columns row ``run()`` already fetched;
-        the blob is read only when it signals a snapshot exists."""
+    def _stored_snapshot(self, problem: str, entry) -> bytes | None:
+        """The stored snapshot blob for ``problem``, or ``None`` when
+        there is nothing to resume from.  ``entry`` is the
+        verdict-columns row ``run()`` already fetched; the blob is read
+        only when it signals a snapshot exists."""
         if entry is None or not entry.has_snapshot:
             return None
         entry = self.store.get(problem)
-        if entry is None or entry.snapshot is None:
+        if entry is None:
             return None
-        try:
-            if snapshot_kind(entry.snapshot) == KIND_EXPLICIT:
-                engine = ExplicitReach.restore(
-                    cpds,
-                    entry.snapshot,
-                    jobs=self.jobs,
-                    max_states_per_context=request.max_states_per_context,
-                )
-            else:
-                engine = SymbolicReach.restore(cpds, entry.snapshot)
-        except SnapshotError:
-            METER.bump("service.snapshot_rejects")
-            return None  # bad blob ⇒ miss, never a crash
-        METER.bump("service.resumes")
-        return engine
+        return entry.snapshot
 
     def _analyze(
         self,
@@ -317,83 +319,35 @@ class AnalysisService:
         request: AnalysisRequest,
         entry=None,
     ) -> dict:
+        """One engine run through the configured executor.  The job is
+        self-contained (CPDS + property + budget + the stored snapshot
+        as the resume message); dedup accounting, the store write, and
+        snapshot-reply validation stay parent-side
+        (:mod:`repro.service.executor`)."""
         METER.bump("service.engine_runs")
-        engine = self._restore_engine(problem, cpds, request, entry)
-        resumed = engine is not None
-        kind = "explicit"
-        if request.engine == "explicit":
-            if engine is None:
-                engine = ExplicitReach(
-                    cpds,
-                    max_states_per_context=request.max_states_per_context,
-                    jobs=self.jobs,
-                )
-            result = scheme1_rk(
-                cpds, prop, max_rounds=request.max_rounds, engine=engine
-            )
-        elif request.engine == "symbolic":
-            if engine is None:
-                engine = SymbolicReach(cpds)
-            kind = "symbolic"
-            result = algorithm3(
-                cpds, prop, engine=engine, max_rounds=request.max_rounds
-            )
-        else:  # auto — the Sec. 6 front-end
-            verifier = Cuba(
-                cpds,
-                prop,
-                max_states_per_context=request.max_states_per_context,
-                jobs=self.jobs,
-            )
-            result = verifier.verify(max_rounds=request.max_rounds, engine=engine).result
-            engine = verifier.last_engine
-            kind = "symbolic" if isinstance(engine, SymbolicReach) else "explicit"
-
-        explored = engine.k if engine is not None else result.bound
-        # UNKNOWN below the budget means the run stopped for a reason
-        # deeper k cannot fix (explicit-engine divergence): final.
-        resumable = (
-            result.verdict is Verdict.UNKNOWN and explored >= request.max_rounds
+        job = EngineJob(
+            cpds=cpds,
+            prop=prop,
+            problem=problem,
+            engine=request.engine,
+            max_rounds=request.max_rounds,
+            max_states_per_context=request.max_states_per_context,
+            jobs=self.jobs,
+            snapshot=self._stored_snapshot(problem, entry),
         )
-        response = self._describe(result, problem, kind, explored, resumable)
-        response["resumed"] = resumed
-        snapshot = None
-        if resumable and engine is not None:
-            try:
-                snapshot = engine.snapshot()
-            except SnapshotError:  # pragma: no cover - defensive
-                snapshot = None
+        if self._engine_executor is None:
+            outcome = execute_job(job)
+        else:
+            outcome = self._engine_executor.run(job)
+        response = outcome.response
         self.store.record(
             problem,
             {key: value for key, value in response.items() if key != "resumed"},
-            bound=explored,
-            engine=kind,
-            snapshot=snapshot,
+            bound=outcome.bound,
+            engine=outcome.kind,
+            snapshot=outcome.snapshot,
         )
         return response
-
-    @staticmethod
-    def _describe(
-        result: VerificationResult,
-        problem: str,
-        kind: str,
-        explored: int,
-        resumable: bool,
-    ) -> dict:
-        return {
-            "fingerprint": problem,
-            "verdict": result.verdict.value,
-            "bound": result.bound,
-            "k": explored,
-            "method": result.method,
-            "message": result.message,
-            "witness": str(result.witness) if result.witness is not None else None,
-            "trace": str(result.trace) if result.trace is not None else None,
-            "engine": kind,
-            "final": result.verdict is not Verdict.UNKNOWN or not resumable,
-            "cached": False,
-            "deduplicated": False,
-        }
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -407,6 +361,8 @@ class AnalysisService:
                 return
             self._closed = True
         self.executor.shutdown(wait=True, cancel_futures=False)
+        if self._engine_executor is not None:
+            self._engine_executor.close()
         self.store.close()
         clear_runtime_caches()
 

@@ -191,13 +191,15 @@ def restore_explicit(
     data: bytes,
     *,
     jobs: int = 1,
+    shard_replay: bool = True,
     max_states_per_context: int | None = None,
 ):
     """Rebuild a warm :class:`~repro.reach.explicit.ExplicitReach` from
-    a :func:`snapshot_explicit` blob.  ``jobs`` (a pure execution knob)
-    may differ from the snapshotted engine's; ``max_states_per_context``
-    defaults to the snapshotted guard.  Raises :class:`SnapshotError`
-    when the blob is undecodable or does not belong to ``cpds``."""
+    a :func:`snapshot_explicit` blob.  ``jobs`` and ``shard_replay``
+    (pure execution knobs) may differ from the snapshotted engine's;
+    ``max_states_per_context`` defaults to the snapshotted guard.
+    Raises :class:`SnapshotError` when the blob is undecodable or does
+    not belong to ``cpds``."""
     from repro.reach.explicit import ExplicitReach
 
     _kind, payload = decode(data, expected_kind=KIND_EXPLICIT)
@@ -221,6 +223,7 @@ def restore_explicit(
             incremental=payload["incremental"],
             batched=True,
             jobs=jobs,
+            shard_replay=shard_replay,
         )
         if len(table) == 0 or table.state(0) != cpds.initial_state():
             raise SnapshotError("snapshot does not belong to this CPDS")
