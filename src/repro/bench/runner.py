@@ -405,6 +405,13 @@ def _git_rev() -> str | None:
     return out.stdout.strip() or None
 
 
+# Public names for the other payload writers (the loadtest harness
+# stamps ``cuba-loadtest/1`` files with the same machine calibration
+# and git revision so its compare gate normalizes identically).
+calibrate = _calibrate
+git_rev = _git_rev
+
+
 def merge_modes(payload: dict, other: dict, mode_label: str) -> int:
     """Merge ``other``'s ``optimized`` measurements into ``payload`` as an
     extra mode named ``mode_label`` (matched by workload name+lane).

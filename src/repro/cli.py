@@ -10,6 +10,7 @@ Subcommands::
     cuba bench --json [--quick] [--compare BENCH_x.json]  # perf trajectory
     cuba serve [--port 8765] [--store cuba-store.sqlite]  # analysis service
     cuba submit file.cpds [--engine ...] [--port 8765]    # query the service
+    cuba loadtest [--spawn 2] [--duration 10]  # replica throughput harness
 
 ``verify`` and ``submit`` exit 0 when the property is proved, 1 when
 refuted, and 2 when no conclusion was reached within the round budget.
@@ -217,11 +218,23 @@ def cmd_bench(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.service import AnalysisService, AnalysisStore, ServiceServer
+    from repro.service import AnalysisService, ServiceServer
+    from repro.service.store import open_store
 
-    store = AnalysisStore(
-        args.store, max_snapshot_bytes=int(args.store_mb * 1024 * 1024)
+    store = open_store(
+        args.store,
+        max_snapshot_bytes=int(args.store_mb * 1024 * 1024),
+        lease_ttl=args.lease_ttl,
     )
+    if store.degraded:
+        # Log-and-continue: a read-only store directory must not stop
+        # the service from serving (uncached) verdicts.  /health
+        # reports store_degraded=true while this mode is active.
+        print(
+            f"warning: store {args.store} is unusable ({store.reason}); "
+            "serving in degraded store-less mode",
+            file=sys.stderr,
+        )
     service = AnalysisService(
         store, workers=args.workers, jobs=args.jobs, executor=args.executor
     )
@@ -273,6 +286,85 @@ def cmd_submit(args) -> int:
         print(f"trace: {response['trace']}")
     print(f"fingerprint: {response['fingerprint']}")
     return {"safe": 0, "unsafe": 1, "unknown": 2}[response["verdict"]]
+
+
+def cmd_loadtest(args) -> int:
+    import json
+
+    from repro.service.loadtest import (
+        compare_loadtest,
+        latest_comparable_loadtest,
+        run_loadtest,
+        write_loadtest_json,
+    )
+
+    payload = run_loadtest(
+        replicas=args.replicas.split(",") if args.replicas else None,
+        spawn=args.spawn,
+        store=args.store,
+        duration=args.duration,
+        concurrency=args.concurrency,
+        quick=args.quick,
+        max_rounds=args.max_rounds,
+        label=args.label or "",
+        seed=args.seed,
+        executor=args.executor,
+        jobs=args.jobs,
+    )
+    path = write_loadtest_json(payload, args.out or ".")
+    totals = payload["totals"]
+    print(f"wrote {path}")
+    print(
+        f"{totals['requests']} requests in {payload['elapsed']}s over "
+        f"{payload['replicas']} replica(s): {totals['throughput_rps']} rps, "
+        f"p50 {totals['p50_ms']}ms, p99 {totals['p99_ms']}ms, "
+        f"{totals['failures']} failure(s)"
+    )
+    print(
+        f"dedup-hit-rate {totals['dedup_hit_rate']}, store-hit-rate "
+        f"{totals['store_hit_rate']}, resumes {totals['resumes']}, "
+        f"client retries {totals['client_retries']} "
+        f"(failovers {totals['client_failovers']}), "
+        f"busy retries {totals['busy_retries']}, "
+        f"leases {totals['lease']}"
+    )
+    print(
+        f"cross-replica probes {totals['cross_replica_probes']}, "
+        f"store hits {totals['cross_replica_store_hits']}"
+    )
+    status = 0
+    if args.require_zero_failures and totals["failures"]:
+        print(f"FAIL: {totals['failures']} request(s) failed", file=sys.stderr)
+        status = 1
+    if args.require_cross_replica_hit and not totals["cross_replica_store_hits"]:
+        print(
+            "FAIL: no cross-replica store hit observed (replicas are not "
+            "sharing the store)",
+            file=sys.stderr,
+        )
+        status = 1
+    baseline_path = args.compare
+    if baseline_path is None and args.compare_latest:
+        # Committed baselines live at the repo root (like BENCH files),
+        # independent of where this run's JSON was just written.
+        found = latest_comparable_loadtest(payload, ".")
+        if found is None:
+            print("no comparable committed LOADTEST baseline; gate skipped")
+        elif found == path:  # pragma: no cover - same-second stamp
+            print("baseline is the run just written; gate skipped")
+        else:
+            baseline_path = str(found)
+    if baseline_path:
+        baseline = json.loads(Path(baseline_path).read_text())
+        ok, messages = compare_loadtest(
+            payload, baseline, tolerance=args.tolerance
+        )
+        print(f"compare against {baseline_path}:")
+        for message in messages:
+            print(f"  {message}")
+        if not ok:
+            status = 1
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -388,7 +480,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=64.0,
         help="snapshot size budget in MB; least-recently-used snapshots "
-        "are evicted beyond it (verdicts are kept)",
+        "are evicted beyond it (verdicts are kept; blobs a replica is "
+        "resuming from are lease-pinned and skipped)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=300.0,
+        help="seconds a resume lease pins a snapshot blob against "
+        "eviction; a crashed replica's lease expires after this and is "
+        "reaped instead of wedging eviction forever",
     )
     serve.add_argument(
         "--workers",
@@ -430,6 +531,86 @@ def build_parser() -> argparse.ArgumentParser:
         "the verdict",
     )
     submit.set_defaults(handler=cmd_submit)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive mixed traffic at 1..N service replicas and write a "
+        "cuba-loadtest/1 JSON (p50/p99, dedup/store hit rates, retry and "
+        "lease counters)",
+    )
+    loadtest.add_argument(
+        "--replicas",
+        help="comma-separated host:port list of already-running replicas "
+        "(default: spawn fresh ones — see --spawn)",
+    )
+    loadtest.add_argument(
+        "--spawn",
+        type=int,
+        default=2,
+        help="without --replicas: launch N `cuba serve` subprocesses on "
+        "ephemeral ports sharing ONE store file (default 2)",
+    )
+    loadtest.add_argument(
+        "--store",
+        help="with --spawn: shared store path (default: a temp file "
+        "removed after the run)",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=10.0, help="traffic seconds (default 10)"
+    )
+    loadtest.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="client worker threads driving traffic (default 8)",
+    )
+    loadtest.add_argument(
+        "--quick",
+        action="store_true",
+        help="registry-derived fast mix only (the CI smoke profile)",
+    )
+    loadtest.add_argument("--max-rounds", type=int, default=6)
+    loadtest.add_argument("--label", help="free-form label stored in the payload")
+    loadtest.add_argument("--seed", type=int, default=7)
+    loadtest.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="with --spawn: replica engine-run execution mode "
+        "(default thread — cheap spawn for short runs)",
+    )
+    loadtest.add_argument("--jobs", type=int, default=1)
+    loadtest.add_argument("--out", help="output directory (default: cwd)")
+    loadtest.add_argument(
+        "--compare",
+        metavar="FILE",
+        help="baseline LOADTEST file; exit 1 on a calibrated throughput "
+        "regression or any failed request",
+    )
+    loadtest.add_argument(
+        "--compare-latest",
+        action="store_true",
+        help="pick the newest committed LOADTEST_*.json with a matching "
+        "configuration as the baseline (skips the gate when none exists)",
+    )
+    loadtest.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="with --compare: allowed normalized-throughput drop (default 0.25)",
+    )
+    loadtest.add_argument(
+        "--require-zero-failures",
+        action="store_true",
+        help="exit 1 if any request failed after client retries",
+    )
+    loadtest.add_argument(
+        "--require-cross-replica-hit",
+        action="store_true",
+        help="exit 1 unless at least one cross-replica probe was answered "
+        "from the shared store (proves the replicas share it)",
+    )
+    loadtest.set_defaults(handler=cmd_loadtest)
     return parser
 
 

@@ -19,7 +19,13 @@ persistent, incremental service:
   worker processes with the snapshot blobs as the IPC format
   (``cuba serve --executor process``, the daemon default);
 * :mod:`repro.service.client` — the matching stdlib HTTP client
-  (``cuba submit``).
+  (``cuba submit``), now multi-replica (PR 7): consistent-hash
+  fingerprint-affinity routing, per-call connect/read timeouts, bounded
+  retry with backoff + jitter (idempotent calls only), and failover;
+* :mod:`repro.service.loadtest` — the ``cuba loadtest`` harness (PR 7):
+  mixed submit/status/result traffic against 1..N replicas sharing one
+  store, ``cuba-loadtest/1`` JSON payloads (p50/p99, dedup/store hit
+  rates, lease and busy-retry counters) with committed-baseline gating.
 
 Soundness hinges on the monotone-by-level shape of the bounded
 sequences ``(Rk)``/``(T(Sk))``: a checkpoint at level ``k`` plus
@@ -28,7 +34,7 @@ run (differentially tested level-for-level in
 ``tests/service/test_snapshot.py``).
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.executor import (
     EngineJob,
     JobOutcome,
@@ -36,20 +42,31 @@ from repro.service.executor import (
     execute_job,
 )
 from repro.service.fingerprint import cpds_digest, fingerprint
+from repro.service.loadtest import compare_loadtest, run_loadtest
 from repro.service.server import AnalysisRequest, AnalysisService, ServiceServer
-from repro.service.store import AnalysisStore, StoreEntry
+from repro.service.store import (
+    AnalysisStore,
+    DegradedAnalysisStore,
+    StoreEntry,
+    open_store,
+)
 
 __all__ = [
     "AnalysisRequest",
     "AnalysisService",
     "AnalysisStore",
+    "DegradedAnalysisStore",
     "EngineJob",
     "JobOutcome",
     "ProcessAnalysisExecutor",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceServer",
     "StoreEntry",
+    "compare_loadtest",
     "cpds_digest",
     "execute_job",
     "fingerprint",
+    "open_store",
+    "run_loadtest",
 ]

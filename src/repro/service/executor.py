@@ -80,6 +80,9 @@ class JobOutcome:
     kind: str
     snapshot: bytes | None = None
     meter: dict = field(default_factory=dict)
+    #: Engine wall time (the loadtest harness separates queueing and
+    #: transport latency from compute using this).
+    seconds: float = 0.0
 
 
 def describe_result(
@@ -136,12 +139,15 @@ def execute_job(job: EngineJob) -> JobOutcome:
     """Run one engine job to a verdict or budget (the shared core of
     both execution modes; ``service.engine_runs`` is the *caller's*
     bump — dedup accounting stays parent-side)."""
+    import time
+
     from repro.cuba.algorithm3 import algorithm3
     from repro.cuba.scheme1 import scheme1_rk
     from repro.cuba.verifier import Cuba
     from repro.reach.explicit import ExplicitReach
     from repro.reach.symbolic import SymbolicReach
 
+    started = time.perf_counter()
     engine = _restore(job)
     resumed = engine is not None
     kind = "explicit"
@@ -177,8 +183,10 @@ def execute_job(job: EngineJob) -> JobOutcome:
     # UNKNOWN below the budget means the run stopped for a reason
     # deeper k cannot fix (explicit-engine divergence): final.
     resumable = result.verdict is Verdict.UNKNOWN and explored >= job.max_rounds
+    seconds = time.perf_counter() - started
     response = describe_result(result, job.problem, kind, explored, resumable)
     response["resumed"] = resumed
+    response["engine_seconds"] = round(seconds, 4)
     snapshot = None
     if resumable and engine is not None:
         try:
@@ -186,7 +194,8 @@ def execute_job(job: EngineJob) -> JobOutcome:
         except SnapshotError:  # pragma: no cover - defensive
             snapshot = None
     return JobOutcome(
-        response=response, bound=explored, kind=kind, snapshot=snapshot
+        response=response, bound=explored, kind=kind, snapshot=snapshot,
+        seconds=seconds,
     )
 
 

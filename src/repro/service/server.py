@@ -323,30 +323,44 @@ class AnalysisService:
         self-contained (CPDS + property + budget + the stored snapshot
         as the resume message); dedup accounting, the store write, and
         snapshot-reply validation stay parent-side
-        (:mod:`repro.service.executor`)."""
+        (:mod:`repro.service.executor`).
+
+        When the run resumes from a stored blob, a lease row pins that
+        blob for the duration (acquired *before* the blob is fetched,
+        released after the result is recorded): with N replicas sharing
+        one store, a peer's LRU eviction must never free a snapshot
+        this replica is mid-resume on — and if this replica crashes,
+        the lease simply expires (``lease_ttl``) instead of wedging
+        eviction forever."""
         METER.bump("service.engine_runs")
-        job = EngineJob(
-            cpds=cpds,
-            prop=prop,
-            problem=problem,
-            engine=request.engine,
-            max_rounds=request.max_rounds,
-            max_states_per_context=request.max_states_per_context,
-            jobs=self.jobs,
-            snapshot=self._stored_snapshot(problem, entry),
-        )
-        if self._engine_executor is None:
-            outcome = execute_job(job)
-        else:
-            outcome = self._engine_executor.run(job)
-        response = outcome.response
-        self.store.record(
-            problem,
-            {key: value for key, value in response.items() if key != "resumed"},
-            bound=outcome.bound,
-            engine=outcome.kind,
-            snapshot=outcome.snapshot,
-        )
+        lease = None
+        if entry is not None and entry.has_snapshot:
+            lease = self.store.acquire_lease(problem)
+        try:
+            job = EngineJob(
+                cpds=cpds,
+                prop=prop,
+                problem=problem,
+                engine=request.engine,
+                max_rounds=request.max_rounds,
+                max_states_per_context=request.max_states_per_context,
+                jobs=self.jobs,
+                snapshot=self._stored_snapshot(problem, entry),
+            )
+            if self._engine_executor is None:
+                outcome = execute_job(job)
+            else:
+                outcome = self._engine_executor.run(job)
+            response = outcome.response
+            self.store.record(
+                problem,
+                {key: value for key, value in response.items() if key != "resumed"},
+                bound=outcome.bound,
+                engine=outcome.kind,
+                snapshot=outcome.snapshot,
+            )
+        finally:
+            self.store.release_lease(problem, lease)
         return response
 
     # ------------------------------------------------------------------
@@ -370,7 +384,9 @@ class AnalysisService:
 # ----------------------------------------------------------------------
 # HTTP layer
 # ----------------------------------------------------------------------
-_METER_WINDOW_PREFIXES = ("service.", "snapshot.", "explicit.", "symbolic.")
+_METER_WINDOW_PREFIXES = (
+    "service.", "snapshot.", "explicit.", "symbolic.", "store.",
+)
 
 #: Settled /status history kept per server (running jobs never count
 #: against it).
@@ -540,6 +556,11 @@ class ServiceServer:
                 "status": "ok",
                 "jobs": by_status,
                 "store": stats,
+                # Degraded = serving store-less (read-only store dir at
+                # startup): verdicts are correct but nothing is cached.
+                "store_degraded": bool(
+                    getattr(self.service.store, "degraded", False)
+                ),
             }
         if method == "GET" and path == "/meter":
             return 200, {

@@ -1,0 +1,180 @@
+"""Client-side multi-replica discipline (PR 7).
+
+The consistent-hash ring (determinism, coverage, minimal remap on
+resize), the submit routing key (anytime budget excluded so deeper
+resubmissions land on the snapshot-holding replica), failover to a live
+replica past a dead one, the idempotent-only retry rule (``/shutdown``
+never retries), and retry-exhaustion surfacing as a clean
+:class:`~repro.errors.ServiceError` with the client stats counting it.
+"""
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    AnalysisService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.service.client import _HashRing
+from repro.service.store import DegradedAnalysisStore
+
+
+def _replicas(n):
+    return [("10.0.0.%d" % (i + 1), 8000 + i) for i in range(n)]
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        first = _HashRing(_replicas(4))
+        second = _HashRing(_replicas(4))
+        for key in ("a", "b", "fingerprint-123", ""):
+            assert first.ordered(key) == second.ordered(key)
+
+    def test_orders_every_replica_affinity_first(self):
+        ring = _HashRing(_replicas(5))
+        order = ring.ordered("some-key")
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_load_spreads_over_all_replicas(self):
+        ring = _HashRing(_replicas(4))
+        homes = [ring.ordered(f"key-{i}")[0] for i in range(400)]
+        for replica in range(4):
+            share = homes.count(replica) / len(homes)
+            assert 0.05 < share < 0.60, f"replica {replica} owns {share:.0%}"
+
+    def test_adding_a_replica_remaps_only_a_fraction(self):
+        keys = [f"key-{i}" for i in range(500)]
+        before = _HashRing(_replicas(3))
+        after = _HashRing(_replicas(4))
+        moved = sum(
+            1 for key in keys if before.ordered(key)[0] != after.ordered(key)[0]
+        )
+        # Expected ~1/4 with consistent hashing; modulo hashing would
+        # move ~3/4.  Allow generous noise either way.
+        assert moved / len(keys) < 0.55
+
+    def test_single_replica_short_circuits(self):
+        assert _HashRing(_replicas(1)).ordered("anything") == [0]
+
+
+class TestRoutingKey:
+    def test_excludes_anytime_budget_and_wait(self):
+        base = {"cpds": "prog", "property": "shared:3", "engine": "explicit"}
+        shallow = ServiceClient._routing_key({**base, "max_rounds": 1, "wait": True})
+        deeper = ServiceClient._routing_key({**base, "max_rounds": 30, "wait": False})
+        assert shallow == deeper
+
+    def test_distinguishes_problem_identity(self):
+        base = {"cpds": "prog", "property": "shared:3", "engine": "explicit"}
+        assert ServiceClient._routing_key(base) != ServiceClient._routing_key(
+            {**base, "engine": "symbolic"}
+        )
+        assert ServiceClient._routing_key(base) != ServiceClient._routing_key(
+            {**base, "property": "shared:4"}
+        )
+
+
+def _dead_port() -> int:
+    """A port nothing listens on (bound then released)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture
+def live_server():
+    """A store-less in-process server (fast: no sqlite, no engines)."""
+    service = AnalysisService(
+        DegradedAnalysisStore("unused", "test"), workers=1, executor="thread"
+    )
+    server = ServiceServer(service, port=0)
+    ready = threading.Event()
+
+    def run() -> None:
+        async def main() -> None:
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    yield server
+    server.request_shutdown()
+    thread.join(20)
+    assert not thread.is_alive()
+
+
+class TestFailover:
+    def test_dead_replica_fails_over_to_live_one(self, live_server):
+        client = ServiceClient(
+            replicas=[f"127.0.0.1:{_dead_port()}",
+                      f"127.0.0.1:{live_server.port}"],
+            retry=RetryPolicy(connect_timeout=1.0, read_timeout=10.0,
+                              retries=3, backoff=0.01),
+        )
+        health = client.health()
+        assert health["status"] == "ok"
+        stats = client.stats_snapshot()
+        assert stats["failures"] == 0
+        # The explicit-replica probe of the dead one still fails fast.
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health(replica=0)
+
+    def test_all_replicas_dead_exhausts_cleanly(self):
+        client = ServiceClient(
+            replicas=[f"127.0.0.1:{_dead_port()}",
+                      f"127.0.0.1:{_dead_port()}"],
+            retry=RetryPolicy(connect_timeout=0.5, read_timeout=1.0,
+                              retries=2, backoff=0.01),
+        )
+        with pytest.raises(ServiceError, match="after 3 attempt"):
+            client.health()
+        stats = client.stats_snapshot()
+        assert stats["failures"] == 1
+        assert stats["retries"] == 2
+        assert stats["failovers"] >= 1
+
+    def test_shutdown_is_never_retried(self):
+        client = ServiceClient(
+            replicas=[f"127.0.0.1:{_dead_port()}"],
+            retry=RetryPolicy(connect_timeout=0.5, read_timeout=1.0,
+                              retries=5, backoff=0.01),
+        )
+        with pytest.raises(ServiceError):
+            client.shutdown()
+        # One attempt per replica, zero retries: the non-idempotent path.
+        assert client.stats_snapshot()["retries"] == 0
+
+    def test_broadcast_shutdown_reaches_the_live_replica(self, live_server):
+        client = ServiceClient(
+            replicas=[f"127.0.0.1:{_dead_port()}",
+                      f"127.0.0.1:{live_server.port}"],
+            retry=RetryPolicy(connect_timeout=1.0, read_timeout=10.0,
+                              retries=0),
+        )
+        response = client.shutdown()
+        assert response["status"] == "shutting down"
+
+
+class TestBackCompat:
+    def test_single_host_port_construction(self):
+        client = ServiceClient("127.0.0.1", 9999, timeout=3.5)
+        assert client.host == "127.0.0.1"
+        assert client.port == 9999
+        assert client.retry.read_timeout == 3.5
+        assert client.replicas == [("127.0.0.1", 9999)]
+
+    def test_replica_spec_parsing_rejects_garbage(self):
+        with pytest.raises(ServiceError, match="cannot parse replica"):
+            ServiceClient(replicas=["no-port-here"])
+        with pytest.raises(ServiceError, match="port"):
+            ServiceClient(replicas=["host:not-a-number"])

@@ -1,0 +1,267 @@
+"""Replica fault battery (PR 7).
+
+What a multi-replica deployment must survive, each injected for real:
+
+* a replica **SIGKILLed mid-write** — WAL recovery on the next open,
+  never a corrupt-rotation of a healthy file;
+* two replicas **racing a resume** — eviction never frees a snapshot
+  blob under a live lease (``store.eviction_lease_skips``), a crashed
+  peer's lease is reaped after its TTL instead of wedging eviction;
+* a **corrupt store** — bad row JSON degrades to a miss, a
+  wholesale-corrupt file is rotated aside and peers keep working;
+* an **unusable store location** — ``cuba serve`` logs and continues in
+  degraded store-less mode (``/health`` says so) instead of
+  crash-looping.
+"""
+
+import os
+import signal
+import socket
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service.store import (
+    AnalysisStore,
+    DegradedAnalysisStore,
+    open_store,
+)
+from repro.util.meter import METER
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Endless-writer child for the SIGKILL test: prints one line once the
+#: store is open, then upserts snapshot-bearing rows until killed.
+_ENDLESS_WRITER = """
+import sys
+from repro.service.store import AnalysisStore
+
+store = AnalysisStore(sys.argv[1])
+print("ready", flush=True)
+i = 0
+while True:
+    store.record(
+        f"kill-{i % 16}", {"n": i}, bound=i, engine="explicit",
+        snapshot=bytes(4096),
+    )
+    i += 1
+"""
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_sigkill_mid_write_recovers_via_wal(tmp_path):
+    path = tmp_path / "store.sqlite"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _ENDLESS_WRITER, str(path)],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        assert proc.stdout.readline().strip() == "ready"
+        time.sleep(0.4)  # let it write mid-stream
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    # The survivor opens the same file: WAL recovery, not rotation.
+    before = METER.snapshot()
+    store = AnalysisStore(path)
+    assert not path.with_name(path.name + ".corrupt").exists()
+    assert METER.delta(before).get("service.store_corrupt_rotations", 0) == 0
+    stats = store.stats()
+    assert stats["open"] and stats["entries"] >= 1
+    # Every surviving row is whole (committed transactions only).
+    for i in range(16):
+        entry = store.get(f"kill-{i}")
+        if entry is not None and entry.result is not None:
+            assert entry.result["n"] % 16 == i
+    store.record("after-crash", {"n": -1}, bound=0, engine="explicit")
+    assert store.get("after-crash").result == {"n": -1}
+    store.close()
+
+
+class TestLeaseRace:
+    def test_live_lease_pins_blob_against_peer_eviction(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        resuming = AnalysisStore(path, max_snapshot_bytes=4096)
+        evicting = AnalysisStore(path, max_snapshot_bytes=4096)
+        resuming.record("hot", {"verdict": "unknown"}, bound=1,
+                        engine="explicit", snapshot=bytes(3000))
+        token = resuming.acquire_lease("hot")
+        assert token is not None
+        before = METER.snapshot()
+        # The peer's write pushes the budget over; "hot" is the LRU
+        # victim but leased — the sweep must take "cold" instead.
+        evicting.record("cold", {"verdict": "unknown"}, bound=1,
+                        engine="explicit", snapshot=bytes(3000))
+        assert evicting.get("hot").has_snapshot, "evicted under a live lease"
+        assert not evicting.get("cold").has_snapshot
+        assert METER.delta(before).get("service.store_evictions", 0) >= 1
+        resuming.release_lease("hot", token)
+        assert resuming.live_leases() == 0
+        resuming.close()
+        evicting.close()
+
+    def test_fully_leased_store_skips_eviction_and_meters_it(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = AnalysisStore(path, max_snapshot_bytes=4096)
+        store.record("first", {"verdict": "unknown"}, bound=1,
+                     engine="explicit", snapshot=bytes(3000))
+        # Leases may precede the row (a replica leases before it
+        # resumes); with BOTH blobs pinned the sweep finds no victim.
+        token_first = store.acquire_lease("first")
+        token_second = store.acquire_lease("second")
+        before = METER.snapshot()
+        store.record("second", {"verdict": "unknown"}, bound=1,
+                     engine="explicit", snapshot=bytes(3000))
+        delta = METER.delta(before)
+        assert store.get("first").has_snapshot
+        assert store.get("second").has_snapshot
+        assert delta.get("store.eviction_lease_skips", 0) >= 1
+        assert delta.get("service.store_evictions", 0) == 0
+        store.release_lease("first", token_first)
+        store.release_lease("second", token_second)
+        store.close()
+
+    def test_crashed_replica_lease_is_reaped_after_ttl(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        crashed = AnalysisStore(path, max_snapshot_bytes=1024, lease_ttl=0.2)
+        crashed.record("orphan", {"verdict": "unknown"}, bound=1,
+                       engine="explicit", snapshot=bytes(3000))
+        assert crashed.acquire_lease("orphan") is not None
+        # The replica "crashes" without releasing: no close, no release.
+        survivor = AnalysisStore(path, max_snapshot_bytes=1024)
+        time.sleep(0.25)  # past the TTL
+        before = METER.snapshot()
+        survivor.record("pressure", {"verdict": "safe"}, bound=2,
+                        engine="explicit")
+        delta = METER.delta(before)
+        assert delta.get("store.leases_reaped", 0) >= 1
+        assert not survivor.get("orphan").has_snapshot, (
+            "expired lease still wedging eviction"
+        )
+        assert survivor.get("orphan").result is not None
+        survivor.close()
+        crashed.close()
+
+
+class TestCorruptStore:
+    def test_corrupt_row_json_degrades_to_miss(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = AnalysisStore(path)
+        store.record("poisoned", {"verdict": "safe"}, bound=3, engine="explicit")
+        raw = sqlite3.connect(path)
+        with raw:
+            raw.execute(
+                "UPDATE analyses SET result = 'not json{' "
+                "WHERE fingerprint = 'poisoned'"
+            )
+        raw.close()
+        before = METER.snapshot()
+        entry = store.get("poisoned")
+        assert entry is not None and entry.result is None  # miss, no crash
+        assert METER.delta(before).get("service.store_corrupt_results", 0) == 1
+        # Peers recompute and overwrite; the row heals.
+        store.record("poisoned", {"verdict": "safe"}, bound=3, engine="explicit")
+        assert store.get("poisoned").result == {"verdict": "safe"}
+        store.close()
+
+    def test_wholesale_corrupt_file_is_rotated_not_fatal(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"this is not a sqlite database " * 64)
+        before = METER.snapshot()
+        store = open_store(path)
+        assert isinstance(store, AnalysisStore)  # recovered, not degraded
+        assert METER.delta(before).get("service.store_corrupt_rotations") == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+        store.record("fresh", {"verdict": "safe"}, bound=1, engine="explicit")
+        assert store.get("fresh").result == {"verdict": "safe"}
+        # A peer opening the same (now healthy) path joins normally.
+        peer = open_store(path)
+        assert isinstance(peer, AnalysisStore)
+        assert peer.get("fresh").result == {"verdict": "safe"}
+        peer.close()
+        store.close()
+
+
+class TestDegradedMode:
+    def test_unusable_location_degrades(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        before = METER.snapshot()
+        store = open_store(blocker / "sub" / "store.sqlite")
+        assert isinstance(store, DegradedAnalysisStore)
+        assert METER.delta(before).get("service.store_degraded") == 1
+        # Full store surface, store-less semantics.
+        assert store.get("anything") is None
+        store.record("anything", {"verdict": "safe"}, bound=1, engine="x")
+        assert store.get("anything") is None
+        assert store.acquire_lease("anything") is None
+        store.release_lease("anything", None)
+        assert store.live_leases() == 0
+        stats = store.stats()
+        assert stats["open"] is False and stats["degraded"] is True
+        assert "reason" in stats
+
+    def test_cuba_serve_logs_and_continues_storeless(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--host", "127.0.0.1", "--port", str(port),
+                "--store", str(blocker / "sub" / "store.sqlite"),
+                "--executor", "thread",
+            ],
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            from repro.errors import ServiceError
+            from repro.service import RetryPolicy, ServiceClient
+
+            client = ServiceClient(
+                "127.0.0.1", port,
+                retry=RetryPolicy(connect_timeout=2.0, read_timeout=30.0,
+                                  retries=0),
+            )
+            deadline = time.monotonic() + 30
+            while True:
+                assert proc.poll() is None, proc.stderr.read()
+                try:
+                    health = client.health()
+                    break
+                except ServiceError:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+            assert health["store_degraded"] is True
+            assert health["store"]["open"] is False
+            # Verdicts still flow — uncached, but correct.
+            from repro.cpds import format_cpds
+            from repro.models import fig1_cpds
+
+            response = client.submit(
+                format_cpds(fig1_cpds()), property_spec="shared:3",
+                engine="explicit", max_rounds=6,
+            )
+            assert response["verdict"] == "unsafe"
+            assert response["cached"] is False
+            client.shutdown()
+            proc.wait(timeout=30)
+            assert "degraded store-less mode" in proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

@@ -1,0 +1,200 @@
+"""Two-process store safety: the PR 7 multi-replica contract.
+
+Each test shares ONE sqlite store file between this process and a real
+child interpreter (not a thread — sqlite's locking story is
+per-connection *per-process*), covering the shapes N ``cuba serve``
+replicas produce: concurrent distinct-fingerprint writers, same-row
+last-writer-wins upserts (never a torn read), eviction sweeping under a
+live reader, and an SQLITE_BUSY storm from a peer camping on the write
+lock (the bounded retry loop must converge, METERed as
+``store.busy_retries``).
+"""
+
+import os
+import sqlite3
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.service.store import AnalysisStore
+from repro.util.meter import METER
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Writer child: ``argv = path tag count blob_bytes``; records
+#: ``{tag}-{i}`` rows whose result/bound/engine are self-consistent so
+#: the parent can detect torn writes.
+_WRITER = """
+import sys
+from repro.service.store import AnalysisStore
+
+path, tag, count, blob = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+budget = int(sys.argv[5]) if len(sys.argv) > 5 else None
+kwargs = {} if budget is None else {"max_snapshot_bytes": budget}
+store = AnalysisStore(path, **kwargs)
+for i in range(count):
+    store.record(
+        f"{tag}-{i}",
+        {"who": tag, "n": i},
+        bound=i,
+        engine=tag,
+        snapshot=bytes(blob) if blob else None,
+    )
+store.close()
+"""
+
+#: Same-fingerprint child: hammers ONE row with self-consistent upserts.
+_UPSERTER = """
+import sys
+from repro.service.store import AnalysisStore
+
+path, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = AnalysisStore(path)
+for i in range(count):
+    store.record("contested", {"who": tag, "n": i}, bound=i, engine=tag)
+store.close()
+"""
+
+
+def _child(code: str, *args) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", code, *[str(arg) for arg in args]],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _join(proc: subprocess.Popen) -> None:
+    output, _ = proc.communicate(timeout=120)
+    assert proc.returncode == 0, f"child failed:\n{output}"
+
+
+class TestTwoProcessWriters:
+    def test_distinct_fingerprints_interleave_losslessly(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        proc = _child(_WRITER, path, "child", 25, 0)
+        parent = AnalysisStore(path)
+        for i in range(25):
+            parent.record(f"parent-{i}", {"who": "parent", "n": i},
+                          bound=i, engine="parent")
+        _join(proc)
+        for i in range(25):
+            assert parent.get(f"parent-{i}").result == {"who": "parent", "n": i}
+            assert parent.get(f"child-{i}").result == {"who": "child", "n": i}
+        assert parent.stats()["entries"] == 50
+        parent.close()
+
+    def test_same_fingerprint_last_writer_wins_never_torn(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        proc = _child(_UPSERTER, path, "child", 60)
+        parent = AnalysisStore(path)
+        for i in range(60):
+            parent.record("contested", {"who": "parent", "n": i},
+                          bound=i, engine="parent")
+            # Mid-race reads must always see one writer's row whole.
+            entry = parent.get("contested")
+            assert entry is not None and entry.result is not None
+            assert entry.result["who"] == entry.engine
+            assert entry.result["n"] == entry.bound
+        _join(proc)
+        final = parent.get("contested")
+        assert final.result["who"] == final.engine
+        assert final.result["n"] == final.bound == 59
+        parent.close()
+
+    def test_eviction_racing_a_reader(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        budget = 4096
+        # The child's 1KB blobs overflow the budget every few records,
+        # so its own post-record sweeps run while the parent reads.
+        proc = _child(_WRITER, path, "churn", 40, 1024, budget)
+        parent = AnalysisStore(path, max_snapshot_bytes=budget)
+        deadline = time.monotonic() + 10
+        while proc.poll() is None and time.monotonic() < deadline:
+            for i in range(40):
+                entry = parent.get(f"churn-{i}")
+                # Miss (not yet written) or a whole row — never a crash
+                # and never a half-written record.
+                if entry is not None and entry.result is not None:
+                    assert entry.result == {"who": "churn", "n": i}
+        _join(proc)
+        stats = parent.stats()
+        assert stats["snapshot_bytes"] <= budget
+        assert stats["entries"] == 40  # verdicts survive eviction
+        parent.close()
+
+
+class TestBusyStorm:
+    def test_bounded_retry_converges_and_is_metered(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = AnalysisStore(
+            path, busy_timeout=0.05, busy_retries=10, retry_base=0.02
+        )
+        store.record("warm", {"n": 0}, bound=0, engine="explicit")
+        # A peer camping on the write lock: sqlite surfaces BUSY to
+        # every store transaction until the timer releases it.
+        camper = sqlite3.connect(path, check_same_thread=False)
+        camper.execute("BEGIN IMMEDIATE")
+        camper.execute("UPDATE meta SET value = value + 1 WHERE key = 'lru_clock'")
+        release = threading.Timer(0.6, camper.commit)
+        before = METER.snapshot()
+        release.start()
+        try:
+            store.record("stormed", {"n": 1}, bound=1, engine="explicit")
+        finally:
+            release.join()
+            camper.close()
+        delta = METER.delta(before)
+        assert delta.get("store.busy_retries", 0) >= 1
+        assert store.get("stormed").result == {"n": 1}
+        store.close()
+
+    def test_exhausted_retries_surface_as_write_drop_not_crash(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = AnalysisStore(
+            path, busy_timeout=0.01, busy_retries=1, retry_base=0.005
+        )
+        camper = sqlite3.connect(path, check_same_thread=False)
+        camper.execute("BEGIN IMMEDIATE")
+        camper.execute("UPDATE meta SET value = value + 1 WHERE key = 'lru_clock'")
+        before = METER.snapshot()
+        try:
+            # record() treats an exhausted-busy DatabaseError as a
+            # dropped write (store is a cache), never an exception.
+            store.record("lost", {"n": 1}, bound=1, engine="explicit")
+        finally:
+            camper.rollback()
+            camper.close()
+        delta = METER.delta(before)
+        assert delta.get("service.store_write_errors", 0) >= 1
+        assert store.get("lost") is None
+        # The store stays usable once the lock clears.
+        store.record("recovered", {"n": 2}, bound=2, engine="explicit")
+        assert store.get("recovered").result == {"n": 2}
+        store.close()
+
+
+def test_lru_clock_is_cross_process_monotonic(tmp_path):
+    """Recency ranks from two connections never collide: the clock is
+    a persisted counter bumped inside the write transaction, not an
+    in-process timestamp."""
+    path = tmp_path / "store.sqlite"
+    a = AnalysisStore(path)
+    b = AnalysisStore(path)
+    for i in range(10):
+        (a if i % 2 else b).record(f"tick-{i}", {"n": i}, bound=i, engine="x")
+    conn = sqlite3.connect(path)
+    ranks = [row[0] for row in conn.execute(
+        "SELECT last_used FROM analyses ORDER BY rowid"
+    )]
+    conn.close()
+    assert len(set(ranks)) == len(ranks), f"colliding LRU ranks: {ranks}"
+    assert ranks == sorted(ranks), f"regressing LRU ranks: {ranks}"
+    a.close()
+    b.close()
