@@ -301,6 +301,41 @@ class TestShardMode:
         assert ok, messages
 
 
+class TestBackendField:
+    def test_backend_recorded_and_resolved(self, payload):
+        """The payload records the *resolved* replay backend — never the
+        ``auto`` alias, which would make comparability depend on what the
+        reader has installed."""
+        from repro.reach.vectorized import numpy_available
+
+        expected = "numpy" if numpy_available() else "python"
+        assert payload["backend"] == expected
+
+    def test_forced_python_recorded(self):
+        sub = run_suite(
+            quick=True, rows={"9"}, modes=("optimized",),
+            max_rounds=2, repeats=1, backend="python",
+        )
+        assert sub["backend"] == "python"
+
+    def test_mismatched_backend_refuses_comparison(self, payload):
+        """A vectorized run must not be gated against a pure-python
+        baseline (or vice versa): the whole point of the backend is a
+        different wall-time story.  Pre-PR 8 baselines lack the field
+        entirely: treated as python."""
+        other = json.loads(json.dumps(payload))
+        other["backend"] = "numpy" if payload["backend"] == "python" else "python"
+        ok, messages = compare_bench(payload, other, tolerance=0.25)
+        assert not ok
+        assert any("NOT COMPARABLE" in m for m in messages)
+        legacy = json.loads(json.dumps(payload))
+        del legacy["backend"]
+        current = json.loads(json.dumps(payload))
+        current["backend"] = "python"
+        ok, messages = compare_bench(current, legacy, tolerance=0.25)
+        assert ok, messages
+
+
 class TestMemoryDiscipline:
     """The satellite's memory assertion: hot-path records are slotted."""
 

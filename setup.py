@@ -1,6 +1,23 @@
 """Setup shim: enables `python setup.py develop` in offline environments
-where pip's PEP-517 path is unavailable (no `wheel` package)."""
+where pip's PEP-517 path is unavailable (no `wheel` package).
 
-from setuptools import setup
+The library itself is stdlib-only; the ``[fast]`` extra pulls in numpy
+for the vectorized replay backend (``backend="numpy"`` /
+``backend="auto"``, see :mod:`repro.reach.vectorized`) — purely
+optional, every code path falls back to the pure-int loops without it.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="cuba-repro",
+    version="0.8.0",
+    description="Reproduction of CUBA: context-unbounded analysis of "
+    "concurrent programs (PLDI 2018)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    extras_require={
+        "fast": ["numpy>=1.24"],
+    },
+)

@@ -179,7 +179,13 @@ _PARALLEL_MODE_JOBS = 2
 
 
 def _explicit_run(
-    cpds, prop, max_rounds: int, mode: str, jobs: int = 1, shards: int = 0
+    cpds,
+    prop,
+    max_rounds: int,
+    mode: str,
+    jobs: int = 1,
+    shards: int = 0,
+    replay_backend: str = "python",
 ):
     backend = "moore" if mode == "legacy" else "dense"
     batched = mode != "legacy"
@@ -209,6 +215,7 @@ def _explicit_run(
                 batched=batched,
                 jobs=jobs,
                 parallel_saturation=parallel_saturation,
+                backend=replay_backend,
                 **kwargs,
             )
 
@@ -267,6 +274,7 @@ def run_suite(
     memory: bool = False,
     jobs: int = 1,
     shards: int = 0,
+    backend: str = "auto",
 ) -> dict:
     """Run the registry workloads and return the BENCH payload dict.
 
@@ -278,7 +286,16 @@ def run_suite(
     count (0 = its :data:`_PARALLEL_MODE_JOBS` default) and is recorded
     top-level too, so payloads with mismatched shard counts are never
     gated against each other (:func:`comparable_configs`).
+
+    ``backend`` selects the explicit lanes' replay arithmetic
+    (:mod:`repro.reach.vectorized`); it is resolved here (``auto`` →
+    numpy when importable) and the *resolved* value is recorded
+    top-level, so a payload always names the backend that actually ran
+    and mismatched-backend payloads are never gated against each other.
     """
+    from repro.reach.vectorized import resolve_backend
+
+    backend = resolve_backend(backend)
     if max_rounds is None:
         max_rounds = 6 if quick else 10
     benches = smallest_per_row() if quick else runnable_benchmarks()
@@ -301,12 +318,20 @@ def run_suite(
                 for mode in modes:
                     if mode in ("parallel", "shard") and lane != "explicit":
                         continue  # the multiprocess advance is explicit-only
+                    kwargs = (
+                        {"replay_backend": backend}
+                        if maker is _explicit_run
+                        else {}
+                    )
                     if mode in ("parallel", "shard"):
                         runner = maker(
-                            cpds, prop, max_rounds, mode, jobs=jobs, shards=shards
+                            cpds, prop, max_rounds, mode,
+                            jobs=jobs, shards=shards, **kwargs,
                         )
                     else:
-                        runner = maker(cpds, prop, max_rounds, mode, jobs=jobs)
+                        runner = maker(
+                            cpds, prop, max_rounds, mode, jobs=jobs, **kwargs
+                        )
                     record = _measured(runner, repeats, memory=memory)
                     if mode == "parallel":
                         record["jobs"] = max(jobs, _PARALLEL_MODE_JOBS)
@@ -351,6 +376,7 @@ def run_suite(
         "max_rounds": max_rounds,
         "jobs": jobs,
         "shards": shards,
+        "backend": backend,
         "cpu_count": os.cpu_count(),
         "repeats": repeats,
         "calibration_seconds": round(_calibrate(), 5),
@@ -496,12 +522,16 @@ def comparable_configs(current: dict, baseline: dict) -> bool:
     — or vice versa — would be meaningless.  So must ``shards`` (absent
     = 0, the pre-PR 6 default): mismatched shard counts change the
     ``shard`` sub-mode's fan-out and must never be gated against each
-    other."""
+    other.  And so must ``backend`` (absent = "python", the pre-PR 8
+    default): vectorized replay changes the very loop being timed, so a
+    numpy payload gated against a pure-python baseline would read the
+    backend swap as a perf trajectory."""
     return (
         current.get("quick") == baseline.get("quick")
         and current.get("max_rounds") == baseline.get("max_rounds")
         and current.get("jobs", 1) == baseline.get("jobs", 1)
         and current.get("shards", 0) == baseline.get("shards", 0)
+        and current.get("backend", "python") == baseline.get("backend", "python")
     )
 
 
@@ -570,9 +600,9 @@ def compare_bench(
         messages.append(
             "BASELINE NOT COMPARABLE: "
             f"current quick={current.get('quick')} max_rounds={current.get('max_rounds')} "
-            f"jobs={current.get('jobs', 1)} "
+            f"jobs={current.get('jobs', 1)} backend={current.get('backend', 'python')} "
             f"vs baseline quick={baseline.get('quick')} max_rounds={baseline.get('max_rounds')} "
-            f"jobs={baseline.get('jobs', 1)}; "
+            f"jobs={baseline.get('jobs', 1)} backend={baseline.get('backend', 'python')}; "
             "pick a baseline produced with the same configuration"
         )
         return False, messages
@@ -675,6 +705,14 @@ def main(argv: list[str] | None = None) -> int:
         "recorded in the payload; baselines only compare on a match)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="replay backend for the explicit lanes (auto = numpy when "
+        "installed); the resolved value is recorded in the payload and "
+        "baselines only compare on a match",
+    )
+    parser.add_argument(
         "--engines", default="symbolic,explicit", help="comma list: symbolic,explicit"
     )
     parser.add_argument("--max-rounds", type=int, default=None)
@@ -719,7 +757,9 @@ def main(argv: list[str] | None = None) -> int:
         memory=args.memory,
         jobs=args.jobs,
         shards=args.shards,
+        backend=args.backend,
     )
+    print(f"backend: {payload['backend']}")
     if args.merge_before:
         other = json.loads(Path(args.merge_before).read_text())
         merged = merge_modes(payload, other, "before")

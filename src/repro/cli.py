@@ -67,9 +67,13 @@ def _load(args) -> tuple:
 
 
 def cmd_verify(args) -> int:
+    from repro.reach.vectorized import resolve_backend
+
     cpds, prop = _load(args)
     if args.engine == "auto":
-        report = Cuba(cpds, prop, jobs=args.jobs).verify(max_rounds=args.max_rounds)
+        report = Cuba(cpds, prop, jobs=args.jobs, backend=args.backend).verify(
+            max_rounds=args.max_rounds
+        )
         if args.report:
             from repro.report import render_report
 
@@ -80,17 +84,23 @@ def cmd_verify(args) -> int:
                 Verdict.SAFE: 0, Verdict.UNSAFE: 1, Verdict.UNKNOWN: 2
             }[report.verdict]
         print(f"FCR: {'holds' if report.fcr.holds else 'fails'}")
+        if report.fcr.holds:
+            # The symbolic lane has no replay backend; only the
+            # explicit engine resolves the knob.
+            print(f"backend: {resolve_backend(args.backend)}")
         print(f"winner: {report.winner}")
         print(f"kmax(Rk) = {report.bound_text('rk')}, "
               f"kmax(T(Rk)) = {report.bound_text('trk')}")
         result = report.result
     elif args.engine == "explicit":
+        print(f"backend: {resolve_backend(args.backend)}")
         result = scheme1_rk(
             cpds,
             prop,
             max_rounds=args.max_rounds,
             batched=not args.per_state,
             jobs=args.jobs,
+            backend=args.backend,
         )
     else:
         result = algorithm3(cpds, prop, engine="symbolic", max_rounds=args.max_rounds)
@@ -183,6 +193,8 @@ def cmd_bench(args) -> int:
             forward.extend(["--jobs", str(args.jobs)])
         if args.shards:
             forward.extend(["--shards", str(args.shards)])
+        if args.backend != "auto":
+            forward.extend(["--backend", args.backend])
         return bench_main(forward)
 
     from repro.models.registry import runnable_benchmarks
@@ -401,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (default 1 = in-process; the symbolic engine ignores it)",
     )
     verify.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="replay arithmetic for the explicit engine: 'numpy' "
+        "vectorizes the context-tree replay, 'python' forces the "
+        "pure-int loop, 'auto' (default) picks numpy when installed; "
+        "a pure execution knob — results are backend-independent",
+    )
+    verify.add_argument(
         "--report", action="store_true", help="print the full multi-section report"
     )
     verify.add_argument(
@@ -462,6 +483,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --json: worker count for the replay-sharding 'shard' "
         "sub-mode (0 = its default of 2; recorded in the payload so "
         "mismatched shard counts are never gated against each other)",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="with --json: replay backend for the explicit lane "
+        "(recorded in the payload; baselines only compare against a "
+        "matching backend)",
     )
     bench.set_defaults(handler=cmd_bench)
 

@@ -282,6 +282,7 @@ def thread_view_post(
     max_states: int = DEFAULT_STATE_LIMIT,
     succ_memo: dict | None = None,
     build_rows: bool = True,
+    sem_memo: dict | None = None,
 ) -> ContextTree:
     """Saturate one context of thread ``index`` from the interned local
     view ``(shared_id, stack_id)`` and return the flat array-encoded
@@ -301,11 +302,22 @@ def thread_view_post(
     into ``table`` as a side effect.
 
     ``succ_memo`` (one dict *per thread*, owned by the caller) memoizes
-    ``local state -> ((action, successor), ...)`` across trees: the BFS
-    territories of different views overlap heavily, and enabledness plus
-    the stack rewrite are pure functions of the local state, so each
-    distinct local state pays the action dispatch and successor
-    construction once per engine instead of once per tree.
+    ``local state -> ((action, successor, qid, wid), ...)`` across
+    trees: the BFS territories of different views overlap heavily, and
+    enabledness, the stack rewrite, and the component intern ids are all
+    pure functions of the local state *and table*, so each distinct
+    local state pays the action dispatch, successor construction, and
+    intern lookups once per engine instead of once per tree.  Because
+    the values embed intern ids, the memo is scoped to ``table`` — a
+    caller that rotates tables (the pool worker, which builds a private
+    table per slice) must pass a fresh ``succ_memo`` per table and may
+    keep the table-free half in ``sem_memo``
+    (``local state -> ((action, successor), ...)``), which only caches
+    :func:`pds_successors` and therefore persists forever.  (Interning
+    at memo-fill time assigns the same ids in the same order as
+    interning per first visit: a successor already in this tree's
+    ``seen_local`` was interned when it was first reached, so the extra
+    calls are id-stable no-ops.)
 
     Raises :class:`ContextExplosionError` past ``max_states`` distinct
     local states — the divergence guard for non-FCR programs.
@@ -337,14 +349,23 @@ def thread_view_post(
     nodes_append = nodes.append
     offsets_append = offsets.append
     pos = 0
+    if succ_memo is None:
+        succ_memo = {}
+    memo_get = succ_memo.get
     for local in nodes:
-        if succ_memo is None:
-            succs = tuple(pds_successors(pds, local))
-        else:
-            succs = succ_memo.get(local)
-            if succs is None:
-                succ_memo[local] = succs = tuple(pds_successors(pds, local))
-        for action, local_next in succs:
+        succs = memo_get(local)
+        if succs is None:
+            if sem_memo is None:
+                pairs = pds_successors(pds, local)
+            else:
+                pairs = sem_memo.get(local)
+                if pairs is None:
+                    sem_memo[local] = pairs = tuple(pds_successors(pds, local))
+            succ_memo[local] = succs = tuple(
+                (action, nxt, shared_of(nxt.shared), stack_of(index, nxt.stack))
+                for action, nxt in pairs
+            )
+        for action, local_next, qid, wid in succs:
             if local_next in seen_local:
                 continue
             seen_add(local_next)
@@ -354,8 +375,6 @@ def thread_view_post(
                     f"{max_states} states; the program likely violates FCR",
                     states_seen=len(seen_local),
                 )
-            qid = shared_of(local_next.shared)
-            wid = stack_of(index, local_next.stack)
             qids_append(qid)
             wids_append(wid)
             actions_append(action)

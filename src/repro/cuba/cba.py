@@ -34,6 +34,7 @@ def context_bounded_analysis(
     batched: bool = True,
     jobs: int = 1,
     shard_replay: bool = True,
+    backend: str = "auto",
 ) -> VerificationResult:
     """Check ``prop`` for executions with at most ``bound`` contexts.
 
@@ -67,6 +68,7 @@ def context_bounded_analysis(
                 batched=batched,
                 jobs=jobs,
                 shard_replay=shard_replay,
+                backend=backend,
             )
         elif engine == "symbolic":
             engine = SymbolicReach(cpds, incremental=incremental)

@@ -53,6 +53,7 @@ def scheme1_rk(
     parallel_saturation: bool = True,
     shard_replay: bool = True,
     shard_min_work: int | None = None,
+    backend: str = "auto",
 ) -> VerificationResult:
     """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
 
@@ -62,8 +63,10 @@ def scheme1_rk(
     result's ``stats["meter"]`` carries the work counters (context-cache
     hits, saturation work) accumulated during this run.
 
-    ``incremental``, ``batched``, ``jobs``, ``parallel_saturation``
-    and ``shard_replay`` configure the engine constructed here
+    ``incremental``, ``batched``, ``jobs``, ``parallel_saturation``,
+    ``shard_replay`` and ``backend`` configure the engine constructed
+    here (``backend`` selects the replay arithmetic —
+    :mod:`repro.reach.vectorized` — and is a pure execution knob)
     (``batched=False`` selects the seed per-state oracle path;
     ``jobs > 1`` runs the whole advance — view saturation and sharded
     tree replay — across a pool of worker processes, see
@@ -89,6 +92,7 @@ def scheme1_rk(
             jobs=jobs,
             parallel_saturation=parallel_saturation,
             shard_replay=shard_replay,
+            backend=backend,
             **(
                 {}
                 if shard_min_work is None

@@ -73,6 +73,7 @@ class Cuba:
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
         jobs: int = 1,
         shard_replay: bool = True,
+        backend: str = "auto",
     ) -> None:
         self.cpds = cpds
         self.prop = prop
@@ -83,6 +84,10 @@ class Cuba:
         #: the replay half of the ``jobs>1`` fan-out).
         self.jobs = jobs
         self.shard_replay = shard_replay
+        #: Replay-backend knob for the explicit engine
+        #: (:mod:`repro.reach.vectorized`); ``auto`` selects numpy when
+        #: importable, falling back to the pure-int loop otherwise.
+        self.backend = backend
         #: The reachability engine the last :meth:`verify` call ran on
         #: (explicit when FCR holds, symbolic otherwise) — the handle
         #: the analysis service snapshots for deeper-``k`` resume.
@@ -142,6 +147,7 @@ class Cuba:
                 max_states_per_context=self.max_states_per_context,
                 jobs=self.jobs,
                 shard_replay=self.shard_replay,
+                backend=self.backend,
             )
         elif not isinstance(engine, ExplicitReach):
             raise ValueError(

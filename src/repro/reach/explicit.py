@@ -74,6 +74,7 @@ from repro.cpds.interning import StateTable
 from repro.cpds.semantics import ContextTree, thread_context_post, thread_view_post
 from repro.cpds.state import GlobalState
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach import vectorized
 from repro.reach.base import ReachabilityEngine
 from repro.reach.witness import Trace, TraceStep, rebuild_trace
 from repro.util.meter import METER
@@ -104,6 +105,7 @@ class ExplicitReach(ReachabilityEngine):
         parallel_saturation: bool = True,
         shard_replay: bool = True,
         shard_min_work: int = 4096,
+        backend: str = "auto",
     ) -> None:
         super().__init__()
         if jobs < 1:
@@ -115,6 +117,11 @@ class ExplicitReach(ReachabilityEngine):
                 f"shard_min_work must be >= 0, got {shard_min_work}"
             )
         self.cpds = cpds
+        #: Requested replay backend knob (``auto``/``python``/``numpy``);
+        #: a pure execution knob like ``jobs`` — never fingerprinted or
+        #: snapshotted.  ``resolved_backend`` is what actually runs.
+        self.backend = vectorized.validate_backend(backend)
+        self._use_numpy = vectorized.resolve_backend(backend) == "numpy"
         self.max_states_per_context = max_states_per_context
         self.batched = batched
         #: Worker-process count for the parallel advance; 1 = in-process.
@@ -202,8 +209,16 @@ class ExplicitReach(ReachabilityEngine):
             self._rollback(base)
             raise
         self._level_ids.append(tuple(fresh))
-        visible = self.table.visible
-        self._record_visible(frozenset(visible(sid) for sid in fresh))
+        if (
+            self._use_numpy
+            and len(fresh) >= vectorized.NUMPY_MIN_DECODE
+            and vectorized.table_fits_int64(self.table)
+        ):
+            projections = vectorized.visible_batch(self.table, fresh)
+        else:
+            visible = self.table.visible
+            projections = [visible(sid) for sid in fresh]
+        self._record_visible(frozenset(projections))
         return bool(fresh)
 
     def _rollback(self, base: int) -> None:
@@ -240,16 +255,28 @@ class ExplicitReach(ReachabilityEngine):
         view_wid_shift = self._view_wid_shift
         view_qid_shift = self._view_qid_shift
         shards: dict[View, list[int]] = {}
-        for sid in frontier:
-            key = packed[sid]
-            qbase = (key >> qshift) << view_qid_shift
-            for index in threads:
-                shards.setdefault(
-                    qbase
-                    | (((key >> shifts[index]) & mask) << view_wid_shift)
-                    | index,
-                    [],
-                ).append(sid)
+        if (
+            self._use_numpy
+            and n * len(frontier) >= vectorized.NUMPY_MIN_WORK
+            and vectorized.table_fits_int64(table)
+            and vectorized.views_fit_int64(
+                table, view_qid_shift, view_wid_shift
+            )
+        ):
+            shards = vectorized.group_views(
+                table, frontier, n, view_qid_shift, view_wid_shift
+            )
+        else:
+            for sid in frontier:
+                key = packed[sid]
+                qbase = (key >> qshift) << view_qid_shift
+                for index in threads:
+                    shards.setdefault(
+                        qbase
+                        | (((key >> shifts[index]) & mask) << view_wid_shift)
+                        | index,
+                        [],
+                    ).append(sid)
         METER.bump("explicit.level_views", n * len(frontier))
         METER.bump("explicit.level_unique_views", len(shards))
         if not shards:
@@ -264,6 +291,44 @@ class ExplicitReach(ReachabilityEngine):
             if work >= self.shard_min_work:
                 self._replay_sharded(shards, trees, level, fresh)
                 return
+
+        if self._use_numpy:
+            if vectorized.table_fits_int64(table):
+                # Geometry is stable from here on: every tree saturated
+                # in _trees_for, so replay interns no components and
+                # cannot repack (the _replay_sharded invariant).
+                bits = table._bits
+                qshift = table._qshift
+                low_mask = (1 << qshift) - 1
+                entries = []
+                total = 0
+                for view, members in shards.items():
+                    tree = trees[view]
+                    if not len(tree.qids):
+                        continue
+                    index = view & self._view_index_mask
+                    move_clear = ~(table._mask << (bits * index))
+                    entries.append(
+                        (members, tree, index, low_mask & move_clear)
+                    )
+                    total += len(members) * len(tree.qids)
+                if (
+                    entries
+                    and total >= vectorized.NUMPY_MIN_WORK
+                    and total
+                    >= len(entries) * vectorized.NUMPY_MIN_ENTRY_AVG
+                ):
+                    vectorized.bump_view(len(entries))
+                    vectorized.replay_level(
+                        table, entries, level, self._first_seen,
+                        self._parents, fresh.append,
+                    )
+                    return
+            else:
+                # Packed keys exceed int64 (high thread counts /
+                # adaptive repacks): the whole level routes to the
+                # pure-int loop.
+                vectorized.bump_fallback()
 
         first_seen = self._first_seen
         parents = self._parents
@@ -403,7 +468,11 @@ class ExplicitReach(ReachabilityEngine):
             bucket_views[bucket].append(unit_views[position])
         METER.bump("explicit.replay_shards", len(units))
 
-        results = self._lease().replay(buckets, track)
+        # Workers resolve the backend knob independently (a forked
+        # worker sees the parent's numpy; a spawn-started one re-probes)
+        # and re-check key widths per unit — mixed-width levels replay
+        # each unit on whichever loop fits.
+        results = self._lease().replay(buckets, track, backend=self.backend)
 
         first_seen = self._first_seen
         parents = self._parents
@@ -603,6 +672,12 @@ class ExplicitReach(ReachabilityEngine):
         so a plateau here is already a collapse."""
         return k >= 1 and k <= self.k and not self._level_ids[k]
 
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete replay backend this engine runs (``"auto"``
+        resolved against numpy availability at construction)."""
+        return "numpy" if self._use_numpy else "python"
+
     def stats(self) -> dict:
         """Work summary for verification-result plumbing (all sizes read
         off the int core — no decoding)."""
@@ -613,6 +688,7 @@ class ExplicitReach(ReachabilityEngine):
             "batched": self.batched,
             "jobs": self.jobs,
             "shard_replay": self.shard_replay,
+            "backend": self.resolved_backend,
             "context_memo": len(cache) if cache is not None else 0,
         }
 
@@ -669,13 +745,14 @@ class ExplicitReach(ReachabilityEngine):
         *,
         jobs: int = 1,
         shard_replay: bool = True,
+        backend: str = "auto",
         max_states_per_context: int | None = None,
     ) -> "ExplicitReach":
         """Rebuild a warm engine from a :meth:`snapshot` blob taken on
-        the same CPDS.  ``jobs`` and ``shard_replay`` are pure execution
-        knobs and may differ from the snapshotted engine's; raises
-        :class:`~repro.errors.SnapshotError` on any undecodable or
-        mismatched blob."""
+        the same CPDS.  ``jobs``, ``shard_replay`` and ``backend`` are
+        pure execution knobs and may differ from the snapshotted
+        engine's; raises :class:`~repro.errors.SnapshotError` on any
+        undecodable or mismatched blob."""
         from repro.service.snapshot import restore_explicit
 
         return restore_explicit(
@@ -683,5 +760,6 @@ class ExplicitReach(ReachabilityEngine):
             data,
             jobs=jobs,
             shard_replay=shard_replay,
+            backend=backend,
             max_states_per_context=max_states_per_context,
         )

@@ -95,20 +95,24 @@ _WORKER_SUCC_MEMOS: tuple[dict, ...] = ()
 def _saturate_slice(views: list[DecodedView]) -> SliceResult:
     """Worker entry point: saturate a slice of views against a private
     table and ship the trees with their slice-local pools.  The
-    successor memo persists worker-side across slices and levels (pure
-    semantic facts — never stale)."""
+    semantic successor memo persists worker-side across slices and
+    levels (pure semantic facts — never stale); the id-bearing memo is
+    rebuilt per slice because it embeds intern ids of the slice-private
+    table (see ``thread_view_post``)."""
     global _WORKER_SUCC_MEMOS
     cpds = _WORKER_CPDS
     if len(_WORKER_SUCC_MEMOS) != cpds.n_threads:
         _WORKER_SUCC_MEMOS = tuple({} for _ in range(cpds.n_threads))
     table = StateTable(cpds.n_threads)
+    slice_memos = tuple({} for _ in range(cpds.n_threads))
     trees: list[tuple] = []
     for index, shared, stack in views:
         qid = table.shared_id(shared)
         wid = table.stack_id(index, stack)
         tree = thread_view_post(
             cpds, table, index, qid, wid, _WORKER_MAX_STATES,
-            succ_memo=_WORKER_SUCC_MEMOS[index],
+            succ_memo=slice_memos[index],
+            sem_memo=_WORKER_SUCC_MEMOS[index],
             # Only the raw columns cross the process boundary; the
             # parent rebuilds replay rows lazily against its own ids.
             build_rows=False,
@@ -135,7 +139,7 @@ def _mp_context():
 ReplayUnit = tuple[list, list | None, list, list | None]
 
 
-def _replay_bucket(payload: tuple[bool, list[ReplayUnit]]):
+def _replay_bucket(payload: tuple[bool, str, list[ReplayUnit]]):
     """Worker entry point: replay a bucket of ``(view, member-slice)``
     units by pure integer arithmetic against a private seen set.
 
@@ -144,6 +148,13 @@ def _replay_bucket(payload: tuple[bool, list[ReplayUnit]]):
     ``ExplicitReach._advance_batched``, minus the canonical table.  The
     bucket-wide seen set pre-dedupes candidates; cross-bucket (and
     cross-level) dedup is the parent merge pass's job.
+
+    ``backend`` is the engine's requested knob; the worker resolves it
+    against its *own* numpy availability and re-checks per unit whether
+    the keys fit int64 (:func:`repro.reach.vectorized.unit_fits`), so a
+    mixed-width level replays each unit on whichever loop applies —
+    the vectorized path emits the same row formats, including the
+    parents-first tracked ordering.
 
     Returns, in replay order:
 
@@ -154,13 +165,22 @@ def _replay_bucket(payload: tuple[bool, list[ReplayUnit]]):
       are emitted parents-first, so the parent merge can resolve
       ``parent_key`` to an id before any child that references it.
     """
-    track, units = payload
+    track, backend, units = payload
+    vec = None
+    if backend != "python":
+        from repro.reach import vectorized
+
+        if vectorized.numpy_available():
+            vec = vectorized
     seen: set[int] = set()
     add = seen.add
     out: list = []
     append = out.append
     if not track:
         for frozen_keys, _members, deltas, _ppos in units:
+            if vec is not None and vec.unit_fits(frozen_keys, deltas):
+                vec.replay_unit_untracked(frozen_keys, deltas, seen, out)
+                continue
             for frozen in frozen_keys:
                 for delta in deltas:
                     key = frozen | delta
@@ -169,6 +189,12 @@ def _replay_bucket(payload: tuple[bool, list[ReplayUnit]]):
                         append(key)
         return out
     for unit_pos, (frozen_keys, member_keys, deltas, parent_pos) in enumerate(units):
+        if vec is not None and vec.unit_fits(frozen_keys, deltas):
+            vec.replay_unit_tracked(
+                frozen_keys, member_keys, deltas, parent_pos,
+                unit_pos, seen, out,
+            )
+            continue
         edges = list(zip(deltas, parent_pos))
         for frozen, member_key in zip(frozen_keys, member_keys):
             keys_by_pos = [member_key]
@@ -257,15 +283,21 @@ class ViewSaturationPool:
         results = self._submit_ordered(_saturate_slice, slices, "view saturation")
         return list(zip(starts, results))
 
-    def replay(self, buckets: list[list[ReplayUnit]], track: bool) -> list:
+    def replay(
+        self,
+        buckets: list[list[ReplayUnit]],
+        track: bool,
+        backend: str = "python",
+    ) -> list:
         """Replay the level's sharded work units across the workers;
         return one result list per bucket, in submission order (see
-        :func:`_replay_bucket` for the row formats).
+        :func:`_replay_bucket` for the row formats and how each worker
+        resolves the ``backend`` knob independently).
 
         Raises :class:`CubaError` when a worker process dies — the
         engine's level rollback makes the advance re-runnable.
         """
-        payloads = [(track, bucket) for bucket in buckets]
+        payloads = [(track, backend, bucket) for bucket in buckets]
         return self._submit_ordered(_replay_bucket, payloads, "sharded replay")
 
     def close(self) -> None:

@@ -20,8 +20,9 @@ satisfy two properties the obvious ``sha256(repr(cpds))`` does not:
 * **Config changes don't.**  The engine lane and divergence-guard
   limit change what a stored verdict/snapshot means, so they are part
   of the key.  Execution knobs that provably do not affect results
-  (``jobs``, ``batched`` — differentially tested elsewhere) are *not*
-  included; the service strips them before calling in.
+  (``jobs``, ``batched``, ``shard_replay``, ``backend`` —
+  differentially tested elsewhere) are *not* included; the service
+  strips them before calling in.
 
 Model values (shared states, stack symbols) are identified by
 ``(type qualname, repr)``; every in-tree model uses ints and strings,

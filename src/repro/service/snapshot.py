@@ -192,11 +192,13 @@ def restore_explicit(
     *,
     jobs: int = 1,
     shard_replay: bool = True,
+    backend: str = "auto",
     max_states_per_context: int | None = None,
 ):
     """Rebuild a warm :class:`~repro.reach.explicit.ExplicitReach` from
-    a :func:`snapshot_explicit` blob.  ``jobs`` and ``shard_replay``
-    (pure execution knobs) may differ from the snapshotted engine's;
+    a :func:`snapshot_explicit` blob.  ``jobs``, ``shard_replay`` and
+    ``backend`` (pure execution knobs, never serialized into the blob)
+    may differ from the snapshotted engine's;
     ``max_states_per_context`` defaults to the snapshotted guard.
     Raises :class:`SnapshotError` when the blob is undecodable or does
     not belong to ``cpds``."""
@@ -224,6 +226,7 @@ def restore_explicit(
             batched=True,
             jobs=jobs,
             shard_replay=shard_replay,
+            backend=backend,
         )
         if len(table) == 0 or table.state(0) != cpds.initial_state():
             raise SnapshotError("snapshot does not belong to this CPDS")

@@ -142,13 +142,17 @@ class TestInverseEdgeCache:
             canonical_nfa(nfa, ALPHABET)
         assert first.get("canonical.hopcroft_pre_builds", 0) == 1
         assert first.get("canonical.hopcroft_pre_hits", 0) == 0
+        assert first.get("canonical.hopcroft_incremental_misses", 0) == 1
         # A second canonicalization (structural memo cleared, so the
-        # dense pipeline runs again) hits the inverse-edge cache.
+        # dense pipeline runs again) exact-hits the incremental
+        # partition cache — no refinement, no inverse lists at all.
         canonical_cache_clear()
         with backend("dense"), scoped() as second:
             canonical_nfa(nfa, ALPHABET)
         assert second.get("canonical.hopcroft_pre_builds", 0) == 0
-        assert second.get("canonical.hopcroft_pre_hits", 0) == 1
+        assert second.get("canonical.hopcroft_pre_hits", 0) == 0
+        assert second.get("canonical.hopcroft_incremental_hits", 0) == 1
+        assert second.get("canonical.hopcroft_incremental_resplits", 0) == 0
 
     def test_small_tables_bypass_the_cache(self):
         from repro.automata import dense

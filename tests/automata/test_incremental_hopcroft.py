@@ -1,0 +1,199 @@
+"""Incremental Hopcroft ≡ full Hopcroft ≡ Moore (PR 8).
+
+:func:`repro.automata.dense.hopcroft_incremental` seeds partition
+refinement from a cached predecessor's final partition when a new dense
+table differs by a bounded edit set.  Seeding can only over-split
+(refinement never merges), so the implementation quotients and
+re-minimizes — these tests pin that the composed result is *always* the
+minimal partition, regardless of cache state:
+
+* randomized property tests compare the partition against full
+  :func:`~repro.automata.dense.hopcroft` on the same table, with the
+  cache warmed by edited predecessors (the seeded path) and cold (the
+  from-scratch path);
+* the canonical pipeline differential (dense vs Moore oracle) already
+  runs in ``test_hopcroft.py``; here the incremental layer is driven
+  directly with adversarial edits — acceptance flips, redirected edges,
+  merges that make previously distinct states equivalent (the case a
+  naive seed-without-quotient implementation gets wrong);
+* METER counters: ``canonical.hopcroft_incremental_hits``/``_misses``
+  partition the calls, ``_resplits`` counts seeded splits, and the
+  ``canonical.hopcroft_pre_bypass`` satellite makes small-table calls
+  visible to the BENCH hit-rate denominators.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import dense
+from repro.automata.dense import hopcroft, hopcroft_incremental
+from repro.util.meter import scoped
+
+#: Table sizes comfortably above PRE_CACHE_MIN_CELLS so the incremental
+#: layer engages (n * m > 64).
+N_STATES = 40
+N_SYMBOLS = 2
+
+
+def _partition_key(block_of):
+    """Canonical renumbering of a partition (first-occurrence order) so
+    two partitions compare equal iff they group states identically."""
+    seen = {}
+    return tuple(seen.setdefault(b, len(seen)) for b in block_of)
+
+
+def _random_table(rng, n=N_STATES, m=N_SYMBOLS):
+    rows = [[rng.randrange(n) for _ in range(m)] for _ in range(n)]
+    acc = [rng.random() < 0.3 for _ in range(n)]
+    return rows, acc
+
+
+def _edit(rng, rows, acc, n_edits):
+    """Perturb a few states: redirect edges and/or flip acceptance."""
+    rows = [list(r) for r in rows]
+    acc = list(acc)
+    n = len(rows)
+    for _ in range(n_edits):
+        q = rng.randrange(n)
+        if rng.random() < 0.5:
+            rows[q][rng.randrange(len(rows[q]))] = rng.randrange(n)
+        else:
+            acc[q] = not acc[q]
+    return rows, acc
+
+
+@st.composite
+def table_and_edits(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    n_edits = draw(st.integers(min_value=1, max_value=8))
+    return seed, n_edits
+
+
+class TestIncrementalEqualsFull:
+    @settings(max_examples=80, deadline=None)
+    @given(table_and_edits())
+    def test_seeded_path_is_minimal(self, params):
+        """Warm the cache with a table, then minimize a bounded edit of
+        it: the seeded partition must equal full Hopcroft's."""
+        seed, n_edits = params
+        rng = random.Random(seed)
+        rows, acc = _random_table(rng)
+        dense.pre_cache_clear()
+        hopcroft_incremental(rows, acc)  # warm the predecessor cache
+        edited_rows, edited_acc = _edit(rng, rows, acc, n_edits)
+        incremental = hopcroft_incremental(edited_rows, edited_acc)
+        full = hopcroft(edited_rows, edited_acc)
+        assert _partition_key(incremental) == _partition_key(full)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_cold_path_is_minimal(self, seed):
+        rng = random.Random(seed)
+        rows, acc = _random_table(rng)
+        dense.pre_cache_clear()
+        incremental = hopcroft_incremental(rows, acc)
+        full = hopcroft(rows, acc)
+        assert _partition_key(incremental) == _partition_key(full)
+
+    def test_merge_edit_does_not_leak_an_overfine_seed(self):
+        """The adversarial case for seed-only reuse: an edit that makes
+        two previously *distinct* states equivalent.  The predecessor's
+        partition separates them; refinement cannot merge them back, so
+        only the quotient pass restores minimality."""
+        n, m = N_STATES, N_SYMBOLS
+        # Two chains of equal length ending in distinct sinks — states
+        # i and i + n//2 are inequivalent solely because the sinks'
+        # acceptance differs.
+        half = n // 2
+        rows = []
+        acc = []
+        for q in range(n):
+            base = half if q >= half else 0
+            nxt = base + min(q % half + 1, half - 1)
+            rows.append([nxt] * m)
+            acc.append(q == half - 1)  # only chain 1's sink accepts
+        dense.pre_cache_clear()
+        hopcroft_incremental(rows, acc)
+        # Flip the second sink to accepting too: the chains collapse
+        # pairwise and the minimal DFA halves.
+        edited_acc = list(acc)
+        edited_acc[n - 1] = True
+        incremental = hopcroft_incremental(rows, edited_acc)
+        full = hopcroft(rows, edited_acc)
+        assert _partition_key(incremental) == _partition_key(full)
+        # Sanity: the edit genuinely merged blocks, so a seed-only
+        # implementation (no quotient) would have returned too many.
+        assert len(set(incremental)) == len(set(full))
+        assert len(set(full)) < len(set(hopcroft(rows, acc)))
+
+    def test_exact_repeat_returns_the_cached_partition(self):
+        rng = random.Random(7)
+        rows, acc = _random_table(rng)
+        dense.pre_cache_clear()
+        first = hopcroft_incremental(rows, acc)
+        with scoped() as work:
+            second = hopcroft_incremental([list(r) for r in rows], list(acc))
+        assert second == first
+        assert work.get("canonical.hopcroft_incremental_hits", 0) == 1
+        assert work.get("canonical.hopcroft_incremental_resplits", 0) == 0
+        assert work.get("canonical.hopcroft_pre_builds", 0) == 0
+
+
+class TestMeterCounters:
+    def test_hits_misses_and_resplits(self):
+        rng = random.Random(21)
+        rows, acc = _random_table(rng)
+        dense.pre_cache_clear()
+        with scoped() as cold:
+            hopcroft_incremental(rows, acc)
+        assert cold.get("canonical.hopcroft_incremental_misses", 0) == 1
+        assert cold.get("canonical.hopcroft_incremental_hits", 0) == 0
+        edited_rows, edited_acc = _edit(rng, rows, acc, 3)
+        with scoped() as warm:
+            hopcroft_incremental(edited_rows, edited_acc)
+        assert warm.get("canonical.hopcroft_incremental_hits", 0) == 1
+        assert warm.get("canonical.hopcroft_incremental_misses", 0) == 0
+
+    def test_distant_tables_miss(self):
+        """A table nothing like the cached ones minimizes from scratch
+        (the edit bound caps the seed search)."""
+        dense.pre_cache_clear()
+        rng = random.Random(3)
+        rows, acc = _random_table(rng)
+        hopcroft_incremental(rows, acc)
+        other_rows, other_acc = _random_table(random.Random(4))
+        with scoped() as work:
+            hopcroft_incremental(other_rows, other_acc)
+        assert work.get("canonical.hopcroft_incremental_misses", 0) == 1
+
+    def test_small_tables_bypass_the_incremental_layer(self):
+        """Below PRE_CACHE_MIN_CELLS the plain path runs — counted by
+        the ``hopcroft_pre_bypass`` satellite counter so BENCH hit-rate
+        denominators stay exact."""
+        dense.pre_cache_clear()
+        rows = [[1, 2], [1, 2], [2, 2]]  # 6 cells: under the threshold
+        with scoped() as work:
+            hopcroft_incremental(rows, [False, False, True])
+            hopcroft_incremental(rows, [False, False, True])
+        assert work.get("canonical.hopcroft_pre_bypass", 0) == 2
+        assert work.get("canonical.hopcroft_incremental_hits", 0) == 0
+        assert work.get("canonical.hopcroft_incremental_misses", 0) == 0
+        assert len(dense._inc_cache) == 0
+
+    def test_incremental_cache_is_bounded(self):
+        dense.pre_cache_clear()
+        rng = random.Random(11)
+        for _ in range(dense.INC_CACHE_SIZE + 10):
+            rows, acc = _random_table(rng, n=35)
+            hopcroft_incremental(rows, acc)
+        assert len(dense._inc_cache) <= dense.INC_CACHE_SIZE
+
+    def test_pre_cache_clear_drops_the_incremental_cache(self):
+        rng = random.Random(13)
+        rows, acc = _random_table(rng)
+        hopcroft_incremental(rows, acc)
+        assert len(dense._inc_cache) >= 1
+        dense.pre_cache_clear()
+        assert len(dense._inc_cache) == 0
