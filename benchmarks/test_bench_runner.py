@@ -203,6 +203,58 @@ class TestRegressionGate:
         assert "speedup_vs_before" in payload["totals"]
 
 
+class TestLaneRegistryIntegration:
+    def test_wuba_rows_present_for_applicable_models(self, payload):
+        """Dekker (row 9) satisfies WCR, so the default engine set must
+        produce wuba workloads for it; row 6 (K-Induction) fails WCR
+        and must not."""
+        wuba = {w["name"] for w in payload["workloads"] if w["lane"] == "wuba"}
+        assert any(name.startswith("9/") for name in wuba)
+        assert not any(name.startswith("6/") for name in wuba)
+
+    def test_wuba_rows_carry_lane_meters(self, payload):
+        for workload in payload["workloads"]:
+            if workload["lane"] != "wuba":
+                continue
+            meter = workload["modes"]["optimized"]["meter"]
+            assert meter.get("wuba.expansions", 0) > 0
+
+    def test_alias_spelled_baseline_still_matches(self, payload):
+        """A baseline file that spelled a lane by a registry alias
+        (``wk``/``rk``/``sk``) must keep matching the canonical names —
+        comparable_configs + workload matching go through
+        ``_lane_token``."""
+        aliased = json.loads(json.dumps(payload))
+        spellings = {"wuba": "wk", "explicit": "rk", "symbolic": "sk"}
+        for workload in aliased["workloads"]:
+            workload["lane"] = spellings.get(workload["lane"], workload["lane"])
+        ok, messages = compare_bench(payload, aliased, tolerance=0.25)
+        assert ok, messages
+        # Every workload matched: nothing excluded, no absent lanes.
+        assert not any("excluded" in m or "absent" in m for m in messages)
+
+    def test_new_lane_reported_not_silently_ungated(self, payload):
+        """A lane with no baseline yet (first run after it lands) is
+        called out in the gate report instead of vanishing."""
+        assert any(w["lane"] == "wuba" for w in payload["workloads"])
+        pre_lane = json.loads(json.dumps(payload))
+        pre_lane["workloads"] = [
+            w for w in pre_lane["workloads"] if w["lane"] != "wuba"
+        ]
+        ok, messages = compare_bench(payload, pre_lane, tolerance=0.25)
+        assert ok, messages
+        assert any(
+            "lane wuba" in m and "absent from the baseline" in m for m in messages
+        )
+        # The mirror case: a lane that vanished from the current run.
+        ok, messages = compare_bench(pre_lane, payload, tolerance=0.25)
+        assert ok, messages
+        assert any(
+            "lane wuba" in m and "missing from the current run" in m
+            for m in messages
+        )
+
+
 class TestJobsField:
     def test_jobs_recorded_and_default(self, payload):
         """The payload records its saturation worker count; absent means

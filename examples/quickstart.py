@@ -108,18 +108,38 @@ def main() -> None:
     assert second["cached"] and second_work.get("service.engine_runs", 0) == 0
     print()
 
+    print("== A second lane: WUBA, write-bounded instead of context-bounded ==")
+    # Engines are *lanes* registered in repro.reach.registry; run_lane
+    # drives any of them generically.  The wuba lane's level k holds the
+    # states reachable with at most k shared-state WRITES (each level
+    # closed under write-free computation), so the same Fig. 1 bug
+    # surfaces at write bound 3 — and a (Wk) plateau, unlike (Rk), is a
+    # full fixpoint.  On the CLI: `cuba verify file.cpds --lane wuba`
+    # (aliases: rk/sk/wk).
+    from repro.cuba.lanes import run_lane
+    from repro.reach import registry
+
+    print(f"registered lanes: {', '.join(registry.lane_names())}")
+    applicable = registry.applicable_lanes(cpds, SharedStateReachability({3}))
+    print(f"applicable to Fig. 1: {', '.join(applicable)}")
+    result = run_lane("wuba", cpds, SharedStateReachability({3}), max_rounds=6)
+    print(result)
+    print()
+
     print("== Multiprocess view saturation (jobs=N) ==")
     # Each frontier level's unique (thread, shared, stack) views are
     # independent, so the explicit engine can saturate them across a
     # pool of worker processes while replay and the seen-set stay in
     # the parent.  Levels, verdicts, and METER expansion counts are
     # identical to jobs=1; wall time drops on multi-core machines.
-    # The same knob is on scheme1_rk(..., jobs=N), Cuba(..., jobs=N),
-    # and the CLI: `cuba verify file.cpds --engine explicit --jobs 4`.
+    # Execution knobs travel in one EngineConfig accepted by
+    # scheme1_rk, Cuba, every engine, and the CLI:
+    # `cuba verify file.cpds --lane explicit --jobs 4`.
     from repro.cuba import scheme1_rk
+    from repro.reach import EngineConfig
     from repro.reach.parallel import pool_cache_clear
 
-    result = scheme1_rk(cpds, AlwaysSafe(), jobs=2)
+    result = scheme1_rk(cpds, AlwaysSafe(), config=EngineConfig(jobs=2))
     print(result)
     pool_cache_clear()  # shut the worker pool down at program end
 

@@ -48,9 +48,12 @@ from repro.automata import canonical
 from repro.automata.ops import _sort_key
 from repro.cuba.algorithm3 import algorithm3
 from repro.cuba.scheme1 import scheme1_rk
+from repro.errors import CubaError
 from repro.models.registry import runnable_benchmarks, smallest_per_row
 from repro.pds.saturation import post_star, psa_for_configs
 from repro.pds.state import PDSState
+from repro.reach import registry
+from repro.reach.config import EngineConfig
 from repro.reach.symbolic import SymbolicReach
 from repro.util.caches import clear_runtime_caches
 from repro.util.meter import METER, measure
@@ -58,7 +61,7 @@ from repro.util.meter import METER, measure
 SCHEMA = "cuba-bench/1"
 
 #: METER counter prefixes worth persisting per workload.
-_METER_PREFIXES = ("post_star.", "canonical.", "symbolic.", "explicit.")
+_METER_PREFIXES = ("post_star.", "canonical.", "symbolic.", "explicit.", "wuba.")
 
 
 def _meter_slice(delta: dict) -> dict:
@@ -166,8 +169,24 @@ def _symbolic_run(cpds, prop, max_rounds: int, mode: str, jobs: int = 1):
 
     def run():
         with canonical.backend(backend):
-            engine = SymbolicReach(cpds, incremental=True, batched=batched)
+            engine = SymbolicReach(
+                cpds, incremental=True, config=EngineConfig(batched=batched)
+            )
             return algorithm3(cpds, prop, engine=engine, max_rounds=max_rounds)
+
+    return run
+
+
+def _wuba_run(cpds, prop, max_rounds: int, mode: str, jobs: int = 1):
+    """The WUBA lane through the generic Scheme 1 driver
+    (:func:`repro.cuba.lanes.run_lane`); ``legacy`` disables the
+    write-free closure memo, the lane's only cache."""
+    from repro.cuba.lanes import run_lane
+
+    config = EngineConfig(incremental=(mode != "legacy"))
+
+    def run():
+        return run_lane("wuba", cpds, prop, max_rounds=max_rounds, config=config)
 
     return run
 
@@ -203,20 +222,21 @@ def _explicit_run(
     elif mode == "legacy":
         jobs = 1
 
+    config = EngineConfig(
+        jobs=jobs,
+        batched=batched,
+        backend=replay_backend,
+        shard_min_work=shard_min_work,
+    )
+
     def run():
-        kwargs = {}
-        if shard_min_work is not None:
-            kwargs["shard_min_work"] = shard_min_work
         with canonical.backend(backend):
             return scheme1_rk(
                 cpds,
                 prop,
                 max_rounds=max_rounds,
-                batched=batched,
-                jobs=jobs,
                 parallel_saturation=parallel_saturation,
-                backend=replay_backend,
-                **kwargs,
+                config=config,
             )
 
     return run
@@ -267,7 +287,7 @@ def run_suite(
     quick: bool = False,
     rows: set[str] | None = None,
     modes: tuple[str, ...] = ("optimized", "legacy"),
-    engines: tuple[str, ...] = ("symbolic", "explicit"),
+    engines: tuple[str, ...] = ("symbolic", "explicit", "wuba"),
     max_rounds: int | None = None,
     repeats: int = 3,
     label: str | None = None,
@@ -313,6 +333,13 @@ def run_suite(
                 lanes.append(("symbolic", _symbolic_run))
             if "explicit" in engines and bench.fcr:
                 lanes.append(("explicit", _explicit_run))
+            if "wuba" in engines and registry.engine_class("wuba").applicable(
+                cpds, prop
+            ):
+                # The write-unbounded family (PR 9) — only on models
+                # satisfying its WCR precondition, mirroring the
+                # explicit lane's FCR gate.
+                lanes.append(("wuba", _wuba_run))
             for lane, maker in lanes:
                 entry = {"name": bench.name, "lane": lane, "modes": {}}
                 for mode in modes:
@@ -549,9 +576,20 @@ def latest_comparable_baseline(current: dict, root: str | Path = ".") -> Path | 
     return None
 
 
+def _lane_token(lane: str) -> str:
+    """A lane name normalized for cross-file matching: registry aliases
+    collapse to the canonical name (a pre-PR 9 file spelling a lane
+    differently still matches), non-lane keys (``canonical-micro``)
+    pass through unchanged."""
+    try:
+        return registry.canonical_lane(lane)
+    except CubaError:
+        return lane
+
+
 def _optimized_seconds_by_workload(payload: dict) -> dict[tuple, float]:
     return {
-        (w["name"], w["lane"]): w["modes"]["optimized"]["seconds"]
+        (w["name"], _lane_token(w["lane"])): w["modes"]["optimized"]["seconds"]
         for w in payload.get("workloads", ())
         if "optimized" in w.get("modes", {})
     }
@@ -614,6 +652,22 @@ def compare_bench(
         messages.append(
             f"{len(skipped)} workload(s) present on only one side, excluded: "
             + ", ".join(f"{name} ({lane})" for name, lane in sorted(skipped))
+        )
+    # A whole lane on only one side must be *reported*, never silently
+    # ungated: a newly landed lane has no baseline yet (it enters the
+    # gate once a file containing it is committed), and a lane that
+    # vanished from the current run is worth a human look.
+    cur_lanes = {_lane_of(key) for key in cur_by_workload}
+    base_lanes = {_lane_of(key) for key in base_by_workload}
+    for lane in sorted(cur_lanes - base_lanes):
+        messages.append(
+            f"lane {lane}: absent from the baseline, not gated this run "
+            "(gated once a baseline containing it is committed)"
+        )
+    for lane in sorted(base_lanes - cur_lanes):
+        messages.append(
+            f"lane {lane}: present in the baseline but missing from the "
+            "current run, not gated"
         )
     cur_total = sum(cur_by_workload[key] for key in shared)
     base_total = sum(base_by_workload[key] for key in shared)
@@ -713,7 +767,10 @@ def main(argv: list[str] | None = None) -> int:
         "baselines only compare on a match",
     )
     parser.add_argument(
-        "--engines", default="symbolic,explicit", help="comma list: symbolic,explicit"
+        "--engines",
+        default="symbolic,explicit,wuba",
+        help="comma list of lanes: symbolic,explicit,wuba (wuba rows "
+        "only appear on models satisfying its WCR precondition)",
     )
     parser.add_argument("--max-rounds", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=3)

@@ -2,14 +2,14 @@
 
 Subcommands::
 
-    cuba verify file.cpds [--property shared:ERR] [--engine auto|explicit|symbolic]
+    cuba verify file.cpds [--property shared:ERR] [--lane auto|explicit|symbolic|wuba]
     cuba verify prog.bp --boolean [--init x=*,y=1] [--witness]
     cuba fcr file.cpds
     cuba table file.cpds [--levels 6]      # Fig. 1 style reachability table
     cuba bench [--rows 1,2,9]              # Table 2 reproduction
     cuba bench --json [--quick] [--compare BENCH_x.json]  # perf trajectory
     cuba serve [--port 8765] [--store cuba-store.sqlite]  # analysis service
-    cuba submit file.cpds [--engine ...] [--port 8765]    # query the service
+    cuba submit file.cpds [--lane ...] [--port 8765]      # query the service
     cuba loadtest [--spawn 2] [--duration 10]  # replica throughput harness
 
 ``verify`` and ``submit`` exit 0 when the property is proved, 1 when
@@ -26,11 +26,12 @@ from repro.bp.translate import compile_source
 from repro.core.property import Property, property_from_spec
 from repro.core.result import Verdict
 from repro.cpds.format import parse_cpds
-from repro.cuba.algorithm3 import algorithm3
 from repro.cuba.fcr import check_fcr
-from repro.cuba.scheme1 import scheme1_rk
+from repro.cuba.lanes import run_lane
 from repro.cuba.verifier import Cuba
 from repro.errors import CubaError
+from repro.reach import registry
+from repro.reach.config import EngineConfig
 from repro.reach.explicit import ExplicitReach
 from repro.util.table import render_table
 
@@ -70,10 +71,11 @@ def cmd_verify(args) -> int:
     from repro.reach.vectorized import resolve_backend
 
     cpds, prop = _load(args)
-    if args.engine == "auto":
-        report = Cuba(cpds, prop, jobs=args.jobs, backend=args.backend).verify(
-            max_rounds=args.max_rounds
-        )
+    config = EngineConfig(
+        jobs=args.jobs, backend=args.backend, batched=not args.per_state
+    )
+    if args.lane == "auto":
+        report = Cuba(cpds, prop, config=config).verify(max_rounds=args.max_rounds)
         if args.report:
             from repro.report import render_report
 
@@ -92,18 +94,15 @@ def cmd_verify(args) -> int:
         print(f"kmax(Rk) = {report.bound_text('rk')}, "
               f"kmax(T(Rk)) = {report.bound_text('trk')}")
         result = report.result
-    elif args.engine == "explicit":
-        print(f"backend: {resolve_backend(args.backend)}")
-        result = scheme1_rk(
-            cpds,
-            prop,
-            max_rounds=args.max_rounds,
-            batched=not args.per_state,
-            jobs=args.jobs,
-            backend=args.backend,
-        )
     else:
-        result = algorithm3(cpds, prop, engine="symbolic", max_rounds=args.max_rounds)
+        # Any registered lane (aliases included) runs through the one
+        # generic driver — no per-lane branches here.
+        lane = registry.canonical_lane(args.lane)
+        if lane == "explicit":
+            print(f"backend: {resolve_backend(args.backend)}")
+        result = run_lane(
+            lane, cpds, prop, max_rounds=args.max_rounds, config=config
+        )
     print(result)
     if result.trace is not None:
         print(f"witness trace ({result.trace.n_contexts} contexts):")
@@ -124,9 +123,8 @@ def _print_witness(cpds, result) -> None:
         return
     if result.trace is None:
         print(
-            "no witness trace recorded (the symbolic engine proves "
-            "reachability without paths; rerun with --engine auto or "
-            "--engine explicit)"
+            "no witness trace recorded (this lane proves reachability "
+            "without paths; rerun with --lane auto or --lane explicit)"
         )
         return
     trace = result.trace
@@ -262,7 +260,7 @@ def cmd_submit(args) -> int:
     client = ServiceClient(host=args.host, port=args.port)
     kwargs = dict(
         property_spec=args.prop,
-        engine=args.engine,
+        engine=args.lane,
         max_rounds=args.max_rounds,
         wait=not args.no_wait,
     )
@@ -395,7 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="run the CUBA verifier")
     add_common(verify)
     verify.add_argument(
-        "--engine", choices=["auto", "explicit", "symbolic"], default="auto"
+        "--lane",
+        "--engine",
+        dest="lane",
+        default="auto",
+        help="analysis lane: 'auto' (the Sec. 6 front-end) or any "
+        f"registered lane name {registry.lane_names()} (aliases like "
+        "'wk' accepted; --engine is the pre-lane spelling)",
     )
     verify.add_argument("--max-rounds", type=int, default=30)
     verify.add_argument(
@@ -548,7 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(submit)
     submit.add_argument(
-        "--engine", choices=["auto", "explicit", "symbolic"], default="auto"
+        "--lane",
+        "--engine",
+        dest="lane",
+        default="auto",
+        help="analysis lane (see `cuba verify --lane`); the service "
+        "canonicalizes aliases before fingerprinting",
     )
     submit.add_argument("--max-rounds", type=int, default=30)
     submit.add_argument("--host", default="127.0.0.1")

@@ -412,3 +412,46 @@ def context_post(
     for index in range(cpds.n_threads):
         result |= thread_context_post(cpds, state, index, max_states, parents)
     return result
+
+
+def thread_write_free_post(
+    pds,
+    shared,
+    stack: tuple,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    index: int = 0,
+) -> frozenset[tuple]:
+    """All stacks thread ``index`` can reach from ``(shared, stack)`` by
+    *shared-preserving* ("write-free") moves alone — the local closure
+    of the WUBA lane (:mod:`repro.reach.wuba`).
+
+    Shared-preserving moves of different threads commute: the shared
+    state is fixed and each thread touches only its own stack.  The
+    write-free closure of a global state is therefore exactly the
+    per-thread product of these local closures, which is what makes the
+    write-bounded sets ``Wk`` computable without interleaving the
+    write-free segments.
+
+    Raises :class:`ContextExplosionError` past ``max_states`` distinct
+    stacks — the divergence guard for programs violating WCR (finite
+    write-free closures; implied by FCR, since a write-free segment is
+    part of some context)."""
+    METER.bump("wuba.expansions")
+    start = PDSState(shared, stack)
+    seen: set[PDSState] = {start}
+    work: deque[PDSState] = deque([start])
+    while work:
+        local = work.popleft()
+        for action, local_next in pds_successors(pds, local):
+            if action.to_shared != shared or local_next in seen:
+                continue
+            seen.add(local_next)
+            if len(seen) > max_states:
+                raise ContextExplosionError(
+                    f"write-free closure of thread {index} from "
+                    f"{start} exceeded {max_states} states; the program "
+                    "likely violates WCR",
+                    states_seen=len(seen),
+                )
+            work.append(local_next)
+    return frozenset(local.stack for local in seen)

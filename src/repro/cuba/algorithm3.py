@@ -21,11 +21,10 @@ from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
 from repro.cuba.generators import generator_analysis
 from repro.cuba.overapprox import compute_z
-from repro.errors import ContextExplosionError
+from repro.errors import ContextExplosionError, CubaError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach import registry
 from repro.reach.base import ReachabilityEngine
-from repro.reach.explicit import ExplicitReach
-from repro.reach.symbolic import SymbolicReach
 
 
 def algorithm3(
@@ -37,13 +36,15 @@ def algorithm3(
 ) -> VerificationResult:
     """Run Alg. 3 to a verdict or round budget.
 
-    ``engine`` selects the representation: ``"explicit"`` (Table 2's
-    ``Alg. 3(T(Rk))``, FCR required), ``"symbolic"`` (``Alg. 3(T(Sk))``),
-    or a prepared engine instance.  ``max_rounds`` is the *total*
-    context-bound budget: a prepared engine's existing levels — warm
-    reuse, or a checkpoint restore — are replayed through the verdict
-    and plateau checks first and count toward it, so a resumed run
-    reports exactly what an uninterrupted run would.
+    ``engine`` selects the representation: any registered lane name
+    (``"explicit"`` — Table 2's ``Alg. 3(T(Rk))``, FCR required;
+    ``"symbolic"`` — ``Alg. 3(T(Sk))``; aliases accepted, see
+    :mod:`repro.reach.registry`) or a prepared engine instance.
+    ``max_rounds`` is the *total* context-bound budget: a prepared
+    engine's existing levels — warm reuse, or a checkpoint restore —
+    are replayed through the verdict and plateau checks first and count
+    toward it, so a resumed run reports exactly what an uninterrupted
+    run would.
 
     SAFE results carry the collapse bound ``kmax`` of ``(T(Rk))``;
     UNSAFE results the context bound revealing the violation.  ``stats``
@@ -51,13 +52,14 @@ def algorithm3(
     missing generators — the diagnostic of Ex. 14.
     """
     if isinstance(engine, str):
-        if engine == "explicit":
-            engine = ExplicitReach(cpds, max_states_per_context=max_states_per_context)
-        elif engine == "symbolic":
-            engine = SymbolicReach(cpds)
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
-    method = f"alg3(T({'Sk' if isinstance(engine, SymbolicReach) else 'Rk'}))"
+        try:
+            name = registry.canonical_lane(engine)
+        except CubaError as error:
+            raise ValueError(f"unknown engine {engine!r}") from error
+        engine = registry.create(
+            name, cpds, max_states_per_context=max_states_per_context
+        )
+    method = f"alg3(T({engine.sequence_name}))"
 
     analysis = generator_analysis(cpds)
     z = compute_z(cpds)
@@ -70,7 +72,7 @@ def algorithm3(
 
     def unsafe(bound: int, witness) -> VerificationResult:
         trace = None
-        if isinstance(engine, ExplicitReach):
+        if engine.supports_witness:
             state = engine.find_visible(witness)
             if state is not None:
                 trace = engine.trace(state)
@@ -136,7 +138,7 @@ def algorithm3(
             Verdict.UNKNOWN,
             bound=engine.k,
             method=method,
-            message=f"explicit engine diverged (use symbolic): {explosion}",
+            message=f"{engine.lane} engine diverged (use symbolic): {explosion}",
             stats=dict(stats),
         )
     return VerificationResult(

@@ -6,7 +6,7 @@ and report any violation found.  It can refute but never prove — a safe
 answer only means "no bug within k contexts" (the fundamental CBA
 limitation the CUBA algorithms remove).
 
-Both engines are supported; the symbolic one matches JMoped's
+Every registered lane is supported; the symbolic one matches JMoped's
 pushdown-store-automata representation and is the Fig. 5 baseline.
 """
 
@@ -16,11 +16,11 @@ from repro.automata.canonical import canonical_cache_info
 from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
-from repro.errors import ContextExplosionError
+from repro.errors import ContextExplosionError, CubaError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach import registry
 from repro.reach.base import ReachabilityEngine
-from repro.reach.explicit import ExplicitReach
-from repro.reach.symbolic import SymbolicReach
+from repro.reach.config import EngineConfig, merge_legacy_kwargs
 from repro.util.meter import METER
 
 
@@ -30,11 +30,12 @@ def context_bounded_analysis(
     bound: int,
     engine: ReachabilityEngine | str = "symbolic",
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
-    incremental: bool = True,
-    batched: bool = True,
-    jobs: int = 1,
-    shard_replay: bool = True,
-    backend: str = "auto",
+    incremental: bool | None = None,
+    batched: bool | None = None,
+    jobs: int | None = None,
+    shard_replay: bool | None = None,
+    backend: str | None = None,
+    config: EngineConfig | None = None,
 ) -> VerificationResult:
     """Check ``prop`` for executions with at most ``bound`` contexts.
 
@@ -43,15 +44,12 @@ def context_bounded_analysis(
     underapproximates (Sec. 7: "a bug which requires more than that
     bound to manifest will slip through").
 
-    ``incremental`` enables cross-expansion reuse in the engine
-    constructed here (context-tree memoization for explicit, expansion
-    memoization for symbolic); ``batched`` selects view-batched frontier
-    expansion (``False`` = the per-state oracle path; the symbolic
-    engine has its own ``batched`` default); ``jobs > 1`` runs the
-    explicit engine's whole advance — view saturation and (unless
-    ``shard_replay=False``) sharded tree replay — across worker
-    processes (:mod:`repro.reach.parallel`; the symbolic engine ignores
-    both).  All
+    ``engine`` accepts any registered lane name (aliases included, see
+    :mod:`repro.reach.registry`) or a prepared engine instance.
+    Execution knobs travel in ``config``
+    (:class:`~repro.reach.config.EngineConfig`; the individual
+    ``batched``/``jobs``/``shard_replay``/``backend`` keywords are a
+    deprecated shim) — each lane applies the knobs it understands.  All
     are ignored when a prepared engine instance is passed.  The UNKNOWN
     result's ``stats["meter"]`` records the saturation/cache/
     frontier-batching work counters this analysis produced, plus the
@@ -59,21 +57,27 @@ def context_bounded_analysis(
     numbers the BENCH harness (:mod:`repro.bench.runner`) persists.
     """
     meter_before = METER.snapshot()
+    config = merge_legacy_kwargs(
+        config,
+        "context_bounded_analysis",
+        jobs=jobs,
+        batched=batched,
+        backend=backend,
+        shard_replay=shard_replay,
+    )
+    if incremental is not None:
+        config = config.replace(incremental=incremental)
     if isinstance(engine, str):
-        if engine == "explicit":
-            engine = ExplicitReach(
-                cpds,
-                max_states_per_context=max_states_per_context,
-                incremental=incremental,
-                batched=batched,
-                jobs=jobs,
-                shard_replay=shard_replay,
-                backend=backend,
-            )
-        elif engine == "symbolic":
-            engine = SymbolicReach(cpds, incremental=incremental)
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
+        try:
+            name = registry.canonical_lane(engine)
+        except CubaError as error:
+            raise ValueError(f"unknown engine {engine!r}") from error
+        engine = registry.create(
+            name,
+            cpds,
+            max_states_per_context=max_states_per_context,
+            config=config,
+        )
     method = f"cba(k={bound})"
 
     witness = prop.find_violation(engine.visible_up_to(0))
@@ -94,17 +98,15 @@ def context_bounded_analysis(
     except ContextExplosionError as explosion:
         return VerificationResult(
             Verdict.UNKNOWN, bound=engine.k, method=method,
-            message=f"explicit engine diverged: {explosion}",
+            message=f"{engine.lane} engine diverged: {explosion}",
         )
     stats = {
         "visible_states": len(engine.visible_up_to()),
         "meter": METER.delta(meter_before),
         "canonical_cache": canonical_cache_info(),
     }
-    if isinstance(engine, SymbolicReach):
-        stats["symbolic"] = engine.stats()
-    elif isinstance(engine, ExplicitReach):
-        stats["explicit"] = engine.stats()
+    if engine.lane:
+        stats[engine.lane] = engine.stats()
     return VerificationResult(
         Verdict.UNKNOWN, bound=bound, method=method,
         message=f"no violation within {bound} contexts (CBA cannot prove safety)",

@@ -13,8 +13,9 @@ from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
 from repro.cpds.state import VisibleState
-from repro.errors import ContextExplosionError
+from repro.cuba.lanes import scheme1_lane
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach.config import EngineConfig, merge_legacy_kwargs
 from repro.reach.explicit import ExplicitReach
 from repro.util.meter import METER
 
@@ -47,13 +48,14 @@ def scheme1_rk(
     max_rounds: int = 50,
     max_states_per_context: int = DEFAULT_STATE_LIMIT,
     engine: ExplicitReach | None = None,
-    incremental: bool = True,
-    batched: bool = True,
-    jobs: int = 1,
+    incremental: bool | None = None,
+    batched: bool | None = None,
+    jobs: int | None = None,
     parallel_saturation: bool = True,
-    shard_replay: bool = True,
+    shard_replay: bool | None = None,
     shard_min_work: int | None = None,
-    backend: str = "auto",
+    backend: str | None = None,
+    config: EngineConfig | None = None,
 ) -> VerificationResult:
     """Run Scheme 1(Rk) (paper Sec. 4) to a verdict or round budget.
 
@@ -63,17 +65,16 @@ def scheme1_rk(
     result's ``stats["meter"]`` carries the work counters (context-cache
     hits, saturation work) accumulated during this run.
 
-    ``incremental``, ``batched``, ``jobs``, ``parallel_saturation``,
-    ``shard_replay`` and ``backend`` configure the engine constructed
-    here (``backend`` selects the replay arithmetic —
-    :mod:`repro.reach.vectorized` — and is a pure execution knob)
+    Execution knobs travel in ``config``
+    (:class:`~repro.reach.config.EngineConfig`; the individual
+    ``batched``/``jobs``/``shard_replay``/``shard_min_work``/``backend``
+    keywords are a deprecated shim), and ``incremental`` /
+    ``parallel_saturation`` configure the engine constructed here
     (``batched=False`` selects the seed per-state oracle path;
-    ``jobs > 1`` runs the whole advance — view saturation and sharded
-    tree replay — across a pool of worker processes, see
-    :mod:`repro.reach.parallel`; the two boolean knobs isolate either
-    half for benchmarking); all are ignored when a prepared ``engine``
-    instance is passed (configure that engine at construction
-    instead).
+    ``jobs > 1`` runs the advance across a pool of worker processes,
+    see :mod:`repro.reach.parallel`).  All are ignored when a prepared
+    ``engine`` instance is passed (configure that engine at
+    construction instead).
 
     ``max_rounds`` is the *total* context-bound budget.  A prepared
     engine may arrive with computed history — warm reuse, or a
@@ -81,96 +82,29 @@ def scheme1_rk(
     levels are replayed through the verdict checks first and count
     toward the budget, so a run resumed from a level-``k`` snapshot
     reports exactly what an uninterrupted ``max_rounds`` run would.
+
+    This is the explicit lane's instantiation of the generic driver
+    :func:`repro.cuba.lanes.scheme1_lane` (sound here by Lemma 7:
+    ``(Rk)`` is stutter-free, so a plateau is a collapse).
     """
-    meter_before = METER.snapshot()
+    config = merge_legacy_kwargs(
+        config,
+        "scheme1_rk",
+        jobs=jobs,
+        batched=batched,
+        backend=backend,
+        shard_replay=shard_replay,
+        shard_min_work=shard_min_work,
+    )
     if engine is None:
         engine = ExplicitReach(
             cpds,
             max_states_per_context=max_states_per_context,
             incremental=incremental,
-            batched=batched,
-            jobs=jobs,
             parallel_saturation=parallel_saturation,
-            shard_replay=shard_replay,
-            backend=backend,
-            **(
-                {}
-                if shard_min_work is None
-                else {"shard_min_work": shard_min_work}
-            ),
+            config=config,
         )
-    method = "scheme1(Rk)"
-
-    def check(bound: int) -> VerificationResult | None:
-        witness = prop.find_violation(engine.visible_new_at(bound))
-        if witness is None:
-            return None
-        state = engine.find_visible(witness)
-        trace = engine.trace(state) if state is not None else None
-        return VerificationResult(
-            Verdict.UNSAFE,
-            bound=bound,
-            method=method,
-            message=f"violation of '{prop.describe()}'",
-            witness=witness,
-            trace=trace,
-            stats=_stats(engine, meter_before),
-        )
-
-    def safe(bound: int) -> VerificationResult:
-        return VerificationResult(
-            Verdict.SAFE,
-            bound=bound,
-            method=method,
-            message="(Rk) collapsed (stutter-free plateau, Lemma 7)",
-            stats=_stats(engine, meter_before),
-        )
-
-    # Replay the checks over any levels the engine already holds (a
-    # fresh engine has only level 0), then advance to the budget.  The
-    # replay is capped at the budget: an engine restored from a
-    # deeper-than-requested snapshot must not leak verdicts from beyond
-    # the bound an uninterrupted ``max_rounds`` run would explore.
-    for bound in range(min(engine.k, max_rounds) + 1):
-        result = check(bound)
-        if result is not None:
-            return result
-        if engine.plateaued_at(bound):
-            return safe(bound)
-    try:
-        while engine.k < max_rounds:
-            engine.advance()
-            k = engine.k
-            result = check(k)
-            if result is not None:
-                return result
-            if engine.plateaued_at(k):
-                return safe(k)
-    except ContextExplosionError as explosion:
-        return VerificationResult(
-            Verdict.UNKNOWN,
-            bound=engine.k,
-            method=method,
-            message=f"explicit engine diverged: {explosion}",
-            stats=_stats(engine, meter_before),
-        )
-    return VerificationResult(
-        Verdict.UNKNOWN,
-        # min(): a deeper-than-budget restored engine reports the bound
-        # an uninterrupted max_rounds run would have reached.
-        bound=min(engine.k, max_rounds),
-        method=method,
-        message=f"no conclusion within {max_rounds} rounds",
-        stats=_stats(engine, meter_before),
-    )
-
-
-def _stats(engine: ExplicitReach, meter_before: dict) -> dict:
-    return {
-        **engine.stats(),
-        "visible_states": len(engine.visible_up_to()),
-        "meter": METER.delta(meter_before),
-    }
+    return scheme1_lane(cpds, prop, engine=engine, max_rounds=max_rounds)
 
 
 def scheme1_sk(

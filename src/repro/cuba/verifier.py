@@ -24,11 +24,13 @@ from repro.cpds.cpds import CPDS
 from repro.cuba.algorithm3 import algorithm3
 from repro.cuba.fcr import FCRReport, check_fcr
 from repro.cuba.generators import generator_analysis
+from repro.cuba.lanes import run_lane
 from repro.cuba.overapprox import compute_z
-from repro.errors import ContextExplosionError
+from repro.errors import ContextExplosionError, CubaError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
-from repro.reach.explicit import ExplicitReach
-from repro.reach.symbolic import SymbolicReach
+from repro.reach import registry
+from repro.reach.base import ReachabilityEngine
+from repro.reach.config import EngineConfig, merge_legacy_kwargs
 
 
 @dataclass(slots=True)
@@ -71,52 +73,58 @@ class Cuba:
         cpds: CPDS,
         prop: Property,
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
-        jobs: int = 1,
-        shard_replay: bool = True,
-        backend: str = "auto",
+        jobs: int | None = None,
+        shard_replay: bool | None = None,
+        backend: str | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         self.cpds = cpds
         self.prop = prop
         self.max_states_per_context = max_states_per_context
-        #: Worker-process count for the explicit engine's parallel
-        #: advance (:mod:`repro.reach.parallel`); the symbolic fallback
-        #: path ignores it, as it does ``shard_replay`` (which gates
-        #: the replay half of the ``jobs>1`` fan-out).
-        self.jobs = jobs
-        self.shard_replay = shard_replay
-        #: Replay-backend knob for the explicit engine
-        #: (:mod:`repro.reach.vectorized`); ``auto`` selects numpy when
-        #: importable, falling back to the pure-int loop otherwise.
-        self.backend = backend
+        #: Execution knobs forwarded to whatever engine :meth:`verify`
+        #: constructs (:class:`~repro.reach.config.EngineConfig`; the
+        #: individual ``jobs``/``shard_replay``/``backend`` keywords are
+        #: a deprecated shim) — each lane applies what it understands.
+        self.config = merge_legacy_kwargs(
+            config, "Cuba", jobs=jobs, shard_replay=shard_replay, backend=backend
+        )
         #: The reachability engine the last :meth:`verify` call ran on
-        #: (explicit when FCR holds, symbolic otherwise) — the handle
+        #: (the lane the registry/FCR dispatch selected) — the handle
         #: the analysis service snapshots for deeper-``k`` resume.
-        self.last_engine: ExplicitReach | SymbolicReach | None = None
+        self.last_engine: ReachabilityEngine | None = None
 
     # ------------------------------------------------------------------
     def verify(
         self,
         max_rounds: int = 50,
-        engine: ExplicitReach | SymbolicReach | None = None,
+        engine: ReachabilityEngine | str | None = None,
     ) -> CubaReport:
         """Run the front-end procedure and collect the full report.
 
-        ``engine`` optionally supplies a prepared engine of the lane
-        FCR selects (explicit when it holds, symbolic otherwise) — warm
-        reuse, or a checkpoint restore.  Its existing levels are
-        replayed through the verdict checks and count toward the
-        ``max_rounds`` total-bound budget, so a resumed run reports
-        exactly what an uninterrupted run would.
+        ``engine`` selects the lane:
+
+        * ``None`` — the paper's auto procedure: FCR decides between
+          the explicit pair race and the symbolic ``Alg. 3(T(Sk))``.
+        * a registered lane name (or alias) — run exactly that lane via
+          :func:`repro.cuba.lanes.run_lane`, e.g. ``"wuba"``.
+        * a prepared engine instance of the lane FCR selects — warm
+          reuse, or a checkpoint restore.  Its existing levels are
+          replayed through the verdict checks and count toward the
+          ``max_rounds`` total-bound budget, so a resumed run reports
+          exactly what an uninterrupted run would.
         """
+        if isinstance(engine, str):
+            return self._verify_lane(engine, max_rounds)
         fcr = check_fcr(self.cpds)
         if fcr.holds:
             return self._verify_explicit_pair(fcr, max_rounds, engine)
         if engine is None:
-            engine = SymbolicReach(self.cpds)
-        elif not isinstance(engine, SymbolicReach):
+            engine = registry.create("symbolic", self.cpds, config=self.config)
+        elif engine.lane != "symbolic":
             raise ValueError(
-                "FCR fails: the prepared engine must be a SymbolicReach, "
-                f"got {type(engine).__name__}"
+                "FCR fails: the prepared engine must be from the "
+                f"'symbolic' lane, got lane {engine.lane!r} "
+                f"(registered lanes: {', '.join(registry.lane_names())})"
             )
         self.last_engine = engine
         result = algorithm3(
@@ -134,25 +142,55 @@ class Cuba:
         )
 
     # ------------------------------------------------------------------
+    def _verify_lane(self, lane: str, max_rounds: int) -> CubaReport:
+        """Run one named lane to a verdict and wrap it in a report.
+
+        The lane's own ``applicable`` precondition replaces the FCR
+        dispatch; Table 2's ``(Rk)``/``(T(Rk))`` bound columns are
+        specific to the auto procedure, so a named-lane report carries
+        only the explored bound (``interrupted_at``)."""
+        name = registry.canonical_lane(lane)
+        cls = registry.engine_class(name)
+        if not cls.applicable(self.cpds, self.prop):
+            raise CubaError(
+                f"lane {name!r} is not applicable to this model "
+                "(its precondition failed); applicable lanes: "
+                f"{', '.join(registry.applicable_lanes(self.cpds, self.prop)) or 'none'}"
+            )
+        prepared = cls.create(
+            self.cpds,
+            max_states_per_context=self.max_states_per_context,
+            config=self.config,
+        )
+        self.last_engine = prepared
+        result = run_lane(prepared, self.cpds, self.prop, max_rounds=max_rounds)
+        return CubaReport(
+            fcr=check_fcr(self.cpds),
+            result=result,
+            winner=result.method,
+            interrupted_at=result.bound,
+        )
+
+    # ------------------------------------------------------------------
     def _verify_explicit_pair(
         self,
         fcr: FCRReport,
         max_rounds: int,
-        engine: ExplicitReach | None = None,
+        engine: ReachabilityEngine | None = None,
     ) -> CubaReport:
         """Alg. 3(T(Rk)) ∥ Scheme 1(Rk) on one shared explicit engine."""
         if engine is None:
-            engine = ExplicitReach(
+            engine = registry.create(
+                "explicit",
                 self.cpds,
                 max_states_per_context=self.max_states_per_context,
-                jobs=self.jobs,
-                shard_replay=self.shard_replay,
-                backend=self.backend,
+                config=self.config,
             )
-        elif not isinstance(engine, ExplicitReach):
+        elif engine.lane != "explicit":
             raise ValueError(
-                "FCR holds: the prepared engine must be an ExplicitReach, "
-                f"got {type(engine).__name__}"
+                "FCR holds: the prepared engine must be from the "
+                f"'explicit' lane, got lane {engine.lane!r} "
+                f"(registered lanes: {', '.join(registry.lane_names())})"
             )
         self.last_engine = engine
         analysis = generator_analysis(self.cpds)
@@ -222,7 +260,7 @@ class Cuba:
                 Verdict.UNKNOWN,
                 bound=engine.k,
                 method="cuba",
-                message=f"explicit engine diverged: {explosion}",
+                message=f"{engine.lane} engine diverged: {explosion}",
             )
             return CubaReport(
                 fcr=fcr, result=result, winner="none", interrupted_at=engine.k
@@ -239,7 +277,7 @@ class Cuba:
 
     # ------------------------------------------------------------------
     def _unsafe_report(
-        self, fcr: FCRReport, engine: ExplicitReach, bound: int, witness
+        self, fcr: FCRReport, engine: ReachabilityEngine, bound: int, witness
     ) -> CubaReport:
         state = engine.find_visible(witness)
         trace = engine.trace(state) if state is not None else None

@@ -1,20 +1,64 @@
-"""Common interface of the context-bounded reachability engines.
+"""Common interface — the *lane contract* — of the reachability engines.
 
-An engine computes, level by level, the observation sequences of the
+An engine computes, level by level, an observation sequence of the
 paper: after ``advance()`` has been called ``k`` times the engine has
-determined ``Rk`` (or its symbolic counterpart ``Sk``) and the visible
-projection ``T(Rk)``.  Levels are cumulative and monotone by
-construction (Def. 1: observation sequences are monotone)."""
+determined level ``k`` of its sequence (``Rk`` for the explicit
+context-unbounded lane, ``Sk`` symbolically, ``Wk`` for the
+write-unbounded lane) and the visible projection ``T(·)``.  Levels are
+cumulative and monotone by construction (Def. 1: observation sequences
+are monotone).
+
+Beyond the level mechanics, every concrete engine is a **lane**: a
+pluggable analysis family registered in :mod:`repro.reach.registry`.
+The class-level attributes below are the contract a lane must fill in
+so that the verifier, CLI, bench runner, and service can drive it
+without knowing the concrete class:
+
+``lane``
+    Canonical lane name — the single spelling used by ``--lane``, the
+    BENCH ``lane`` field, the service fingerprint ``engine`` token, and
+    the registry key.
+``sequence_name``
+    The observation sequence the lane computes (``"Rk"``, ``"Sk"``,
+    ``"Wk"``); used in result ``method`` strings.
+``snapshot_kind``
+    The kind byte of this lane's snapshot format (see
+    :mod:`repro.service.snapshot`); must be unique across lanes.
+``meter_prefix``
+    Prefix of this lane's METER counters, ``"<lane>."`` by convention;
+    the bench runner and service meter windows aggregate by it.
+``supports_witness``
+    True iff the lane can materialize a counterexample trace
+    (``find_visible`` / ``trace``).
+``preferred_algorithm``
+    Which generic driver sound for this lane's sequence:
+    ``"scheme1"`` (plateau = fixpoint, Lemma 7) or ``"algorithm3"``
+    (plateau + generator test, Thm. 11).
+"""
 
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from repro.cpds.state import VisibleState
+
+if TYPE_CHECKING:
+    from repro.core.property import Property
+    from repro.cpds.cpds import CPDS
+    from repro.reach.config import EngineConfig
 
 
 class ReachabilityEngine(abc.ABC):
     """Level-by-level driver for an observation sequence over a CPDS."""
+
+    # -- lane contract (overridden by every registered engine class) ----
+    lane: str = ""
+    sequence_name: str = ""
+    snapshot_kind: int = 0
+    meter_prefix: str = ""
+    supports_witness: bool = False
+    preferred_algorithm: str = "scheme1"
 
     def __init__(self) -> None:
         #: ``visible_levels[k]`` = visible states first seen at bound k.
@@ -66,3 +110,53 @@ class ReachabilityEngine(abc.ABC):
     def visible_plateaued_at(self, k: int) -> bool:
         """True iff ``T(Rk−1) = T(Rk)`` (a plateau, Table 1)."""
         return k >= 1 and k <= self.k and not self.visible_new_at(k)
+
+    # ------------------------------------------------------------------
+    # Lane contract
+    # ------------------------------------------------------------------
+    @classmethod
+    def applicable(cls, cpds: "CPDS", prop: "Property | None" = None) -> bool:
+        """Precondition for this lane on ``(cpds, prop)`` — e.g. FCR for
+        the explicit lane.  Lanes without a precondition return True."""
+        return True
+
+    @classmethod
+    def create(
+        cls,
+        cpds: "CPDS",
+        *,
+        max_states_per_context: int | None = None,
+        config: "EngineConfig | None" = None,
+    ) -> "ReachabilityEngine":
+        """Construct a fresh engine from the uniform lane arguments.
+
+        Concrete lanes map ``config`` fields onto whatever constructor
+        knobs they understand and ignore the rest."""
+        raise NotImplementedError
+
+    @classmethod
+    def restore_engine(
+        cls,
+        cpds: "CPDS",
+        data: bytes,
+        *,
+        max_states_per_context: int | None = None,
+        config: "EngineConfig | None" = None,
+    ) -> "ReachabilityEngine":
+        """Rebuild an engine from a snapshot blob of this lane's
+        ``snapshot_kind`` (uniform wrapper over per-lane ``restore``)."""
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def plateaued_at(self, k: int) -> bool:
+        """True iff the *underlying* (non-projected) sequence added
+        nothing at level ``k`` — the lane's fixpoint/plateau test."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> bytes:
+        """Serialize resumable engine state (header carries
+        ``snapshot_kind``; see :mod:`repro.service.snapshot`)."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """Work counters; every lane must include a ``"levels"`` key."""

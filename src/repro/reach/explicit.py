@@ -76,6 +76,8 @@ from repro.cpds.state import GlobalState
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach import vectorized
 from repro.reach.base import ReachabilityEngine
+from repro.reach.config import EngineConfig, merge_legacy_kwargs
+from repro.reach.registry import register
 from repro.reach.witness import Trace, TraceStep, rebuild_trace
 from repro.util.meter import METER
 
@@ -90,24 +92,58 @@ View = int
 _VIEW_WID_MASK = 0xFFFFFFFF
 
 
+@register
 class ExplicitReach(ReachabilityEngine):
     """Sharded, view-batched explicit engine for the observation
     sequences ``(Rk)`` and ``(T(Rk))`` (see the module docstring)."""
+
+    lane = "explicit"
+    sequence_name = "Rk"
+    snapshot_kind = 1
+    meter_prefix = "explicit."
+    supports_witness = True
+    preferred_algorithm = "scheme1"
+
+    #: Engine default for ``EngineConfig.shard_min_work=None``.
+    DEFAULT_SHARD_MIN_WORK = 4096
 
     def __init__(
         self,
         cpds: CPDS,
         max_states_per_context: int = DEFAULT_STATE_LIMIT,
         track_traces: bool = True,
-        incremental: bool = True,
-        batched: bool = True,
-        jobs: int = 1,
+        incremental: bool | None = None,
+        batched: bool | None = None,
+        jobs: int | None = None,
         parallel_saturation: bool = True,
-        shard_replay: bool = True,
-        shard_min_work: int = 4096,
-        backend: str = "auto",
+        shard_replay: bool | None = None,
+        shard_min_work: int | None = None,
+        backend: str | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         super().__init__()
+        config = merge_legacy_kwargs(
+            config,
+            "ExplicitReach",
+            jobs=jobs,
+            batched=batched,
+            backend=backend,
+            shard_replay=shard_replay,
+            shard_min_work=shard_min_work,
+        )
+        self.config = config
+        # ``incremental`` stays a direct engine parameter (differential
+        # harnesses toggle it per instance); None defers to the config.
+        incremental = config.incremental if incremental is None else incremental
+        jobs = config.jobs
+        batched = config.batched
+        backend = config.backend
+        shard_replay = config.shard_replay
+        shard_min_work = (
+            self.DEFAULT_SHARD_MIN_WORK
+            if config.shard_min_work is None
+            else config.shard_min_work
+        )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if jobs > 1 and not batched:
@@ -743,10 +779,11 @@ class ExplicitReach(ReachabilityEngine):
         cpds: CPDS,
         data: bytes,
         *,
-        jobs: int = 1,
-        shard_replay: bool = True,
-        backend: str = "auto",
+        jobs: int | None = None,
+        shard_replay: bool | None = None,
+        backend: str | None = None,
         max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
     ) -> "ExplicitReach":
         """Rebuild a warm engine from a :meth:`snapshot` blob taken on
         the same CPDS.  ``jobs``, ``shard_replay`` and ``backend`` are
@@ -755,11 +792,62 @@ class ExplicitReach(ReachabilityEngine):
         undecodable or mismatched blob."""
         from repro.service.snapshot import restore_explicit
 
-        return restore_explicit(
-            cpds,
-            data,
+        config = merge_legacy_kwargs(
+            config,
+            "ExplicitReach.restore",
             jobs=jobs,
             shard_replay=shard_replay,
             backend=backend,
+        )
+        return restore_explicit(
+            cpds,
+            data,
+            config=config,
             max_states_per_context=max_states_per_context,
+        )
+
+    # ------------------------------------------------------------------
+    # Lane contract
+    # ------------------------------------------------------------------
+    @classmethod
+    def applicable(cls, cpds: CPDS, prop=None) -> bool:
+        """The explicit lane requires finite context reachability
+        (Sec. 5): every per-thread shallow-configuration language must
+        be finite or enumeration diverges."""
+        from repro.cuba.fcr import check_fcr
+
+        return check_fcr(cpds).holds
+
+    @classmethod
+    def create(
+        cls,
+        cpds: CPDS,
+        *,
+        max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
+    ) -> "ExplicitReach":
+        return cls(
+            cpds,
+            max_states_per_context=(
+                DEFAULT_STATE_LIMIT
+                if max_states_per_context is None
+                else max_states_per_context
+            ),
+            config=config,
+        )
+
+    @classmethod
+    def restore_engine(
+        cls,
+        cpds: CPDS,
+        data: bytes,
+        *,
+        max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
+    ) -> "ExplicitReach":
+        return cls.restore(
+            cpds,
+            data,
+            max_states_per_context=max_states_per_context,
+            config=config,
         )

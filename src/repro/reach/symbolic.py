@@ -60,6 +60,8 @@ from repro.cpds.state import GlobalState, VisibleState
 from repro.pds.saturation import PostStarEngine
 from repro.pds.state import EMPTY
 from repro.reach.base import ReachabilityEngine
+from repro.reach.config import EngineConfig, merge_legacy_kwargs
+from repro.reach.registry import register
 from repro.util.meter import METER
 
 Shared = Hashable
@@ -142,16 +144,32 @@ class SymbolicState:
         return f"SymbolicState(shared={self.shared!r}, |Ai|=[{sizes}])"
 
 
+@register
 class SymbolicReach(ReachabilityEngine):
     """Frontier-based symbolic engine for ``(Sk)`` and ``(T(Sk))``."""
 
+    lane = "symbolic"
+    sequence_name = "Sk"
+    snapshot_kind = 2
+    meter_prefix = "symbolic."
+    supports_witness = False
+    preferred_algorithm = "algorithm3"
+
     def __init__(
-        self, cpds: CPDS, *, incremental: bool = True, batched: bool = True
+        self,
+        cpds: CPDS,
+        *,
+        incremental: bool | None = None,
+        batched: bool | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         super().__init__()
+        config = merge_legacy_kwargs(config, "SymbolicReach", batched=batched)
+        self.config = config
+        incremental = config.incremental if incremental is None else incremental
         self.cpds = cpds
         self._alphabets = [cpds.symbol_table(i) for i in range(cpds.n_threads)]
-        self.batched = batched
+        self.batched = config.batched
         #: ``levels[k]`` = symbolic states first produced at bound k.
         self.levels: list[frozenset[SymbolicState]] = []
         self._seen: set[SymbolicState] = set()
@@ -407,3 +425,32 @@ class SymbolicReach(ReachabilityEngine):
         from repro.service.snapshot import restore_symbolic
 
         return restore_symbolic(cpds, data, batched=batched)
+
+    # ------------------------------------------------------------------
+    # Lane contract
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        cpds: CPDS,
+        *,
+        max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
+    ) -> "SymbolicReach":
+        # The symbolic lane has no divergence guard: γ(Sk) may be
+        # infinite by design, so max_states_per_context is ignored.
+        return cls(cpds, config=config)
+
+    @classmethod
+    def restore_engine(
+        cls,
+        cpds: CPDS,
+        data: bytes,
+        *,
+        max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
+    ) -> "SymbolicReach":
+        # batched=None keeps the snapshotted engine's mode: EngineConfig
+        # cannot distinguish "unset" from its default, and overriding a
+        # pure execution knob on resume is never required.
+        return cls.restore(cpds, data, batched=None)

@@ -1,0 +1,293 @@
+"""Write-unbounded analysis (WUBA): the observation sequence ``(Wk)``.
+
+The upstream RUBA tool pairs CUBA's context-unbounded analysis with a
+*write*-unbounded one: instead of bounding the number of scheduling
+contexts, bound the number of **writes to the shared state** and let
+each level close under write-free computation.  ``Wk`` is the set of
+global states reachable with at most ``k`` shared-state writes, where a
+write is any action with ``to_shared != from_shared``.
+
+``(Wk)`` is an observation sequence in the paper's sense (Def. 1): it
+is monotone, each level is effectively computable, and its union is the
+full reachable set — every execution decomposes into write-free
+segments separated by single writes.  Two facts make levels computable
+on the existing PDS substrate:
+
+* **Write-free closure factorizes.**  Between writes the shared state
+  is pinned, so each thread's shared-preserving moves touch only its
+  own stack and moves of different threads commute.  The write-free
+  closure of ``⟨q|w1,...,wn⟩`` is exactly the per-thread product of the
+  local closures :func:`~repro.cpds.semantics.thread_write_free_post` —
+  no interleaving enumeration.
+* **Frontier expansion is exact.**  States are inserted closure-first:
+  whenever a state enters the level set, its entire write-free closure
+  enters with it (and the closure of a closure member is contained in
+  the closure itself, write-free reachability being transitive).  So
+  advancing only needs to fire *writing* actions from the newest
+  level's states; older states were expanded when they were new.
+
+Consequently a plateau of ``(Wk)`` is a genuine fixpoint: an empty
+level means no frontier, and the cumulative set is closed under both
+write-free moves and writes — it *is* the reachable set, so the plain
+Scheme 1 plateau test is sound for this lane
+(``preferred_algorithm = "scheme1"``).
+
+Termination of each level requires finite write-free closures (WCR) —
+the lane's :meth:`~WubaReach.applicable` precondition, checked like FCR
+via per-thread shallow-configuration finiteness on the write-free
+sub-PDS, and guarded at runtime by
+:class:`~repro.errors.ContextExplosionError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cpds.cpds import CPDS
+from repro.cpds.semantics import thread_write_free_post
+from repro.cpds.state import GlobalState
+from repro.errors import ContextExplosionError
+from repro.pds.pds import PDS
+from repro.pds.semantics import DEFAULT_STATE_LIMIT, successors as pds_successors
+from repro.pds.state import PDSState
+from repro.reach.base import ReachabilityEngine
+from repro.reach.config import EngineConfig
+from repro.reach.registry import register
+from repro.util.meter import METER
+
+
+def write_free_sub_pds(pds: PDS) -> PDS:
+    """The thread's dynamics restricted to shared-preserving actions —
+    what a thread can do between two writes, under *any* fixed shared
+    state the environment leaves it in."""
+    sub = PDS(
+        pds.initial_shared,
+        shared_states=pds.shared_states,
+        alphabet=pds.alphabet,
+        name=f"{pds.name or 'pds'}-write-free",
+    )
+    for action in pds.actions:
+        if action.to_shared == action.from_shared:
+            sub.add_action(action)
+    return sub
+
+
+@register
+class WubaReach(ReachabilityEngine):
+    """Level-by-level driver for ``(Wk)`` and ``(T(Wk))`` over plain
+    :class:`~repro.cpds.state.GlobalState` sets (see module docstring)."""
+
+    lane = "wuba"
+    sequence_name = "Wk"
+    snapshot_kind = 3
+    meter_prefix = "wuba."
+    supports_witness = False
+    preferred_algorithm = "scheme1"
+
+    def __init__(
+        self,
+        cpds: CPDS,
+        max_states_per_context: int = DEFAULT_STATE_LIMIT,
+        incremental: bool | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.cpds = cpds
+        self.config = config if config is not None else EngineConfig()
+        incremental = self.config.incremental if incremental is None else incremental
+        self.max_states_per_context = max_states_per_context
+        #: ``levels[k]`` = global states first reached with k writes.
+        self.levels: list[frozenset[GlobalState]] = []
+        self._seen: set[GlobalState] = set()
+        #: Local-closure memo keyed ``(thread, shared, stack)`` — one
+        #: closure per unique local view, however many global states
+        #: and levels share it (``incremental=True``).
+        self._closure_memo: dict[tuple, frozenset] | None = (
+            {} if incremental else None
+        )
+        self._commit(self._close(cpds.initial_state()))
+
+    # ------------------------------------------------------------------
+    # Level mechanics
+    # ------------------------------------------------------------------
+    def advance(self) -> bool:
+        """Compute ``W(k+1)``; True iff it strictly grows ``Wk``.
+
+        Exception-safe: the level is built aside and committed last, so
+        a divergence guard tripping mid-level
+        (:class:`~repro.errors.ContextExplosionError`) leaves the
+        committed levels consistent."""
+        frontier = self.levels[-1]
+        fresh: set[GlobalState] = set()
+        writes = 0
+        for state in frontier:
+            for index, pds in enumerate(self.cpds.threads):
+                local = PDSState(state.shared, state.stacks[index])
+                for action, local_next in pds_successors(pds, local):
+                    if action.to_shared == state.shared:
+                        continue  # write-free: already in the closure
+                    writes += 1
+                    stacks = list(state.stacks)
+                    stacks[index] = local_next.stack
+                    written = GlobalState(local_next.shared, tuple(stacks))
+                    if written in self._seen or written in fresh:
+                        continue
+                    for closed in self._close(written):
+                        if closed not in self._seen:
+                            fresh.add(closed)
+        METER.bump("wuba.level_writes", writes)
+        self._commit(frozenset(fresh))
+        return bool(fresh)
+
+    def _close(self, state: GlobalState) -> frozenset[GlobalState]:
+        """Write-free closure of ``state`` as the per-thread product of
+        local closures (the factorization in the module docstring)."""
+        per_thread = [
+            self._local_closure(index, state.shared, state.stacks[index])
+            for index in range(self.cpds.n_threads)
+        ]
+        product_size = 1
+        for stacks in per_thread:
+            product_size *= len(stacks)
+        if product_size > self.max_states_per_context:
+            raise ContextExplosionError(
+                f"write-free closure of {state} has {product_size} states, "
+                f"exceeding {self.max_states_per_context}",
+                states_seen=product_size,
+            )
+        return frozenset(
+            GlobalState(state.shared, stacks)
+            for stacks in itertools.product(*per_thread)
+        )
+
+    def _local_closure(self, index: int, shared, stack: tuple) -> frozenset:
+        memo = self._closure_memo
+        key = (index, shared, stack)
+        if memo is not None:
+            cached = memo.get(key)
+            if cached is not None:
+                METER.bump("wuba.closure_cache_hits")
+                return cached
+        closure = thread_write_free_post(
+            self.cpds.thread(index),
+            shared,
+            stack,
+            max_states=self.max_states_per_context,
+            index=index,
+        )
+        if memo is not None:
+            memo[key] = closure
+        return closure
+
+    def _commit(self, level: frozenset[GlobalState]) -> None:
+        self.levels.append(level)
+        self._seen |= level
+        self._record_visible(frozenset(state.visible() for state in level))
+
+    def ensure_level(self, k: int) -> None:
+        while self.k < k:
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def states_up_to(self, k: int | None = None) -> frozenset[GlobalState]:
+        """``Wk`` (default: the latest computed bound)."""
+        if k is None:
+            k = self.k
+        k = min(k, self.k)
+        result: set[GlobalState] = set()
+        for level in self.levels[: k + 1]:
+            result |= level
+        return frozenset(result)
+
+    def states_new_at(self, k: int) -> frozenset[GlobalState]:
+        """``Wk \\ Wk−1``."""
+        if 0 <= k < len(self.levels):
+            return self.levels[k]
+        return frozenset()
+
+    def plateaued_at(self, k: int) -> bool:
+        """True iff ``Wk−1 = Wk`` — a fixpoint, hence a collapse (see
+        module docstring), making Scheme 1 sound for this lane."""
+        return k >= 1 and k <= self.k and not self.levels[k]
+
+    def stats(self) -> dict:
+        return {
+            "global_states": len(self._seen),
+            "levels": [len(level) for level in self.levels],
+            "closure_memo": (
+                len(self._closure_memo) if self._closure_memo is not None else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Serialize the committed levels into a versioned binary blob
+        (:mod:`repro.service.snapshot`); the closure memo is a pure
+        cache and is rebuilt on demand after restore."""
+        from repro.service.snapshot import snapshot_wuba
+
+        return snapshot_wuba(self)
+
+    @classmethod
+    def restore(
+        cls, cpds: CPDS, data: bytes, *, max_states_per_context: int | None = None
+    ) -> "WubaReach":
+        """Rebuild a warm engine from a :meth:`snapshot` blob taken on
+        the same CPDS; raises :class:`~repro.errors.SnapshotError` on
+        any undecodable or mismatched blob."""
+        from repro.service.snapshot import restore_wuba
+
+        return restore_wuba(
+            cpds, data, max_states_per_context=max_states_per_context
+        )
+
+    # ------------------------------------------------------------------
+    # Lane contract
+    # ------------------------------------------------------------------
+    @classmethod
+    def applicable(cls, cpds: CPDS, prop=None) -> bool:
+        """WCR — every thread's write-free closures must be finite,
+        checked like FCR via shallow-configuration finiteness on the
+        write-free sub-PDS (sound for closures from arbitrary stacks by
+        the same fresh-top decomposition as Thm. 17)."""
+        from repro.pds.saturation import shallow_configs_psa
+
+        return all(
+            shallow_configs_psa(write_free_sub_pds(pds)).language_is_finite()
+            for pds in cpds.threads
+        )
+
+    @classmethod
+    def create(
+        cls,
+        cpds: CPDS,
+        *,
+        max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
+    ) -> "WubaReach":
+        return cls(
+            cpds,
+            max_states_per_context=(
+                DEFAULT_STATE_LIMIT
+                if max_states_per_context is None
+                else max_states_per_context
+            ),
+            config=config,
+        )
+
+    @classmethod
+    def restore_engine(
+        cls,
+        cpds: CPDS,
+        data: bytes,
+        *,
+        max_states_per_context: int | None = None,
+        config: EngineConfig | None = None,
+    ) -> "WubaReach":
+        return cls.restore(
+            cpds, data, max_states_per_context=max_states_per_context
+        )

@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING
 
 from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult
@@ -49,14 +50,23 @@ from repro.errors import CubaError, SnapshotError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.util.meter import METER
 
+if TYPE_CHECKING:
+    from repro.reach.config import EngineConfig
+
 
 @dataclass(slots=True)
 class EngineJob:
     """One engine run, fully described by picklable values.
 
-    ``snapshot`` is the parent's checkpoint of the stored engine (or
-    ``None`` on a fingerprint miss / snapshot-less entry): the
-    snapshot-as-message half of the IPC protocol.
+    ``engine`` is ``"auto"`` or any registered lane name
+    (:mod:`repro.reach.registry`; aliases accepted).  ``config``
+    carries the execution knobs
+    (:class:`~repro.reach.config.EngineConfig` — a plain frozen
+    dataclass, so it pickles across the process boundary); the ``jobs``
+    field is the pre-config shim and is only consulted when ``config``
+    is ``None``.  ``snapshot`` is the parent's checkpoint of the stored
+    engine (or ``None`` on a fingerprint miss / snapshot-less entry):
+    the snapshot-as-message half of the IPC protocol.
     """
 
     cpds: CPDS
@@ -67,6 +77,15 @@ class EngineJob:
     max_states_per_context: int = DEFAULT_STATE_LIMIT
     jobs: int = 1
     snapshot: bytes | None = None
+    config: "EngineConfig | None" = None
+
+    def engine_config(self) -> "EngineConfig":
+        """The effective execution config for this job."""
+        from repro.reach.config import EngineConfig
+
+        if self.config is not None:
+            return self.config
+        return EngineConfig(jobs=self.jobs)
 
 
 @dataclass
@@ -111,26 +130,27 @@ def describe_result(
 
 def _restore(job: EngineJob):
     """A warm engine from the job's snapshot message, or ``None`` when
-    there is nothing (or nothing decodable) to resume from."""
-    from repro.reach.explicit import ExplicitReach
-    from repro.reach.symbolic import SymbolicReach
-    from repro.service.snapshot import KIND_EXPLICIT, snapshot_kind
+    there is nothing (or nothing decodable) to resume from.  The kind
+    byte resolves the lane through the registry, so a new lane's
+    snapshots resume with no changes here."""
+    from repro.reach import registry
+    from repro.service.snapshot import snapshot_kind
 
     if job.snapshot is None:
         return None
     try:
-        if snapshot_kind(job.snapshot) == KIND_EXPLICIT:
-            engine = ExplicitReach.restore(
-                job.cpds,
-                job.snapshot,
-                jobs=job.jobs,
-                max_states_per_context=job.max_states_per_context,
-            )
-        else:
-            engine = SymbolicReach.restore(job.cpds, job.snapshot)
-    except SnapshotError:
+        cls = registry.engine_for_kind(snapshot_kind(job.snapshot))
+        engine = cls.restore_engine(
+            job.cpds,
+            job.snapshot,
+            max_states_per_context=job.max_states_per_context,
+            config=job.engine_config(),
+        )
+    except (SnapshotError, CubaError):
+        # Bad blob, or a kind byte no registered lane owns (a snapshot
+        # from a lane this build doesn't ship) ⇒ miss, never a crash.
         METER.bump("service.snapshot_rejects")
-        return None  # bad blob ⇒ miss, never a crash
+        return None
     METER.bump("service.resumes")
     return engine
 
@@ -141,43 +161,64 @@ def execute_job(job: EngineJob) -> JobOutcome:
     bump — dedup accounting stays parent-side)."""
     import time
 
-    from repro.cuba.algorithm3 import algorithm3
-    from repro.cuba.scheme1 import scheme1_rk
+    from repro.cuba.lanes import ensure_applicable, run_lane
     from repro.cuba.verifier import Cuba
-    from repro.reach.explicit import ExplicitReach
-    from repro.reach.symbolic import SymbolicReach
+    from repro.reach import registry
 
     started = time.perf_counter()
+    config = job.engine_config()
     engine = _restore(job)
     resumed = engine is not None
-    kind = "explicit"
-    if job.engine == "explicit":
-        if engine is None:
-            engine = ExplicitReach(
-                job.cpds,
-                max_states_per_context=job.max_states_per_context,
-                jobs=job.jobs,
-            )
-        result = scheme1_rk(
-            job.cpds, job.prop, max_rounds=job.max_rounds, engine=engine
-        )
-    elif job.engine == "symbolic":
-        if engine is None:
-            engine = SymbolicReach(job.cpds)
-        kind = "symbolic"
-        result = algorithm3(
-            job.cpds, job.prop, engine=engine, max_rounds=job.max_rounds
-        )
-    else:  # auto — the Sec. 6 front-end
+    if job.engine == "auto":  # the Sec. 6 front-end
         verifier = Cuba(
             job.cpds,
             job.prop,
             max_states_per_context=job.max_states_per_context,
-            jobs=job.jobs,
+            config=config,
         )
         result = verifier.verify(max_rounds=job.max_rounds, engine=engine).result
         engine = verifier.last_engine
-        kind = "symbolic" if isinstance(engine, SymbolicReach) else "explicit"
+        kind = engine.lane if engine is not None else "auto"
+    else:
+        kind = registry.canonical_lane(job.engine)
+        if engine is not None and engine.lane != kind:
+            # Fingerprints key snapshots by lane, so this is defensive:
+            # a cross-lane blob is a miss, not a mis-resume.
+            METER.bump("service.snapshot_rejects")
+            engine = None
+            resumed = False
+        if engine is None:
+            cls = registry.engine_class(kind)
+            try:
+                # Applicability must be checked *before* construction:
+                # building e.g. a wuba engine on a non-WCR model
+                # diverges into the state-limit guard instead of
+                # failing fast.
+                ensure_applicable(cls, job.cpds, job.prop)
+            except CubaError as precondition:
+                # A failed lane precondition is UNKNOWN for a reason
+                # deeper k cannot fix: the outcome is *final* (bound 0,
+                # not resumable), so the store caches it and repeated
+                # requests never rerun the check — the same contract
+                # such runs had when they diverged into the state-limit
+                # guard instead.
+                METER.bump("service.lane_rejects")
+                result = VerificationResult(
+                    Verdict.UNKNOWN,
+                    bound=0,
+                    method=f"{cls.preferred_algorithm}({cls.sequence_name})",
+                    message=str(precondition),
+                )
+            else:
+                engine = cls.create(
+                    job.cpds,
+                    max_states_per_context=job.max_states_per_context,
+                    config=config,
+                )
+        if engine is not None:
+            result = run_lane(
+                engine, job.cpds, job.prop, max_rounds=job.max_rounds
+            )
 
     explored = engine.k if engine is not None else result.bound
     # UNKNOWN below the budget means the run stopped for a reason

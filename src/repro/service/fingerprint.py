@@ -17,12 +17,13 @@ satisfy two properties the obvious ``sha256(repr(cpds))`` does not:
   the process-global intern order (which depends on what else the
   process interned first, and a persistent store must survive
   restarts).
-* **Config changes don't.**  The engine lane and divergence-guard
-  limit change what a stored verdict/snapshot means, so they are part
-  of the key.  Execution knobs that provably do not affect results
-  (``jobs``, ``batched``, ``shard_replay``, ``backend`` —
-  differentially tested elsewhere) are *not* included; the service
-  strips them before calling in.
+* **Config changes don't.**  The engine lane (the *canonical* registry
+  name, see :func:`repro.reach.registry.canonical_lane` — aliases must
+  collide) and divergence-guard limit change what a stored
+  verdict/snapshot means, so they are part of the key.  Execution knobs
+  that provably do not affect results (``jobs``, ``batched``,
+  ``shard_replay``, ``backend`` — differentially tested elsewhere) are
+  *not* included; the service strips them before calling in.
 
 Model values (shared states, stack symbols) are identified by
 ``(type qualname, repr)``; every in-tree model uses ints and strings,
@@ -42,9 +43,11 @@ from repro.core.property import Property
 from repro.cpds.cpds import CPDS
 from repro.errors import FingerprintError
 
-#: Bumped whenever the canonical serialization below changes shape;
-#: part of the hashed payload, so old store entries simply miss.
-FINGERPRINT_VERSION = 1
+#: Bumped whenever the canonical serialization below changes shape (or
+#: the meaning of a config token — version 2: the ``engine`` token is
+#: the registry's canonical lane name); part of the hashed payload, so
+#: old store entries simply miss.
+FINGERPRINT_VERSION = 2
 
 
 def _value_token(value) -> tuple[str, str]:

@@ -50,6 +50,8 @@ from repro.cpds.cpds import CPDS
 from repro.cpds.format import parse_cpds
 from repro.errors import CubaError, ServiceError
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
+from repro.reach import registry
+from repro.reach.config import EngineConfig
 from repro.service.executor import (
     EngineJob,
     ProcessAnalysisExecutor,
@@ -60,7 +62,9 @@ from repro.service.store import AnalysisStore
 from repro.util.caches import clear_runtime_caches
 from repro.util.meter import METER
 
-ENGINE_LANES = ("auto", "explicit", "symbolic")
+#: "auto" (the Sec. 6 front-end) plus every registered lane — a new
+#: lane module is service-submittable with no change here.
+ENGINE_LANES = ("auto", *registry.lane_names())
 
 #: Engine-run execution modes: "thread" runs engines inline on the
 #: service's thread executor (library/test default); "process" ships
@@ -107,10 +111,17 @@ class AnalysisRequest:
             raise ServiceError(
                 "a request carries exactly one of 'cpds' or 'bp' program text"
             )
-        if self.engine not in ENGINE_LANES:
-            raise ServiceError(
-                f"unknown engine lane {self.engine!r}; pick one of {ENGINE_LANES}"
-            )
+        if self.engine != "auto":
+            # Canonicalize aliases ("wk" → "wuba", ...) up front so the
+            # fingerprint's engine token — and therefore the store key —
+            # is spelling-invariant.
+            try:
+                self.engine = registry.canonical_lane(self.engine)
+            except CubaError as bad:
+                raise ServiceError(
+                    f"unknown engine lane {self.engine!r}; pick one of "
+                    f"{ENGINE_LANES}"
+                ) from bad
         if self.max_rounds < 0:
             raise ServiceError(f"max_rounds must be >= 0, got {self.max_rounds}")
 
@@ -346,6 +357,7 @@ class AnalysisService:
                 max_states_per_context=request.max_states_per_context,
                 jobs=self.jobs,
                 snapshot=self._stored_snapshot(problem, entry),
+                config=EngineConfig(jobs=self.jobs),
             )
             if self._engine_executor is None:
                 outcome = execute_job(job)
@@ -385,7 +397,9 @@ class AnalysisService:
 # HTTP layer
 # ----------------------------------------------------------------------
 _METER_WINDOW_PREFIXES = (
-    "service.", "snapshot.", "explicit.", "symbolic.", "store.",
+    "service.", "snapshot.", "store.",
+    # Every registered lane's work counters (explicit./symbolic./wuba.).
+    *(registry.engine_class(name).meter_prefix for name in registry.lane_names()),
 )
 
 #: Settled /status history kept per server (running jobs never count

@@ -8,10 +8,15 @@ continues from the stored bound, level-for-level identical to an
 uninterrupted run, including the METER expansion counts
 (differentially tested in ``tests/service/test_snapshot.py``).
 
-Format (``SNAPSHOT_VERSION`` 1)
+Format (``SNAPSHOT_VERSION`` 2)
 -------------------------------
 ``MAGIC ║ u16 version ║ u8 kind ║ payload`` — the payload is a pickled
-dict whose integer columns are contiguous ``array('q')`` blobs:
+dict whose integer columns are contiguous ``array('q')`` blobs.  The
+kind byte is each lane's registered
+:attr:`~repro.reach.base.ReachabilityEngine.snapshot_kind`; version 2
+added the WUBA lane (kind 3) alongside the lane-token fingerprint
+change, so version-1 blobs decode as :class:`SnapshotError` — a store
+miss, never a mis-resume:
 
 * **explicit** (kind 1): the :class:`~repro.cpds.interning.StateTable`
   component pools plus interleaved ``(qid, wids...)`` rows (component
@@ -33,6 +38,10 @@ dict whose integer columns are contiguous ``array('q')`` blobs:
   one under the current process's per-thread alphabets, so a restarted
   daemon with different symbol-interning history still resumes instead
   of silently recomputing from scratch.
+* **wuba** (kind 3): the committed ``(Wk)`` levels as
+  ``(shared, stacks)`` rows against a pool of distinct per-thread
+  stacks, plus the engine's guard and memo mode.  The write-free
+  closure memo is a pure semantic cache and is rebuilt on demand.
 
 Snapshots are trusted data: they are produced and consumed by the same
 store (pickle is not safe against adversarial blobs, same as every
@@ -55,10 +64,11 @@ from repro.errors import SnapshotError
 from repro.util.meter import METER
 
 MAGIC = b"CUSN"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 KIND_EXPLICIT = 1
 KIND_SYMBOLIC = 2
+KIND_WUBA = 3
 
 _HEADER = struct.Struct("<4sHB")
 
@@ -190,20 +200,22 @@ def restore_explicit(
     cpds: CPDS,
     data: bytes,
     *,
-    jobs: int = 1,
-    shard_replay: bool = True,
-    backend: str = "auto",
+    config=None,
     max_states_per_context: int | None = None,
 ):
     """Rebuild a warm :class:`~repro.reach.explicit.ExplicitReach` from
-    a :func:`snapshot_explicit` blob.  ``jobs``, ``shard_replay`` and
-    ``backend`` (pure execution knobs, never serialized into the blob)
-    may differ from the snapshotted engine's;
-    ``max_states_per_context`` defaults to the snapshotted guard.
-    Raises :class:`SnapshotError` when the blob is undecodable or does
-    not belong to ``cpds``."""
+    a :func:`snapshot_explicit` blob.  ``config`` carries the execution
+    knobs (:class:`~repro.reach.config.EngineConfig` —
+    ``jobs``/``shard_replay``/``backend``; pure execution knobs, never
+    serialized into the blob) and may differ from the snapshotted
+    engine's; ``max_states_per_context`` defaults to the snapshotted
+    guard.  Raises :class:`SnapshotError` when the blob is undecodable
+    or does not belong to ``cpds``."""
+    from repro.reach.config import EngineConfig
     from repro.reach.explicit import ExplicitReach
 
+    if config is None:
+        config = EngineConfig()
     _kind, payload = decode(data, expected_kind=KIND_EXPLICIT)
     try:
         n_threads = payload["n_threads"]
@@ -223,10 +235,7 @@ def restore_explicit(
             ),
             track_traces=payload["track_traces"],
             incremental=payload["incremental"],
-            batched=True,
-            jobs=jobs,
-            shard_replay=shard_replay,
-            backend=backend,
+            config=config.replace(batched=True),
         )
         if len(table) == 0 or table.state(0) != cpds.initial_state():
             raise SnapshotError("snapshot does not belong to this CPDS")
@@ -363,10 +372,14 @@ def restore_symbolic(cpds: CPDS, data: bytes, *, batched: bool | None = None):
             raise SnapshotError(
                 f"snapshot has {n} threads, CPDS has {cpds.n_threads}"
             )
+        from repro.reach.config import EngineConfig
+
         engine = SymbolicReach(
             cpds,
             incremental=payload["expansions"] is not None,
-            batched=payload["batched"] if batched is None else batched,
+            config=EngineConfig(
+                batched=payload["batched"] if batched is None else batched
+            ),
         )
         initial_level = engine.levels[0]
 
@@ -459,3 +472,107 @@ def restore_symbolic(cpds: CPDS, data: bytes, *, batched: bool | None = None):
         raise
     except Exception as broken:
         raise SnapshotError(f"symbolic snapshot malformed: {broken}") from broken
+
+
+# ----------------------------------------------------------------------
+# WUBA engine (Wk)
+# ----------------------------------------------------------------------
+def snapshot_wuba(engine) -> bytes:
+    """Checkpoint a :class:`~repro.reach.wuba.WubaReach`: the committed
+    ``(Wk)`` levels as ``(shared, stack-ids...)`` rows against a pool of
+    distinct per-thread stacks.  The write-free closure memo is a pure
+    semantic cache (rebuilt on demand), so it is not persisted."""
+    stack_ids: dict = {}
+    stack_pool: list = []
+
+    def stack_idx(stack) -> int:
+        idx = stack_ids.get(stack)
+        if idx is None:
+            idx = stack_ids[stack] = len(stack_pool)
+            stack_pool.append(stack)
+        return idx
+
+    level_lens = array("q", (len(level) for level in engine.levels))
+    shared_rows: list = []
+    stack_rows = array("q")
+    for level in engine.levels:
+        for state in level:
+            shared_rows.append(state.shared)
+            stack_rows.extend(stack_idx(stack) for stack in state.stacks)
+
+    return _encode(
+        KIND_WUBA,
+        {
+            "n_threads": engine.cpds.n_threads,
+            "max_states_per_context": engine.max_states_per_context,
+            "incremental": engine._closure_memo is not None,
+            "stack_pool": stack_pool,
+            "level_lens": level_lens,
+            "shared_rows": shared_rows,
+            "stack_rows": stack_rows,
+        },
+    )
+
+
+def restore_wuba(cpds: CPDS, data: bytes, *, max_states_per_context: int | None = None):
+    """Rebuild a warm :class:`~repro.reach.wuba.WubaReach` from a
+    :func:`snapshot_wuba` blob.  ``max_states_per_context`` defaults to
+    the snapshotted guard.  Raises :class:`SnapshotError` when the blob
+    is undecodable or does not belong to ``cpds`` (level 0 must match
+    the write-free closure of this CPDS's initial state)."""
+    from repro.cpds.state import GlobalState
+    from repro.reach.wuba import WubaReach
+
+    _kind, payload = decode(data, expected_kind=KIND_WUBA)
+    try:
+        n = payload["n_threads"]
+        if n != cpds.n_threads:
+            raise SnapshotError(
+                f"snapshot has {n} threads, CPDS has {cpds.n_threads}"
+            )
+        engine = WubaReach(
+            cpds,
+            max_states_per_context=(
+                payload["max_states_per_context"]
+                if max_states_per_context is None
+                else max_states_per_context
+            ),
+            incremental=payload["incremental"],
+        )
+        stack_pool = payload["stack_pool"]
+        shared_rows = payload["shared_rows"]
+        stack_rows = payload["stack_rows"]
+        levels: list[frozenset] = []
+        state_index = 0
+        cursor = 0
+        for length in payload["level_lens"]:
+            bucket = []
+            for _ in range(length):
+                stacks = tuple(
+                    stack_pool[stack_rows[cursor + offset]] for offset in range(n)
+                )
+                bucket.append(GlobalState(shared_rows[state_index], stacks))
+                state_index += 1
+                cursor += n
+            levels.append(frozenset(bucket))
+        # A fresh engine's level 0 is the write-free closure of the
+        # initial state — deterministic, so equality is the belonging
+        # check (same shape as the explicit/symbolic restores).
+        if not levels or levels[0] != engine.levels[0]:
+            raise SnapshotError("snapshot does not belong to this CPDS")
+        engine.levels = levels
+        seen: set = set()
+        for level in levels:
+            seen |= level
+        engine._seen = seen
+        engine.visible_levels.clear()
+        engine._visible_cumulative.clear()
+        for level in levels:
+            engine._record_visible(
+                frozenset(state.visible() for state in level)
+            )
+        return engine
+    except SnapshotError:
+        raise
+    except Exception as broken:
+        raise SnapshotError(f"wuba snapshot malformed: {broken}") from broken

@@ -1,0 +1,146 @@
+"""Lane-contract conformance: every registered lane, one parametrized
+suite.
+
+A lane that registers (:mod:`repro.reach.registry`) promises the full
+engine contract of :class:`~repro.reach.base.ReachabilityEngine` — the
+class attributes the dispatch surfaces read, ``applicable`` as the
+precondition, ``create``/``snapshot``/``restore_engine`` for the
+service, and a ``stats`` schema the bench payloads persist.  These
+tests are what "adding a lane is one module" rests on: a new
+``@register``-decorated class passes or fails this file, not a trail of
+per-surface breakage.
+"""
+
+import warnings
+
+import pytest
+
+from repro.bench.runner import _METER_PREFIXES
+from repro.models import fig1_cpds
+from repro.reach import registry
+from repro.reach.base import ReachabilityEngine
+from repro.reach.config import EngineConfig
+from repro.service.server import _METER_WINDOW_PREFIXES
+
+LANES = registry.lane_names()
+
+
+def lane_params():
+    return [pytest.param(name, id=name) for name in LANES]
+
+
+class TestRegistry:
+    def test_builtin_lanes_registered(self):
+        assert set(LANES) >= {"explicit", "symbolic", "wuba"}
+
+    def test_aliases_resolve(self):
+        assert registry.canonical_lane("rk") == "explicit"
+        assert registry.canonical_lane("sk") == "symbolic"
+        assert registry.canonical_lane("wk") == "wuba"
+        assert registry.canonical_lane("Explicit") == "explicit"
+
+    def test_unknown_lane_raises(self):
+        from repro.errors import CubaError
+
+        with pytest.raises(CubaError, match="registered lanes"):
+            registry.canonical_lane("bdd")
+
+    def test_snapshot_kinds_unique(self):
+        kinds = [registry.engine_class(name).snapshot_kind for name in LANES]
+        assert len(kinds) == len(set(kinds))
+
+    def test_engine_for_kind_round_trips(self):
+        for name in LANES:
+            cls = registry.engine_class(name)
+            assert registry.engine_for_kind(cls.snapshot_kind) is cls
+
+
+class TestContract:
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_attributes_well_formed(self, lane):
+        cls = registry.engine_class(lane)
+        assert issubclass(cls, ReachabilityEngine)
+        assert cls.lane == lane
+        assert cls.sequence_name
+        assert cls.meter_prefix.endswith(".")
+        assert cls.snapshot_kind > 0
+        assert isinstance(cls.supports_witness, bool)
+        assert cls.preferred_algorithm in ("scheme1", "algorithm3")
+
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_meter_prefix_reaches_bench_and_service(self, lane):
+        # The bench payloads and the service /meter window must both
+        # persist a lane's work counters, or a new lane's perf work is
+        # invisible to the trajectory gate.
+        prefix = registry.engine_class(lane).meter_prefix
+        assert prefix in _METER_PREFIXES
+        assert prefix in _METER_WINDOW_PREFIXES
+
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_applicable_returns_bool(self, lane):
+        cls = registry.engine_class(lane)
+        assert cls.applicable(fig1_cpds()) in (True, False)
+
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_create_and_advance(self, lane):
+        cpds = fig1_cpds()
+        cls = registry.engine_class(lane)
+        if not cls.applicable(cpds):
+            pytest.skip(f"lane {lane} not applicable to fig1")
+        engine = registry.create(lane, cpds, config=EngineConfig())
+        assert engine.k == 0
+        engine.advance()
+        assert engine.k == 1
+        assert engine.visible_up_to(1) >= engine.visible_up_to(0)
+
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_snapshot_restore_round_trip(self, lane):
+        cpds = fig1_cpds()
+        cls = registry.engine_class(lane)
+        if not cls.applicable(cpds):
+            pytest.skip(f"lane {lane} not applicable to fig1")
+        engine = cls.create(cpds)
+        engine.advance()
+        engine.advance()
+        blob = engine.snapshot()
+        from repro.service.snapshot import snapshot_kind
+
+        assert snapshot_kind(blob) == cls.snapshot_kind
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            restored = cls.restore_engine(cpds, blob, config=EngineConfig())
+        assert restored.k == engine.k
+        for k in range(engine.k + 1):
+            assert restored.visible_new_at(k) == engine.visible_new_at(k)
+        # A restored engine must keep advancing identically.
+        engine.advance()
+        restored.advance()
+        assert restored.visible_new_at(restored.k) == engine.visible_new_at(engine.k)
+
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_stats_schema(self, lane):
+        cpds = fig1_cpds()
+        cls = registry.engine_class(lane)
+        if not cls.applicable(cpds):
+            pytest.skip(f"lane {lane} not applicable to fig1")
+        engine = cls.create(cpds)
+        engine.advance()
+        stats = engine.stats()
+        assert isinstance(stats, dict)
+        assert "levels" in stats
+
+    @pytest.mark.parametrize("lane", lane_params())
+    def test_run_lane_dispatches(self, lane):
+        from repro.core.property import AlwaysSafe
+        from repro.cuba.lanes import run_lane
+
+        cpds = fig1_cpds()
+        cls = registry.engine_class(lane)
+        if not cls.applicable(cpds):
+            from repro.errors import CubaError
+
+            with pytest.raises(CubaError, match="not applicable"):
+                run_lane(lane, cpds, AlwaysSafe(), max_rounds=2)
+            return
+        result = run_lane(lane, cpds, AlwaysSafe(), max_rounds=2)
+        assert cls.sequence_name in result.method

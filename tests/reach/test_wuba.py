@@ -1,0 +1,176 @@
+"""WUBA lane tests: the ``(Wk)`` levels against a naive write-counting
+oracle, the WCR precondition, and the fixpoint property.
+
+The oracle is a 0/1-BFS over :func:`repro.cpds.global_successors` with
+weight 1 exactly on the *writing* actions (``to_shared != from_shared``)
+— a direct transcription of the ``Wk`` definition with none of the
+engine's factorized-closure machinery, so agreement proves the
+commuting-closure decomposition, not just the code against itself.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.cpds.semantics import global_successors, thread_write_free_post
+from repro.cuba.lanes import run_lane
+from repro.core.property import AlwaysSafe, SharedStateReachability
+from repro.core.result import Verdict
+from repro.models import fig1_cpds, fig2_cpds
+from repro.models.random_gen import RandomSpec, random_cpds
+from repro.models.registry import smallest_per_row
+from repro.reach.wuba import WubaReach, write_free_sub_pds
+
+
+def oracle_levels(cpds, max_writes: int, cap: int = 200_000):
+    """``W0..Wk`` by 0/1-BFS: ``dist[state]`` = min #writes to reach it
+    (write-free edges cost 0 via appendleft, writes cost 1)."""
+    start = cpds.initial_state()
+    dist = {start: 0}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        # Re-queued states re-expand with their best-known distance —
+        # wasteful but sound, and every improvement re-enqueues.
+        d = dist[state]
+        for _thread, action, nxt in global_successors(cpds, state):
+            weight = 1 if action.to_shared != state.shared else 0
+            nd = d + weight
+            if nd > max_writes or dist.get(nxt, nd + 1) <= nd:
+                continue
+            dist[nxt] = nd
+            if weight:
+                queue.append(nxt)
+            else:
+                queue.appendleft(nxt)
+            assert len(dist) <= cap, "oracle exploded"
+    levels = [set() for _ in range(max_writes + 1)]
+    for state, d in dist.items():
+        levels[d].add(state)
+    return [frozenset(level) for level in levels]
+
+
+def wuba_applicable_rows():
+    rows = []
+    for bench in smallest_per_row():
+        cpds, prop = bench.build()
+        if WubaReach.applicable(cpds, prop):
+            rows.append(pytest.param(cpds, id=bench.name))
+    return rows
+
+
+class TestAgainstOracle:
+    def test_fig1_levels_match(self):
+        cpds = fig1_cpds()
+        engine = WubaReach(cpds)
+        engine.ensure_level(6)
+        assert engine.levels[:7] == oracle_levels(cpds, 6)
+
+    @pytest.mark.parametrize("cpds", wuba_applicable_rows())
+    def test_registry_rows_match(self, cpds):
+        depth = 5
+        engine = WubaReach(cpds)
+        engine.ensure_level(depth)
+        assert engine.levels[: depth + 1] == oracle_levels(cpds, depth)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_models_match(self, seed):
+        cpds = random_cpds(seed, RandomSpec(rules_per_thread=5, push_bias=0.2))
+        if not WubaReach.applicable(cpds):
+            pytest.skip("random model violates WCR")
+        engine = WubaReach(cpds)
+        engine.ensure_level(4)
+        assert engine.levels[:5] == oracle_levels(cpds, 4)
+
+    def test_incremental_memo_is_pure(self):
+        cpds = fig1_cpds()
+        warm = WubaReach(cpds, incremental=True)
+        cold = WubaReach(cpds, incremental=False)
+        warm.ensure_level(5)
+        cold.ensure_level(5)
+        assert warm.levels == cold.levels
+
+
+class TestFixpoint:
+    """A ``(Wk)`` plateau is the full reachable set — cross-validated
+    against the explicit engine's independent ``(Rk)`` fixpoint."""
+
+    @pytest.mark.parametrize("cpds", wuba_applicable_rows())
+    def test_plateau_equals_explicit_reachable_set(self, cpds):
+        from repro.cuba.fcr import check_fcr
+        from repro.reach.explicit import ExplicitReach
+
+        if not check_fcr(cpds).holds:
+            pytest.skip("explicit engine needs FCR")
+        wuba = WubaReach(cpds)
+        for _ in range(40):
+            if not wuba.advance():
+                break
+        else:
+            pytest.skip("no Wk plateau within 40 writes")
+        explicit = ExplicitReach(cpds, track_traces=False)
+        for _ in range(60):
+            explicit.advance()
+            if explicit.plateaued_at(explicit.k):
+                break
+        else:
+            pytest.skip("no Rk plateau within 60 contexts")
+        reachable = set()
+        for k in range(explicit.k + 1):
+            reachable |= explicit.states_new_at(k)
+        assert wuba.states_up_to() == frozenset(reachable)
+
+    def test_plateau_is_sticky(self):
+        engine = WubaReach(fig1_cpds())
+        engine.ensure_level(3)
+        # fig1 never plateaus (stacks grow forever) — check the inverse.
+        assert not engine.plateaued_at(3)
+
+
+class TestApplicability:
+    def test_fig1_satisfies_wcr(self):
+        assert WubaReach.applicable(fig1_cpds())
+
+    def test_fig2_violates_wcr(self):
+        # Fig. 2's write-free loop pushes unboundedly: closures are
+        # infinite, the lane must refuse up front.
+        assert not WubaReach.applicable(fig2_cpds())
+
+    def test_write_free_sub_pds_keeps_only_preserving_actions(self):
+        pds = fig1_cpds().thread(0)
+        sub = write_free_sub_pds(pds)
+        assert all(a.to_shared == a.from_shared for a in sub.actions)
+        kept = sum(1 for a in pds.actions if a.to_shared == a.from_shared)
+        assert len(tuple(sub.actions)) == kept
+
+    def test_thread_write_free_post_pins_shared(self):
+        cpds = fig1_cpds()
+        state = cpds.initial_state()
+        closure = thread_write_free_post(
+            cpds.thread(0), state.shared, state.stacks[0]
+        )
+        assert state.stacks[0] in closure  # reflexive
+
+
+class TestVerdicts:
+    def test_unsafe_shared_state_found_at_minimal_write_bound(self):
+        result = run_lane(
+            "wuba", fig1_cpds(), SharedStateReachability({3}), max_rounds=10
+        )
+        assert result.verdict is Verdict.UNSAFE
+        assert result.bound == 3
+        assert result.method == "scheme1(Wk)"
+
+    def test_unknown_when_no_plateau(self):
+        result = run_lane("wuba", fig1_cpds(), AlwaysSafe(), max_rounds=8)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_safe_on_plateauing_model(self):
+        for bench in smallest_per_row():
+            cpds, prop = bench.build()
+            if bench.row.startswith("9/"):
+                result = run_lane("wuba", cpds, prop, max_rounds=30)
+                assert result.verdict is Verdict.SAFE
+                assert "collapse" in result.message
+                return
+        pytest.fail("Dekker row missing from registry")

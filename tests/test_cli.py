@@ -125,7 +125,10 @@ class TestServiceCommands:
             ["submit", "file.cpds", "--engine", "explicit", "--no-wait"]
         )
         assert args.handler.__name__ == "cmd_submit"
-        assert args.engine == "explicit" and args.no_wait
+        # --engine is the pre-lane spelling, kept as an alias of --lane.
+        assert args.lane == "explicit" and args.no_wait
+        args = parser.parse_args(["submit", "file.cpds", "--lane", "wuba"])
+        assert args.lane == "wuba"
 
     def test_submit_without_server_reports_cleanly(self, fig1_file, capsys):
         # Port 9 (discard) is never a cuba service; the CubaError path
