@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""CI ``obs-smoke`` acceptance driver: the observability surface end to
+end against a real ``cuba serve`` subprocess.
+
+Usage (from the repo root)::
+
+    python benchmarks/obs_smoke.py --out obs-out
+
+The script
+
+1. spawns ``cuba serve --log-format json`` on an ephemeral port,
+2. turns span capture on over HTTP (``POST /trace``),
+3. submits a quick workload twice (fresh run, then store hit),
+4. scrapes ``/metrics`` and re-parses it with the strict
+   :func:`repro.obs.prometheus.parse_text` — any malformed line fails
+   the lane — asserting a nonzero per-lane
+   ``cuba_service_request_seconds`` histogram,
+5. exports the Chrome trace (``GET /trace``) into ``--out`` as the CI
+   artifact and checks the expected span names arrived, and
+6. checks the server's stderr carried one JSON audit line per submit.
+
+Exit codes: 0 all checks pass, 1 an observability check failed,
+2 environment problems (server never became healthy).
+"""
+
+import argparse
+import http.client
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cpds import format_cpds  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+from repro.models import fig1_cpds  # noqa: E402
+from repro.obs.prometheus import parse_text  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+
+def _raw(port: int, method: str, path: str, payload: dict | None = None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _check(condition: bool, label: str) -> bool:
+    print(f"{'ok' if condition else 'FAIL'}: {label}")
+    return condition
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="obs-out", help="artifact directory (trace JSON)"
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as scratch:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", str(port),
+                "--store", str(Path(scratch) / "store.sqlite"),
+                "--log-format", "json",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            client = ServiceClient(port=port, timeout=60)
+            for _ in range(200):
+                try:
+                    client.health()
+                    break
+                except ServiceError:
+                    time.sleep(0.05)
+            else:
+                print("cuba serve never became healthy", file=sys.stderr)
+                return 2
+
+            status, body = _raw(port, "POST", "/trace", {"enabled": True})
+            failures += not _check(
+                status == 200 and json.loads(body)["tracing"] is True,
+                "POST /trace enables span capture",
+            )
+
+            fig1 = format_cpds(fig1_cpds())
+            first = client.submit(
+                fig1, property_spec="shared:3", engine="explicit", max_rounds=10
+            )
+            second = client.submit(
+                fig1, property_spec="shared:3", engine="explicit", max_rounds=10
+            )
+            failures += not _check(
+                first["verdict"] == second["verdict"] == "unsafe",
+                "both submits verdict unsafe",
+            )
+            failures += not _check(
+                not first["cached"] and second["cached"],
+                "fresh run then store hit",
+            )
+            failures += not _check(
+                first["engine_seconds"] >= 0.0
+                and first["queue_seconds"] >= 0.0,
+                "response separates engine_seconds and queue_seconds",
+            )
+
+            # /metrics must be strictly parseable Prometheus text with a
+            # populated per-lane request histogram.
+            scrape = client.metrics()
+            (out / "metrics.txt").write_text(scrape)
+            try:
+                samples = parse_text(scrape)
+            except ValueError as bad:
+                print(f"FAIL: /metrics is not valid Prometheus: {bad}")
+                samples = {}
+                failures += 1
+            request_counts = samples.get(
+                "cuba_service_request_seconds_count", {}
+            )
+            by_lane = {
+                dict(labels).get("lane"): value
+                for labels, value in request_counts.items()
+            }
+            failures += not _check(
+                sum(by_lane.values()) >= 2 and all(by_lane),
+                f"per-lane request histogram populated ({by_lane})",
+            )
+            failures += not _check(
+                any(name.endswith("_total") for name in samples),
+                "METER counters exported alongside histograms",
+            )
+
+            # The Chrome trace artifact: request → engine phases.
+            status, body = _raw(port, "GET", "/trace")
+            trace_path = out / "obs_smoke_trace.json"
+            trace_path.write_bytes(body)
+            doc = json.loads(body)
+            names = {event["name"] for event in doc["traceEvents"]}
+            failures += not _check(
+                status == 200
+                and {"service.request", "service.engine_run", "lane.run"}
+                <= names
+                and any(name.endswith(".level") for name in names),
+                f"trace artifact has request/engine/level spans "
+                f"({len(doc['traceEvents'])} events -> {trace_path})",
+            )
+            # The default serve executor is the process pool, so the
+            # fresh run's engine spans were recorded in a worker and
+            # adopted by the parent — the trace must show both pids.
+            pids = {event["pid"] for event in doc["traceEvents"]}
+            failures += not _check(
+                "executor.dispatch" in names and len(pids) >= 2,
+                f"worker spans re-parented across processes (pids={pids})",
+            )
+
+            client.shutdown()
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+            stderr = server.stderr.read() if server.stderr else ""
+
+        audits = []
+        for line in stderr.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("logger") == "cuba.audit":
+                audits.append(record)
+        failures += not _check(
+            len(audits) == 2
+            and all(record.get("fingerprint") for record in audits)
+            and [record.get("store") for record in audits] == ["miss", "hit"],
+            f"one JSON audit line per submit ({len(audits)} found)",
+        )
+
+    if failures:
+        print(f"{failures} observability check(s) failed", file=sys.stderr)
+        return 1
+    print("obs smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

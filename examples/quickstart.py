@@ -126,6 +126,35 @@ def main() -> None:
     print(result)
     print()
 
+    print("== Observability: spans, latency histograms, /metrics ==")
+    # Tracing is off by default and free while off; flip it on and any
+    # run records nested spans (request -> lane.run -> <lane>.level ->
+    # saturation/replay), exportable as Chrome trace-event JSON for
+    # chrome://tracing / Perfetto.  On the CLI:
+    # `cuba verify file.cpds --trace out.json`.  Against a live
+    # `cuba serve`: `POST /trace {"enabled": true}` toggles capture,
+    # `GET /trace` exports, `GET /metrics` serves Prometheus text
+    # (counters + per-lane request latency histograms), and every
+    # submit emits one structured audit line
+    # (`--log-format json` for machine-shippable logs).
+    from repro.obs import trace
+    from repro.obs.metrics import LATENCY
+    from repro.obs.prometheus import render
+
+    trace.clear()
+    trace.enable()
+    run_lane("explicit", cpds, SharedStateReachability({3}), max_rounds=6)
+    trace.disable()
+    spans = trace.take()
+    names = sorted({span["name"] for span in spans})
+    print(f"recorded {len(spans)} spans: {', '.join(names)}")
+    p99 = LATENCY.percentile("store_transaction", 0.99, op="get")
+    if p99 is not None:
+        print(f"store get p99: {p99 * 1000:.2f}ms")
+    scrape = render()  # the exact /metrics body
+    print(f"/metrics exposition: {len(scrape.splitlines())} sample lines")
+    print()
+
     print("== Multiprocess view saturation (jobs=N) ==")
     # Each frontier level's unique (thread, shared, stack) views are
     # independent, so the explicit engine can saturate them across a

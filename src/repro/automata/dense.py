@@ -25,6 +25,7 @@ from collections import OrderedDict
 from collections.abc import Hashable, Sequence
 
 from repro.automata.nfa import NFA
+from repro.obs import trace
 from repro.util.meter import METER
 
 Symbol = Hashable
@@ -345,6 +346,30 @@ def hopcroft_incremental(
     partition carried over), ``_misses`` the from-scratch runs on tables
     with no close-enough predecessor.
     """
+    if trace.enabled():
+        # The path label (hit/miss/bypass) is read back off the METER
+        # counters the impl already bumps, so the span stays an
+        # annotation and never forks the control flow.
+        hits = METER.get("canonical.hopcroft_incremental_hits")
+        misses = METER.get("canonical.hopcroft_incremental_misses")
+        with trace.span(
+            "canonical.hopcroft_incremental", states=len(rows)
+        ) as timing:
+            block_of = _hopcroft_incremental(rows, accepting)
+            timing.set(
+                path="hit"
+                if METER.get("canonical.hopcroft_incremental_hits") > hits
+                else "miss"
+                if METER.get("canonical.hopcroft_incremental_misses") > misses
+                else "bypass"
+            )
+            return block_of
+    return _hopcroft_incremental(rows, accepting)
+
+
+def _hopcroft_incremental(
+    rows: list[list[int]], accepting: list[bool]
+) -> list[int]:
     n = len(rows)
     if n == 0:
         return []
@@ -447,6 +472,17 @@ def canonical_form(
     language over ``symbols``.  Produces the same form as the Moore path
     through :func:`repro.automata.ops.minimize` (the differential oracle).
     """
+    if not trace.enabled():
+        return _canonical_form(nfa, symbols, initial)
+    with trace.span("canonical.form") as timing:
+        bits, table = _canonical_form(nfa, symbols, initial)
+        timing.set(states=len(table))
+        return bits, table
+
+
+def _canonical_form(
+    nfa: NFA, symbols: Sequence[Symbol], initial=None
+) -> tuple[tuple[bool, ...], tuple[tuple[int, ...], ...]]:
     rows, acc = subset_tables(nfa, symbols, initial=initial)
     block_of = hopcroft_incremental(rows, acc)
     n_blocks = max(block_of) + 1 if block_of else 0

@@ -156,6 +156,33 @@ def _measured(fn, repeats: int, memory: bool = False) -> dict:
     return record | _describe_result(result)
 
 
+def _phase_profile(fn) -> dict:
+    """One extra trace-enabled repetition (cold, like every measured
+    run) aggregated by span name into ``{name: {"count", "seconds"}}``.
+
+    Runs *outside* the timed repetitions, so the recorded wall times
+    stay untraced; the profile is attached as the workload entry's
+    optional ``phases`` field, which :func:`compare_bench` never reads
+    (it gates ``modes.optimized.seconds`` only)."""
+    from repro.obs import trace
+
+    _clear_caches()
+    trace.clear()
+    trace.enable()
+    try:
+        fn()
+    finally:
+        trace.disable()
+    profile: dict[str, dict] = {}
+    for event in trace.take():
+        slot = profile.setdefault(event["name"], {"count": 0, "seconds": 0.0})
+        slot["count"] += 1
+        slot["seconds"] += event["dur"]
+    for slot in profile.values():
+        slot["seconds"] = round(slot["seconds"], 5)
+    return dict(sorted(profile.items()))
+
+
 def _describe_result(result) -> dict:
     verdict = getattr(result, "verdict", None)
     if verdict is None:
@@ -295,6 +322,7 @@ def run_suite(
     jobs: int = 1,
     shards: int = 0,
     backend: str = "auto",
+    phases: bool = False,
 ) -> dict:
     """Run the registry workloads and return the BENCH payload dict.
 
@@ -342,6 +370,7 @@ def run_suite(
                 lanes.append(("wuba", _wuba_run))
             for lane, maker in lanes:
                 entry = {"name": bench.name, "lane": lane, "modes": {}}
+                optimized_runner = None
                 for mode in modes:
                     if mode in ("parallel", "shard") and lane != "explicit":
                         continue  # the multiprocess advance is explicit-only
@@ -365,6 +394,10 @@ def run_suite(
                     elif mode == "shard":
                         record["jobs"] = max(shards, _PARALLEL_MODE_JOBS)
                     entry["modes"][mode] = record
+                    if mode == "optimized":
+                        optimized_runner = runner
+                if phases and optimized_runner is not None:
+                    entry["phases"] = _phase_profile(optimized_runner)
                 _add_speedup(entry)
                 workloads.append(entry)
 
@@ -779,6 +812,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also record tracemalloc peak memory (extra traced run each)",
     )
+    parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="also record per-phase span timings (one extra trace-enabled "
+        "run of the optimized mode each; the compare gate ignores the "
+        "resulting 'phases' field)",
+    )
     parser.add_argument("--label", help="free-form label recorded in the payload")
     parser.add_argument("--out", default=".", help="directory for BENCH_<stamp>.json")
     parser.add_argument(
@@ -815,6 +855,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         shards=args.shards,
         backend=args.backend,
+        phases=args.phases,
     )
     print(f"backend: {payload['backend']}")
     if args.merge_before:

@@ -68,6 +68,29 @@ def _load(args) -> tuple:
 
 
 def cmd_verify(args) -> int:
+    if not getattr(args, "trace", None):
+        return _run_verify(args)
+    # --trace: record spans for the whole run and write the Chrome
+    # trace-event JSON (open in chrome://tracing or Perfetto).  The
+    # request span roots the flame chart: request → lane.run →
+    # <lane>.level → saturation/replay/canonicalization.
+    from repro.obs import trace
+    from repro.obs.trace import write_chrome_trace
+
+    trace.clear()
+    trace.enable()
+    try:
+        with trace.span("verify.request", lane=args.lane):
+            status = _run_verify(args)
+    finally:
+        trace.disable()
+    recorded = trace.events()
+    path = write_chrome_trace(args.trace, recorded)
+    print(f"wrote trace: {path} ({len(recorded)} span(s))")
+    return status
+
+
+def _run_verify(args) -> int:
     from repro.reach.vectorized import resolve_backend
 
     cpds, prop = _load(args)
@@ -193,6 +216,8 @@ def cmd_bench(args) -> int:
             forward.extend(["--shards", str(args.shards)])
         if args.backend != "auto":
             forward.extend(["--backend", args.backend])
+        if args.phases:
+            forward.append("--phases")
         return bench_main(forward)
 
     from repro.models.registry import runnable_benchmarks
@@ -228,9 +253,12 @@ def cmd_bench(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.obs.logs import get_logger, setup_logging
     from repro.service import AnalysisService, ServiceServer
     from repro.service.store import open_store
 
+    setup_logging(args.log_format)
+    log = get_logger("serve")
     store = open_store(
         args.store,
         max_snapshot_bytes=int(args.store_mb * 1024 * 1024),
@@ -240,10 +268,11 @@ def cmd_serve(args) -> int:
         # Log-and-continue: a read-only store directory must not stop
         # the service from serving (uncached) verdicts.  /health
         # reports store_degraded=true while this mode is active.
-        print(
-            f"warning: store {args.store} is unusable ({store.reason}); "
-            "serving in degraded store-less mode",
-            file=sys.stderr,
+        log.warning(
+            "store unusable; serving in degraded store-less mode",
+            extra={
+                "fields": {"store": str(args.store), "reason": store.reason}
+            },
         )
     service = AnalysisService(
         store, workers=args.workers, jobs=args.jobs, executor=args.executor
@@ -434,6 +463,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="on a refuted property, validate the counterexample against "
         "the CPDS step semantics and print it step by step",
     )
+    verify.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record spans for the whole run and write Chrome trace-event "
+        "JSON to FILE (open in chrome://tracing or Perfetto)",
+    )
     verify.set_defaults(handler=cmd_verify)
 
     fcr = sub.add_parser("fcr", help="check finite context reachability")
@@ -496,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(recorded in the payload; baselines only compare against a "
         "matching backend)",
     )
+    bench.add_argument(
+        "--phases",
+        action="store_true",
+        help="with --json: run one extra traced repetition per workload "
+        "and record per-phase span timings in the entry's 'phases' field "
+        "(compare ignores it)",
+    )
     bench.set_defaults(handler=cmd_bench)
 
     serve = sub.add_parser(
@@ -544,6 +586,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine-run execution: 'process' dispatches each run to a "
         "pool of worker processes over the snapshot codec (default); "
         "'thread' runs engines inline on the service threads",
+    )
+    serve.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="structured log rendering: human 'text' (default) or one "
+        "JSON object per line; the per-request audit line is valid JSON "
+        "in both",
     )
     serve.set_defaults(handler=cmd_serve)
 

@@ -42,6 +42,7 @@ from collections.abc import Iterator
 
 from repro.errors import ContextExplosionError
 from repro.cpds.cpds import CPDS
+from repro.obs import trace
 from repro.cpds.interning import StateTable
 from repro.cpds.state import GlobalState
 from repro.pds.action import Action
@@ -322,6 +323,33 @@ def thread_view_post(
     Raises :class:`ContextExplosionError` past ``max_states`` distinct
     local states — the divergence guard for non-FCR programs.
     """
+    if trace.enabled():
+        # The flag is re-checked (not hoisted into a decorator) so the
+        # disabled path costs one module-attribute read and no frame.
+        with trace.span("explicit.saturation", thread=index) as timing:
+            tree = _thread_view_post(
+                cpds, table, index, shared_id, stack_id, max_states,
+                succ_memo, build_rows, sem_memo,
+            )
+            timing.set(states=len(tree.offsets) - 1)
+            return tree
+    return _thread_view_post(
+        cpds, table, index, shared_id, stack_id, max_states,
+        succ_memo, build_rows, sem_memo,
+    )
+
+
+def _thread_view_post(
+    cpds: CPDS,
+    table: StateTable,
+    index: int,
+    shared_id: int,
+    stack_id: int,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    succ_memo: dict | None = None,
+    build_rows: bool = True,
+    sem_memo: dict | None = None,
+) -> ContextTree:
     pds = cpds.thread(index)
     start = PDSState(table.shared(shared_id), table.stack(index, stack_id))
     METER.bump("explicit.expansions")

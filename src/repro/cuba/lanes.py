@@ -27,6 +27,7 @@ from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
 from repro.errors import ContextExplosionError, CubaError
+from repro.obs import trace
 from repro.reach import registry
 from repro.reach.base import ReachabilityEngine
 from repro.reach.config import EngineConfig
@@ -171,8 +172,14 @@ def run_lane(
         engine = cls.create(
             cpds, max_states_per_context=max_states_per_context, config=config
         )
-    if cls.preferred_algorithm == "algorithm3":
-        from repro.cuba.algorithm3 import algorithm3
+    # One driver-level span over the whole run: the verify/serve trace
+    # nests request → lane.run → <lane>.level → saturation/replay/
+    # canonicalization (the levels come from the base-class template).
+    with trace.span(
+        "lane.run", lane=cls.lane, algorithm=cls.preferred_algorithm
+    ):
+        if cls.preferred_algorithm == "algorithm3":
+            from repro.cuba.algorithm3 import algorithm3
 
-        return algorithm3(cpds, prop, engine=engine, max_rounds=max_rounds)
-    return scheme1_lane(cpds, prop, engine=engine, max_rounds=max_rounds)
+            return algorithm3(cpds, prop, engine=engine, max_rounds=max_rounds)
+        return scheme1_lane(cpds, prop, engine=engine, max_rounds=max_rounds)

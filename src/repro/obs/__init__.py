@@ -1,0 +1,48 @@
+"""Observability: spans, latency histograms, exposition, audit logging.
+
+METER (:mod:`repro.util.meter`) answers *how much work* an analysis
+did; this package answers *where the time went* — per level, per lane,
+per request — captured in-band instead of reconstructed from outside
+by the loadtest client:
+
+* :mod:`repro.obs.trace` — spans: nested timed regions with
+  parent/child links, thread/process ids, near-zero cost while
+  disabled, Chrome trace-event export, and cross-process re-parenting
+  of worker spans (the METER-delta merge design, applied to timings);
+* :mod:`repro.obs.metrics` — always-on fixed-bucket latency histograms
+  with interpolated p50/p99 (the server-truth latency story);
+* :mod:`repro.obs.prometheus` — ``/metrics`` text exposition (counters
+  + histograms) and the small parser the tests and the loadtest's
+  server-truth summary share;
+* :mod:`repro.obs.logs` — structured logging (``--log-format
+  text|json``) and the per-request audit line.
+
+Everything here is stdlib-only, mirroring the rest of the repo.
+"""
+
+from repro.obs.metrics import BUCKET_BOUNDS, Histograms, LATENCY, timed
+from repro.obs.prometheus import parse_text, render, sanitize
+from repro.obs.logs import audit, get_logger, setup_logging
+from repro.obs.trace import (
+    adopt,
+    chrome_trace,
+    span,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Histograms",
+    "LATENCY",
+    "adopt",
+    "audit",
+    "chrome_trace",
+    "get_logger",
+    "parse_text",
+    "render",
+    "sanitize",
+    "setup_logging",
+    "span",
+    "timed",
+    "write_chrome_trace",
+]

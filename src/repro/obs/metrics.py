@@ -1,0 +1,134 @@
+"""Fixed-bucket latency histograms — METER's timing counterpart.
+
+:class:`Histograms` is a lock-guarded registry in the
+:class:`repro.util.meter.Counters` mold: ``observe(name, seconds,
+**labels)`` drops one duration into the exponential bucket grid below,
+keyed by ``(name, labels)``.  Unlike spans (:mod:`repro.obs.trace`),
+histograms are **always on** — one lock acquire plus a bisect per
+observation, paid only at coarse operation granularity (a request, an
+engine run, a store transaction, a snapshot encode), never inside
+per-state loops.
+
+p50/p99 come from :meth:`Histograms.percentile` by linear interpolation
+within the winning bucket — the server-truth latency numbers the
+loadtest previously could only approximate from the client side.  The
+``/metrics`` endpoint renders the same registry in Prometheus text form
+(:mod:`repro.obs.prometheus`), where cumulative ``le`` buckets let any
+scraper derive the same quantiles.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["BUCKET_BOUNDS", "Histograms", "LATENCY", "timed"]
+
+#: Upper bounds (seconds) of the finite buckets; observations beyond
+#: the last bound land in the implicit +Inf overflow bucket.  Roughly
+#: ×2.5 steps from half a millisecond (sub-ms store transactions) to
+#: ten seconds (deep engine runs) — 15 buckets, small enough to ship in
+#: every scrape, fine enough that interpolated p50/p99 are meaningful.
+BUCKET_BOUNDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histograms:
+    """Named fixed-bucket histograms (``(name, labels) -> buckets``)."""
+
+    def __init__(self, bounds: tuple[float, ...] = BUCKET_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        #: key -> [counts per bucket (+1 overflow), total count, sum]
+        self._cells: dict[tuple, list] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def observe(self, name: str, seconds: float, **labels) -> None:
+        """Record one duration (must be ≥ 0); thread-safe."""
+        if seconds < 0:
+            raise ValueError(f"durations are non-negative, got {seconds}")
+        index = bisect_left(self.bounds, seconds)
+        key = self._key(name, labels)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = [
+                    [0] * (len(self.bounds) + 1), 0, 0.0
+                ]
+            cell[0][index] += 1
+            cell[1] += 1
+            cell[2] += seconds
+
+    def snapshot(self) -> dict[tuple, dict]:
+        """Immutable view: ``(name, labels) -> {"buckets", "count",
+        "sum"}`` with per-bucket (non-cumulative) counts."""
+        with self._lock:
+            return {
+                key: {
+                    "buckets": tuple(cell[0]),
+                    "count": cell[1],
+                    "sum": cell[2],
+                }
+                for key, cell in self._cells.items()
+            }
+
+    def percentile(self, name: str, q: float, **labels) -> float | None:
+        """The ``q``-quantile (0..1) in seconds, interpolated linearly
+        inside the winning bucket; ``None`` when nothing was observed.
+        Observations in the +Inf bucket report the last finite bound —
+        a floor, like any bucketed quantile."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            cell = self._cells.get(self._key(name, labels))
+            if cell is None or not cell[1]:
+                return None
+            counts, total = list(cell[0]), cell[1]
+        return quantile_from_buckets(self.bounds, counts, total, q)
+
+    def reset(self) -> None:
+        """Drop every cell (test isolation)."""
+        with self._lock:
+            self._cells.clear()
+
+
+def quantile_from_buckets(
+    bounds: tuple[float, ...], counts: list[int], total: int, q: float
+) -> float:
+    """Shared bucket-interpolation core (also used on scraped
+    exposition data by the loadtest's server-truth summary)."""
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            if index >= len(bounds):
+                return bounds[-1]
+            upper = bounds[index]
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+    return bounds[-1]
+
+
+#: Process-wide default registry, mirroring ``util.meter.METER``.
+LATENCY = Histograms()
+
+
+@contextmanager
+def timed(name: str, registry: Histograms = LATENCY, **labels):
+    """Time a block into ``registry``: ``with timed("store.transaction",
+    op="get"): ...``"""
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        registry.observe(name, perf_counter() - start, **labels)

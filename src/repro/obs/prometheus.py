@@ -1,0 +1,144 @@
+"""Prometheus text exposition (and a matching parser) — zero deps.
+
+:func:`render` turns the METER counter registry and the
+:class:`~repro.obs.metrics.Histograms` latency registry into the
+Prometheus text format, version 0.0.4: every counter becomes a
+``cuba_<name>_total`` counter family, every histogram a
+``cuba_<name>_seconds`` histogram family with cumulative ``le``
+buckets, ``_sum`` and ``_count`` — the exposition contract the
+``/metrics`` endpoint serves and the CI ``obs-smoke`` lane validates.
+
+:func:`parse_text` is the inverse used by the golden test, the smoke
+lane, and the loadtest's server-truth latency summary; it is a
+deliberately small parser for the subset :func:`render` emits (plus
+comments), not a general OpenMetrics reader.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import Histograms, LATENCY
+from repro.util.meter import METER, Counters
+
+__all__ = ["parse_text", "render", "sanitize"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize(name: str) -> str:
+    """A METER/histogram dotted name as a Prometheus metric name."""
+    clean = _INVALID.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _labels(pairs: tuple, extra: tuple = ()) -> str:
+    items = tuple(pairs) + tuple(extra)
+    if not items:
+        return ""
+    inner = ",".join(
+        f'{sanitize(str(key))}="{_escape(value)}"' for key, value in items
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format(value: float) -> str:
+    # Integral floats print as integers — Prometheus accepts either,
+    # the golden test wants a stable spelling.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render(
+    counters: Counters | dict | None = None,
+    histograms: Histograms | None = None,
+    prefix: str = "cuba",
+) -> str:
+    """The full scrape body: all counters, then all histograms, each
+    family sorted by name (stable output for golden tests and diffs)."""
+    counts = (
+        METER.snapshot()
+        if counters is None
+        else counters.snapshot()
+        if isinstance(counters, Counters)
+        else dict(counters)
+    )
+    lines: list[str] = []
+    for name in sorted(counts):
+        metric = f"{prefix}_{sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format(counts[name])}")
+
+    cells = (histograms if histograms is not None else LATENCY).snapshot()
+    bounds = (histograms if histograms is not None else LATENCY).bounds
+    by_family: dict[str, list[tuple[tuple, dict]]] = {}
+    for (name, labels), cell in cells.items():
+        by_family.setdefault(name, []).append((labels, cell))
+    for name in sorted(by_family):
+        metric = f"{prefix}_{sanitize(name)}_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, cell in sorted(by_family[name]):
+            cumulative = 0
+            for bound, count in zip(bounds, cell["buckets"]):
+                cumulative += count
+                lines.append(
+                    f"{metric}_bucket{_labels(labels, (('le', _format(bound)),))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{metric}_bucket{_labels(labels, (("le", "+Inf"),))} '
+                f'{cell["count"]}'
+            )
+            lines.append(
+                f"{metric}_sum{_labels(labels)} {_format(cell['sum'])}"
+            )
+            lines.append(
+                f"{metric}_count{_labels(labels)} {cell['count']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_text(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse an exposition body into ``metric name -> {sorted label
+    tuple -> value}``.  Raises :class:`ValueError` on any line that is
+    neither a comment, blank, nor a well-formed sample — the smoke
+    lane's "serves valid Prometheus" check."""
+    samples: dict[str, dict[tuple, float]] = {}
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {line_number} is not a Prometheus sample: {line!r}"
+            )
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            sorted(
+                (key, value.replace('\\"', '"').replace("\\\\", "\\"))
+                for key, value in _LABEL.findall(labels_text)
+            )
+        )
+        try:
+            value = float(match.group("value"))
+        except ValueError as bad:
+            raise ValueError(
+                f"line {line_number} has a non-numeric value: {line!r}"
+            ) from bad
+        samples.setdefault(match.group("name"), {})[labels] = value
+    return samples

@@ -42,6 +42,7 @@ import abc
 from typing import TYPE_CHECKING
 
 from repro.cpds.state import VisibleState
+from repro.obs import trace
 
 if TYPE_CHECKING:
     from repro.core.property import Property
@@ -73,10 +74,30 @@ class ReachabilityEngine(abc.ABC):
         """Largest context bound computed so far (−1 before the first)."""
         return len(self.visible_levels) - 1
 
-    @abc.abstractmethod
     def advance(self) -> bool:
         """Compute the next level; return True iff it adds *any* new
-        element to the underlying (non-projected) observation set."""
+        element to the underlying (non-projected) observation set.
+
+        Template method: the concrete work lives in the lane's
+        :meth:`_advance`; this wrapper emits the per-level
+        ``<lane>.level`` span when tracing is on, so every lane —
+        including ones registered later — inherits per-level timing
+        with no code of its own."""
+        if not trace.enabled():
+            return self._advance()
+        with trace.span(
+            f"{self.lane}.level", lane=self.lane, level=self.k + 1
+        ):
+            return self._advance()
+
+    @abc.abstractmethod
+    def _advance(self) -> bool:
+        """Lane-specific level computation (see :meth:`advance`)."""
+
+    def ensure_level(self, k: int) -> None:
+        """Advance until level ``k`` has been computed."""
+        while self.k < k:
+            self.advance()
 
     def _record_visible(self, new_visible: frozenset[VisibleState]) -> None:
         previous = (

@@ -73,6 +73,7 @@ from repro.cpds.cpds import CPDS
 from repro.cpds.interning import StateTable
 from repro.cpds.semantics import ContextTree, thread_context_post, thread_view_post
 from repro.cpds.state import GlobalState
+from repro.obs import trace
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach import vectorized
 from repro.reach.base import ReachabilityEngine
@@ -221,7 +222,7 @@ class ExplicitReach(ReachabilityEngine):
     # ------------------------------------------------------------------
     # Level mechanics
     # ------------------------------------------------------------------
-    def advance(self) -> bool:
+    def _advance(self) -> bool:
         """Compute ``R(k+1)``; return True iff it strictly grows ``Rk``.
 
         Exception-safe: if a context trips the divergence guard
@@ -450,6 +451,18 @@ class ExplicitReach(ReachabilityEngine):
         :class:`~repro.errors.CubaError` and ``advance`` rolls the
         partial level back, so the advance is re-runnable.
         """
+        with trace.span(
+            "explicit.replay_sharded", views=len(shards), jobs=self.jobs
+        ):
+            self._replay_sharded_impl(shards, trees, level, fresh)
+
+    def _replay_sharded_impl(
+        self,
+        shards: dict[View, list[int]],
+        trees: dict[View, ContextTree],
+        level: int,
+        fresh: list[int],
+    ) -> None:
         table = self.table
         packed = table._packed
         bits = table._bits
@@ -602,6 +615,14 @@ class ExplicitReach(ReachabilityEngine):
         submission order, so pool growth is deterministic)."""
         from repro.reach.parallel import remap_slice
 
+        with trace.span(
+            "explicit.saturation_fanout", views=len(missing), jobs=self.jobs
+        ):
+            return self._saturate_parallel_impl(missing, remap_slice)
+
+    def _saturate_parallel_impl(
+        self, missing: list[View], remap_slice
+    ) -> dict[View, ContextTree]:
         pool = self._lease()
         table = self.table
         roots = [self._view_parts(view) for view in missing]
@@ -640,10 +661,6 @@ class ExplicitReach(ReachabilityEngine):
                     if nsid == len(first_seen):
                         first_seen.append(level)
                         fresh.append(nsid)
-
-    def ensure_level(self, k: int) -> None:
-        while self.k < k:
-            self.advance()
 
     # ------------------------------------------------------------------
     # Observations

@@ -211,7 +211,7 @@ class SymbolicReach(ReachabilityEngine):
     # ------------------------------------------------------------------
     # Level mechanics
     # ------------------------------------------------------------------
-    def advance(self) -> bool:
+    def _advance(self) -> bool:
         """Compute ``S(k+1)``; True iff a language-new symbolic state
         appears.  (A plateau here implies ``R(k+1) = Rk``; the converse
         need not hold, which is why Alg. 3's convergence test works on
@@ -291,10 +291,6 @@ class SymbolicReach(ReachabilityEngine):
                     if successor not in seen:
                         seen.add(successor)
                         fresh.add(successor)
-
-    def ensure_level(self, k: int) -> None:
-        while self.k < k:
-            self.advance()
 
     # ------------------------------------------------------------------
     # Context expansion

@@ -110,7 +110,7 @@ class WubaReach(ReachabilityEngine):
     # ------------------------------------------------------------------
     # Level mechanics
     # ------------------------------------------------------------------
-    def advance(self) -> bool:
+    def _advance(self) -> bool:
         """Compute ``W(k+1)``; True iff it strictly grows ``Wk``.
 
         Exception-safe: the level is built aside and committed last, so
@@ -183,10 +183,6 @@ class WubaReach(ReachabilityEngine):
         self.levels.append(level)
         self._seen |= level
         self._record_visible(frozenset(state.visible() for state in level))
-
-    def ensure_level(self, k: int) -> None:
-        while self.k < k:
-            self.advance()
 
     # ------------------------------------------------------------------
     # Observations

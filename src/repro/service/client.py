@@ -374,6 +374,36 @@ class ServiceClient:
         submissions ran one engine"."""
         return self._checked("GET", "/meter", replica=replica)
 
+    def metrics(self, replica: int | None = None) -> str:
+        """The raw ``/metrics`` Prometheus text exposition of one
+        replica.  The only non-JSON endpoint, so it bypasses
+        :meth:`_dispatch`'s JSON decode: one plain GET against the
+        chosen replica (default: the first), no retry/failover — a
+        scrape is best-effort by nature."""
+        host, port = self.replicas[replica if replica is not None else 0]
+        connection = HTTPConnection(
+            host, port, timeout=self.retry.connect_timeout
+        )
+        try:
+            connection.connect()
+            if connection.sock is not None:
+                connection.sock.settimeout(self.retry.read_timeout)
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(
+                    f"metrics scrape failed (HTTP {response.status}): "
+                    f"{raw[:200]!r}"
+                )
+            return raw.decode("utf-8", errors="replace")
+        except OSError as unreachable:
+            raise ServiceError(
+                f"cannot scrape metrics from {host}:{port}: {unreachable}"
+            ) from unreachable
+        finally:
+            connection.close()
+
     def shutdown(self, replica: int | None = None) -> dict:
         """Ask replica(s) to shut down gracefully (flush store, drain
         executor, release leased worker pools).  With ``replica=None``

@@ -47,8 +47,12 @@ from repro.core.property import Property
 from repro.core.result import Verdict, VerificationResult
 from repro.cpds.cpds import CPDS
 from repro.errors import CubaError, SnapshotError
+from repro.obs import trace
+from repro.obs.logs import get_logger
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.util.meter import METER
+
+_log = get_logger("service.executor")
 
 if TYPE_CHECKING:
     from repro.reach.config import EngineConfig
@@ -78,6 +82,10 @@ class EngineJob:
     jobs: int = 1
     snapshot: bytes | None = None
     config: "EngineConfig | None" = None
+    #: When True the worker records spans for this job and ships them
+    #: home in :attr:`JobOutcome.spans` (set by the process executor
+    #: from the parent's live tracing state).
+    trace: bool = False
 
     def engine_config(self) -> "EngineConfig":
         """The effective execution config for this job."""
@@ -102,6 +110,10 @@ class JobOutcome:
     #: Engine wall time (the loadtest harness separates queueing and
     #: transport latency from compute using this).
     seconds: float = 0.0
+    #: Worker-side span records (only when :attr:`EngineJob.trace` was
+    #: set); the parent re-parents them under its dispatch span via
+    #: :func:`repro.obs.trace.adopt`, mirroring the METER-delta merge.
+    spans: list = field(default_factory=list)
 
 
 def describe_result(
@@ -146,10 +158,20 @@ def _restore(job: EngineJob):
             max_states_per_context=job.max_states_per_context,
             config=job.engine_config(),
         )
-    except (SnapshotError, CubaError):
+    except (SnapshotError, CubaError) as broken:
         # Bad blob, or a kind byte no registered lane owns (a snapshot
         # from a lane this build doesn't ship) ⇒ miss, never a crash.
         METER.bump("service.snapshot_rejects")
+        _log.warning(
+            "snapshot rejected, running fresh",
+            extra={
+                "fields": {
+                    "fingerprint": job.problem,
+                    "lane": job.engine,
+                    "error": str(broken),
+                }
+            },
+        )
         return None
     METER.bump("service.resumes")
     return engine
@@ -159,6 +181,21 @@ def execute_job(job: EngineJob) -> JobOutcome:
     """Run one engine job to a verdict or budget (the shared core of
     both execution modes; ``service.engine_runs`` is the *caller's*
     bump — dedup accounting stays parent-side)."""
+    if not trace.enabled():
+        return _execute_job(job)
+    with trace.span(
+        "service.engine_run", problem=job.problem, engine=job.engine
+    ) as timing:
+        outcome = _execute_job(job)
+        timing.set(
+            lane=outcome.kind,
+            verdict=outcome.response["verdict"],
+            resumed=outcome.response["resumed"],
+        )
+        return outcome
+
+
+def _execute_job(job: EngineJob) -> JobOutcome:
     import time
 
     from repro.cuba.lanes import ensure_applicable, run_lane
@@ -228,12 +265,27 @@ def execute_job(job: EngineJob) -> JobOutcome:
     response = describe_result(result, job.problem, kind, explored, resumable)
     response["resumed"] = resumed
     response["engine_seconds"] = round(seconds, 4)
+    # Resolved replay backend (explicit lane), for the audit log; lanes
+    # without a backend notion report None.
+    response["backend"] = (
+        engine.stats().get("backend") if engine is not None else None
+    )
     snapshot = None
     if resumable and engine is not None:
         try:
             snapshot = engine.snapshot()
-        except SnapshotError:  # pragma: no cover - defensive
+        except SnapshotError as broken:  # pragma: no cover - defensive
             snapshot = None
+            _log.warning(
+                "snapshot encode failed, result kept without resume blob",
+                extra={
+                    "fields": {
+                        "fingerprint": job.problem,
+                        "lane": kind,
+                        "error": str(broken),
+                    }
+                },
+            )
     return JobOutcome(
         response=response, bound=explored, kind=kind, snapshot=snapshot,
         seconds=seconds,
@@ -246,13 +298,21 @@ def _execute_in_worker(job: EngineJob) -> JobOutcome:
     from repro.util.caches import clear_runtime_caches
 
     before = METER.snapshot()
+    spans: list = []
+    if job.trace:
+        trace.clear()
+        trace.enable()
     try:
         return_value = execute_job(job)
     finally:
+        if job.trace:
+            spans = trace.take()
+            trace.disable()
         # Worker-leased saturation pools (engine jobs with jobs>1) must
         # not outlive the job: the parent cannot reach into a worker to
         # release them on shutdown.
         clear_runtime_caches()
+    return_value.spans = spans
     return_value.meter = dict(METER.delta(before))
     return return_value
 
@@ -291,7 +351,27 @@ class ProcessAnalysisExecutor:
 
     def run(self, job: EngineJob) -> JobOutcome:
         """Execute ``job`` on a worker; merge its METER delta and
-        validate its snapshot reply before the caller can store it."""
+        validate its snapshot reply before the caller can store it.
+
+        When the parent is tracing, the job is flagged so the worker
+        records spans too; the reply's span records are re-based onto
+        this process's clock and re-parented under the dispatch span
+        (span-shipping mirrors the METER-delta merge)."""
+        if not trace.enabled():
+            return self._run(job)
+        import time
+
+        job.trace = True
+        with trace.span("executor.dispatch", problem=job.problem):
+            parent_id = trace.current_id()
+            dispatched = time.perf_counter()
+            outcome = self._run(job)
+            if outcome.spans:
+                trace.adopt(outcome.spans, parent=parent_id, at=dispatched)
+                outcome.spans = []
+        return outcome
+
+    def _run(self, job: EngineJob) -> JobOutcome:
         pool = self._ensure_pool()
         try:
             outcome = pool.submit(_execute_in_worker, job).result()
@@ -321,8 +401,18 @@ class ProcessAnalysisExecutor:
                 # on the resume path.  An undecodable reply loses its
                 # blob, never its verdict, and never reaches the store.
                 snapshot_kind(outcome.snapshot)
-            except SnapshotError:
+            except SnapshotError as broken:
                 METER.bump("service.ipc_snapshot_rejects")
+                _log.warning(
+                    "worker snapshot reply rejected, verdict kept",
+                    extra={
+                        "fields": {
+                            "fingerprint": job.problem,
+                            "lane": outcome.kind,
+                            "error": str(broken),
+                        }
+                    },
+                )
                 outcome.snapshot = None
         return outcome
 

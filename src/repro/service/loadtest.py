@@ -337,6 +337,53 @@ def _meter_sum(client: ServiceClient, replicas: int) -> dict[str, int]:
     return totals
 
 
+def _server_latency(client: ServiceClient, replicas: int) -> dict:
+    """Server-truth request latency: scrape every replica's ``/metrics``
+    exposition, sum the ``cuba_service_request_seconds`` buckets across
+    replicas and label sets, and interpolate p50/p99 out of the merged
+    histogram — latency as the *servers* measured it, with client
+    transport and retry time excluded.  Best-effort: an unreachable
+    replica is skipped, no samples means ``{}``."""
+    from repro.obs.metrics import quantile_from_buckets
+    from repro.obs.prometheus import parse_text
+
+    cumulative: dict[float, float] = {}
+    total = 0.0
+    for index in range(replicas):
+        try:
+            parsed = parse_text(client.metrics(replica=index))
+        except (ServiceError, ValueError):
+            continue
+        buckets = parsed.get("cuba_service_request_seconds_bucket", {})
+        for labels, value in buckets.items():
+            le = dict(labels).get("le")
+            if le is None:
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            cumulative[bound] = cumulative.get(bound, 0.0) + value
+        for value in parsed.get(
+            "cuba_service_request_seconds_count", {}
+        ).values():
+            total += value
+    if not total or not cumulative:
+        return {}
+    bounds = sorted(bound for bound in cumulative if bound != float("inf"))
+    counts: list[float] = []
+    previous = 0.0
+    for bound in bounds + [float("inf")]:
+        counts.append(cumulative.get(bound, previous) - previous)
+        previous = cumulative.get(bound, previous)
+    return {
+        "server_requests": int(total),
+        "server_p50_ms": round(
+            quantile_from_buckets(tuple(bounds), counts, total, 0.50) * 1000, 3
+        ),
+        "server_p99_ms": round(
+            quantile_from_buckets(tuple(bounds), counts, total, 0.99) * 1000, 3
+        ),
+    }
+
+
 def _cross_replica_probe(
     client: ServiceClient, shared: _Shared, limit: int = 3
 ) -> dict:
@@ -454,6 +501,7 @@ def run_loadtest(
             thread.join()
         elapsed = time.monotonic() - started
         meter_after = _meter_sum(client, n_replicas)
+        server_truth = _server_latency(client, n_replicas)
         cross = (
             _cross_replica_probe(client, shared)
             if cross_check
@@ -533,6 +581,10 @@ def run_loadtest(
                     ),
                 },
                 "busy_retries": meter_delta.get("store.busy_retries", 0),
+                # Server-truth latency (scraped /metrics histograms);
+                # compare_loadtest gates only the named fields above, so
+                # these extras never break baseline comparability.
+                **server_truth,
             },
             "meter": meter_delta,
         }

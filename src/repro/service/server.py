@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -49,6 +50,10 @@ from repro.core.property import Property, property_from_spec
 from repro.cpds.cpds import CPDS
 from repro.cpds.format import parse_cpds
 from repro.errors import CubaError, ServiceError
+from repro.obs import trace
+from repro.obs.logs import audit, get_logger
+from repro.obs.metrics import LATENCY
+from repro.obs.prometheus import render
 from repro.pds.semantics import DEFAULT_STATE_LIMIT
 from repro.reach import registry
 from repro.reach.config import EngineConfig
@@ -61,6 +66,8 @@ from repro.service.fingerprint import cpds_digest, fingerprint
 from repro.service.store import AnalysisStore
 from repro.util.caches import clear_runtime_caches
 from repro.util.meter import METER
+
+_log = get_logger("service.server")
 
 #: "auto" (the Sec. 6 front-end) plus every registered lane — a new
 #: lane module is service-submittable with no change here.
@@ -244,13 +251,92 @@ class AnalysisService:
         self,
         request: AnalysisRequest,
         prepared: tuple[str, CPDS, Property] | None = None,
+        enqueued_at: float | None = None,
     ) -> dict:
         """Resolve one request to a response dict (blocking).
 
         ``prepared`` optionally carries an earlier :meth:`prepare`
         result for this request, so callers that needed the fingerprint
         up front (the HTTP submit path hands it out as the job id)
-        don't parse and hash the program twice."""
+        don't parse and hash the program twice.  ``enqueued_at`` is the
+        submit-time ``perf_counter`` reading (the HTTP layer passes it),
+        so the response's ``queue_seconds`` separates executor queueing
+        from engine time.
+
+        This wrapper is the service's observability choke point — it
+        runs on the executor thread (not the event loop), so the span
+        stack nests per-request even under concurrent submits.  Every
+        call (owner, dedup joiner, store hit alike) observes the
+        ``service.request`` latency histogram, emits one structured
+        audit line, and — when tracing is live — wraps resolution in a
+        ``service.request`` span.  Per-request fields (queue_seconds)
+        go on a *copy*: the shared future/store response stays
+        request-independent."""
+        started = time.perf_counter()
+        queue_seconds = (
+            max(0.0, started - enqueued_at) if enqueued_at is not None else 0.0
+        )
+        audit_fields: dict = {"lease": None}
+        with trace.span("service.request", lane=request.engine) as timing:
+            try:
+                response = self._resolve(request, prepared, audit_fields)
+            except BaseException as failure:
+                seconds = time.perf_counter() - started
+                LATENCY.observe(
+                    "service_request", seconds, lane=request.engine
+                )
+                audit(
+                    lane=request.engine,
+                    verdict="error",
+                    error=f"{type(failure).__name__}: {failure}",
+                    lease=audit_fields["lease"],
+                    engine_seconds=None,
+                    queue_seconds=round(queue_seconds, 4),
+                    total_seconds=round(seconds, 4),
+                )
+                raise
+            seconds = time.perf_counter() - started
+            # The resolved lane ("explicit"/"symbolic"/"wuba") — not the
+            # request's possibly-"auto" engine spec — labels the span,
+            # the per-lane histogram cell, and the audit line.
+            lane = response.get("engine") or request.engine
+            timing.set(verdict=response.get("verdict"), lane=lane)
+        LATENCY.observe("service_request", seconds, lane=lane)
+        LATENCY.observe("service_queue", queue_seconds)
+        response = dict(response)
+        response["queue_seconds"] = round(queue_seconds, 4)
+        if response.get("cached"):
+            store_outcome = "hit"
+        elif response.get("resumed"):
+            store_outcome = "resume"
+        elif response.get("deduplicated"):
+            store_outcome = "dedup"
+        else:
+            store_outcome = "miss"
+        audit(
+            fingerprint=response.get("fingerprint"),
+            lane=lane,
+            requested=request.engine,
+            backend=response.get("backend"),
+            store=store_outcome,
+            resumed=bool(response.get("resumed")),
+            cached=bool(response.get("cached")),
+            deduplicated=bool(response.get("deduplicated")),
+            lease=audit_fields["lease"],
+            verdict=response.get("verdict"),
+            bound=response.get("bound"),
+            engine_seconds=response.get("engine_seconds"),
+            queue_seconds=response["queue_seconds"],
+            total_seconds=round(seconds, 4),
+        )
+        return response
+
+    def _resolve(
+        self,
+        request: AnalysisRequest,
+        prepared: tuple[str, CPDS, Property] | None,
+        audit_fields: dict,
+    ) -> dict:
         problem, cpds, prop = self.prepare(request) if prepared is None else prepared
         while True:
             own_future: Future | None = None
@@ -285,7 +371,9 @@ class AnalysisService:
                     METER.bump("service.store_hits")
                     response = entry.result | {"cached": True}
                 else:
-                    response = self._analyze(problem, cpds, prop, request, entry)
+                    response = self._analyze(
+                        problem, cpds, prop, request, entry, audit_fields
+                    )
             except BaseException as failure:
                 with self._lock:
                     self._inflight.pop(problem, None)
@@ -329,6 +417,7 @@ class AnalysisService:
         prop: Property,
         request: AnalysisRequest,
         entry=None,
+        audit_fields: dict | None = None,
     ) -> dict:
         """One engine run through the configured executor.  The job is
         self-contained (CPDS + property + budget + the stored snapshot
@@ -347,6 +436,10 @@ class AnalysisService:
         lease = None
         if entry is not None and entry.has_snapshot:
             lease = self.store.acquire_lease(problem)
+            if audit_fields is not None:
+                audit_fields["lease"] = (
+                    "acquired" if lease is not None else "unavailable"
+                )
         try:
             job = EngineJob(
                 cpds=cpds,
@@ -415,6 +508,13 @@ _JOB_HISTORY_LIMIT = 256
 MAX_REQUEST_BYTES = 64 * 1024 * 1024
 MAX_HEADER_BYTES = 16 * 1024
 
+#: The fixed route table, used to bound the ``http.request`` histogram's
+#: route label (unknown paths all collapse into ``other``).
+_ROUTES = frozenset(
+    {"/submit", "/status", "/result", "/health", "/meter", "/metrics",
+     "/trace", "/shutdown"}
+)
+
 
 class ServiceServer:
     """Minimal asyncio HTTP/1.1 front for an :class:`AnalysisService`."""
@@ -459,7 +559,12 @@ class ServiceServer:
 
         async def main() -> None:
             await self.start()
-            print(f"cuba service listening on http://{self.host}:{self.port}")
+            _log.info(
+                "cuba service listening",
+                extra={
+                    "fields": {"url": f"http://{self.host}:{self.port}"}
+                },
+            )
             await self.serve_until_shutdown()
 
         try:
@@ -478,6 +583,8 @@ class ServiceServer:
 
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        started = time.perf_counter()
+        method = path = None
         try:
             request = await self._read_request(reader)
             if request is None:
@@ -491,6 +598,26 @@ class ServiceServer:
             status, payload = 400, {"error": str(refused)}
         except Exception as crashed:  # noqa: BLE001 - server must answer
             status, payload = 500, {"error": f"{type(crashed).__name__}: {crashed}"}
+            _log.error(
+                "request handler crashed",
+                extra={
+                    "fields": {
+                        "method": method,
+                        "path": path,
+                        "error": payload["error"],
+                    }
+                },
+            )
+        if path is not None:
+            # Route label from the fixed route table only — an arbitrary
+            # 404 path must not mint unbounded histogram label values.
+            route = path if path in _ROUTES else "other"
+            LATENCY.observe(
+                "http_request",
+                time.perf_counter() - started,
+                route=route,
+                status=status,
+            )
         try:
             await self._respond(writer, status, payload)
         except ConnectionError:  # pragma: no cover - client went away
@@ -538,14 +665,19 @@ class ServiceServer:
         return method.upper(), parts.path, query, body
 
     @staticmethod
-    async def _respond(writer, status: int, payload: dict) -> None:
+    async def _respond(writer, status: int, payload) -> None:
         reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
                    404: "Not Found", 500: "Internal Server Error"}
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):  # /metrics Prometheus exposition
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         writer.write(
             (
                 f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n\r\n"
             ).encode()
@@ -582,6 +714,29 @@ class ServiceServer:
                 for name, value in METER.snapshot().items()
                 if name.startswith(_METER_WINDOW_PREFIXES)
             }
+        if method == "GET" and path == "/metrics":
+            # Prometheus text exposition: every METER counter plus the
+            # latency histograms (str payload ⇒ text/plain content type).
+            return 200, render()
+        if method == "GET" and path == "/trace":
+            return 200, trace.chrome_trace()
+        if method == "POST" and path == "/trace":
+            try:
+                payload = json.loads(body or b"{}")
+            except ValueError as bad:
+                raise ServiceError(f"trace body is not JSON: {bad}") from bad
+            if not isinstance(payload, dict):
+                raise ServiceError("trace body must be a JSON object")
+            if "enabled" in payload:
+                if payload["enabled"]:
+                    trace.clear()
+                    trace.enable()
+                else:
+                    trace.disable()
+            return 200, {
+                "tracing": trace.enabled(),
+                "events": len(trace.events()),
+            }
         if method == "POST" and path == "/shutdown":
             self.request_shutdown()
             return 200, {"status": "shutting down"}
@@ -613,7 +768,11 @@ class ServiceServer:
         problem = prepared[0]
         job = self._record_job(problem)
         task = loop.run_in_executor(
-            self.service.executor, self.service.run, request, prepared
+            self.service.executor,
+            self.service.run,
+            request,
+            prepared,
+            time.perf_counter(),  # enqueued_at: queue wait starts here
         )
         job["status"] = "running"
 
@@ -632,7 +791,7 @@ class ServiceServer:
 
         if wait:
             return 200, await finish()
-        asyncio.ensure_future(self._swallow(finish()))
+        asyncio.ensure_future(self._swallow(finish(), problem))
         return 202, {"id": problem, "status": job["status"]}
 
     def _record_job(self, problem: str) -> dict:
@@ -658,11 +817,22 @@ class ServiceServer:
         return job
 
     @staticmethod
-    async def _swallow(awaitable) -> None:
+    async def _swallow(awaitable, problem: str) -> None:
         try:
             await awaitable
-        except Exception:
-            pass  # recorded on the job; surfaced via /status and /result
+        except Exception as failure:
+            # Recorded on the job and surfaced via /status and /result —
+            # but never silently: a swallowed async failure still logs
+            # its fingerprint so operators can find it.
+            _log.warning(
+                "async submit failed",
+                extra={
+                    "fields": {
+                        "fingerprint": problem,
+                        "error": f"{type(failure).__name__}: {failure}",
+                    }
+                },
+            )
 
     def _status(self, problem: str | None):
         if problem is None:
@@ -673,9 +843,16 @@ class ServiceServer:
             if entry is not None and entry.result is not None:
                 return 200, {"id": problem, "status": "done"}
             return 404, {"id": problem, "status": "unknown"}
-        return 200, {
+        payload = {
             "id": problem, "status": job["status"], "error": job["error"]
         }
+        if job["response"] is not None:
+            # Server-truth timing split for finished jobs: engine
+            # compute vs executor queue wait (both also in the audit
+            # line and the /result response).
+            payload["engine_seconds"] = job["response"].get("engine_seconds")
+            payload["queue_seconds"] = job["response"].get("queue_seconds")
+        return 200, payload
 
     def _result(self, problem: str | None):
         if problem is None:

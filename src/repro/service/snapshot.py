@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import pickle
 import struct
+import time
 from array import array
 
 from repro.automata.canonical import canonical_nfa, intern_canonical_form
@@ -61,6 +62,8 @@ from repro.cpds.cpds import CPDS
 from repro.cpds.interning import StateTable
 from repro.cpds.semantics import ContextTree
 from repro.errors import SnapshotError
+from repro.obs import trace
+from repro.obs.metrics import LATENCY
 from repro.util.meter import METER
 
 MAGIC = b"CUSN"
@@ -74,11 +77,14 @@ _HEADER = struct.Struct("<4sHB")
 
 
 def _encode(kind: int, payload: dict) -> bytes:
-    blob = _HEADER.pack(MAGIC, SNAPSHOT_VERSION, kind) + pickle.dumps(
-        payload, protocol=pickle.HIGHEST_PROTOCOL
-    )
+    start = time.perf_counter()
+    with trace.span("snapshot.encode", kind=kind):
+        blob = _HEADER.pack(MAGIC, SNAPSHOT_VERSION, kind) + pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
     METER.bump("snapshot.saves")
     METER.bump("snapshot.save_bytes", len(blob))
+    LATENCY.observe("snapshot_encode", time.perf_counter() - start)
     return blob
 
 
@@ -103,18 +109,25 @@ def decode(data: bytes, expected_kind: int | None = None) -> tuple[int, dict]:
     """Validate framing and unpickle the payload; every failure mode —
     truncation, wrong magic, future version, garbage pickle — raises
     :class:`SnapshotError`."""
+    start = time.perf_counter()
     kind = _parse_header(data)
     if expected_kind is not None and kind != expected_kind:
         raise SnapshotError(f"snapshot kind {kind} != expected {expected_kind}")
-    try:
-        payload = pickle.loads(data[_HEADER.size :])
-        if not isinstance(payload, dict):
-            raise SnapshotError(f"snapshot payload is {type(payload).__name__}")
-    except SnapshotError:
-        raise
-    except Exception as broken:
-        raise SnapshotError(f"snapshot payload undecodable: {broken}") from broken
+    with trace.span("snapshot.decode", kind=kind, bytes=len(data)):
+        try:
+            payload = pickle.loads(data[_HEADER.size :])
+            if not isinstance(payload, dict):
+                raise SnapshotError(
+                    f"snapshot payload is {type(payload).__name__}"
+                )
+        except SnapshotError:
+            raise
+        except Exception as broken:
+            raise SnapshotError(
+                f"snapshot payload undecodable: {broken}"
+            ) from broken
     METER.bump("snapshot.restores")
+    LATENCY.observe("snapshot_decode", time.perf_counter() - start)
     return kind, payload
 
 

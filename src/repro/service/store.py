@@ -94,6 +94,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import trace
+from repro.obs.metrics import LATENCY
 from repro.util.meter import METER
 
 STORE_SCHEMA_VERSION = 2
@@ -220,16 +222,25 @@ class AnalysisStore:
         bounds the total wait so a wedged peer cannot hang a replica
         forever.  Non-busy errors and exhausted retries re-raise — the
         callers' corruption handling takes over."""
-        delay = self.retry_base
-        for attempt in range(self.busy_retries + 1):
+        op = getattr(fn, "__name__", "txn")
+        start = time.perf_counter()
+        with trace.span("store.transaction", op=op) as timing:
+            delay = self.retry_base
             try:
-                return fn()
-            except sqlite3.OperationalError as error:
-                if not _is_busy(error) or attempt == self.busy_retries:
-                    raise
-                METER.bump("store.busy_retries")
-                time.sleep(delay * (0.5 + random.random()))
-                delay = min(delay * 2, 0.25)
+                for attempt in range(self.busy_retries + 1):
+                    try:
+                        return fn()
+                    except sqlite3.OperationalError as error:
+                        if not _is_busy(error) or attempt == self.busy_retries:
+                            raise
+                        METER.bump("store.busy_retries")
+                        timing.set(retries=attempt + 1)
+                        time.sleep(delay * (0.5 + random.random()))
+                        delay = min(delay * 2, 0.25)
+            finally:
+                LATENCY.observe(
+                    "store_transaction", time.perf_counter() - start, op=op
+                )
 
     # ------------------------------------------------------------------
     # Connection lifecycle

@@ -1,0 +1,19 @@
+"""Shared isolation for the observability tests.
+
+Tracing is process-global module state; every test in this package
+starts and ends with it disabled and empty so traced tests cannot leak
+spans into each other (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _trace_isolation():
+    trace.disable()
+    trace.clear()
+    yield
+    trace.disable()
+    trace.clear()

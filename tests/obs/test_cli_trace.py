@@ -1,0 +1,61 @@
+"""``cuba verify --trace out.json`` writes a loadable Chrome trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cpds import format_cpds
+from repro.models import fig1_cpds
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.cpds"
+    path.write_text(format_cpds(fig1_cpds()))
+    return str(path)
+
+
+def test_verify_trace_writes_chrome_trace(fig1_file, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main(
+        [
+            "verify", fig1_file,
+            "--lane", "explicit",
+            "--property", "shared:3",
+            "--max-rounds", "10",
+            "--trace", str(out),
+        ]
+    )
+    assert code == 1  # Fig. 1 reaches shared state 3: UNSAFE
+    assert f"wrote trace: {out}" in capsys.readouterr().out
+
+    doc = json.loads(out.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events, "a traced verify must record spans"
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        assert {"name", "pid", "tid", "args"} <= set(event)
+    names = {event["name"] for event in events}
+    assert "verify.request" in names
+    assert "lane.run" in names
+    assert any(name.endswith(".level") for name in names)
+    # The request span wraps the run: every other span's ancestry must
+    # reach it, so the export renders as one flame chart.
+    by_id = {event["args"]["span_id"]: event for event in events}
+    root = next(e for e in events if e["name"] == "verify.request")
+    for event in events:
+        cursor = event
+        while cursor["args"]["parent_id"] is not None:
+            cursor = by_id[cursor["args"]["parent_id"]]
+        assert cursor is root
+
+
+def test_untraced_verify_leaves_tracing_off(fig1_file):
+    from repro.obs import trace
+
+    main(["verify", fig1_file, "--lane", "explicit", "--max-rounds", "4"])
+    assert not trace.enabled()
+    assert trace.events() == []

@@ -1,0 +1,132 @@
+"""Histogram bucketing, interpolated quantiles, and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histograms,
+    quantile_from_buckets,
+    timed,
+)
+
+
+class TestObserve:
+    def test_bucket_placement(self):
+        hist = Histograms(bounds=(0.001, 0.01, 0.1))
+        hist.observe("op", 0.0005)   # bucket 0 (≤ 0.001)
+        hist.observe("op", 0.001)    # bucket 0 (bounds are inclusive)
+        hist.observe("op", 0.05)     # bucket 2
+        hist.observe("op", 99.0)     # +Inf overflow
+        cell = hist.snapshot()[("op", ())]
+        assert cell["buckets"] == (2, 0, 1, 1)
+        assert cell["count"] == 4
+        assert cell["sum"] == pytest.approx(0.0515 + 99.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Histograms().observe("op", -0.001)
+
+    def test_labels_key_distinct_cells(self):
+        hist = Histograms()
+        hist.observe("req", 0.01, lane="explicit")
+        hist.observe("req", 0.01, lane="symbolic")
+        hist.observe("req", 0.01, lane="explicit")
+        snap = hist.snapshot()
+        assert snap[("req", (("lane", "explicit"),))]["count"] == 2
+        assert snap[("req", (("lane", "symbolic"),))]["count"] == 1
+
+    def test_label_order_is_canonical(self):
+        hist = Histograms()
+        hist.observe("req", 0.01, a=1, b=2)
+        hist.observe("req", 0.01, b=2, a=1)
+        (cell,) = hist.snapshot().values()
+        assert cell["count"] == 2
+
+    def test_reset(self):
+        hist = Histograms()
+        hist.observe("op", 0.01)
+        hist.reset()
+        assert hist.snapshot() == {}
+
+    def test_default_bounds_are_sorted(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert len(set(BUCKET_BOUNDS)) == len(BUCKET_BOUNDS)
+
+
+class TestPercentile:
+    def test_none_without_observations(self):
+        assert Histograms().percentile("ghost", 0.5) is None
+
+    def test_interpolates_within_bucket(self):
+        hist = Histograms(bounds=(0.0, 1.0))
+        for _ in range(100):
+            hist.observe("op", 0.5)  # all land in the (0, 1] bucket
+        # Median of a bucket spanning (0, 1]: linear interpolation puts
+        # the 50th of 100 observations at rank 50/100 of the width.
+        assert hist.percentile("op", 0.5) == pytest.approx(0.5, abs=0.02)
+
+    def test_overflow_reports_last_finite_bound(self):
+        hist = Histograms(bounds=(0.001, 0.01))
+        hist.observe("op", 5.0)
+        assert hist.percentile("op", 0.99) == 0.01
+
+    def test_quantile_bounds_validated(self):
+        hist = Histograms()
+        hist.observe("op", 0.01)
+        with pytest.raises(ValueError):
+            hist.percentile("op", 1.5)
+
+    def test_quantile_from_buckets_skips_empty_buckets(self):
+        bounds = (0.001, 0.01, 0.1)
+        counts = [0, 0, 10, 0]
+        value = quantile_from_buckets(bounds, counts, 10, 0.5)
+        assert 0.01 < value <= 0.1
+
+    def test_p99_lands_in_tail_bucket(self):
+        hist = Histograms(bounds=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            hist.observe("op", 0.005)
+        hist.observe("op", 0.5)
+        assert hist.percentile("op", 0.5) <= 0.01
+        assert hist.percentile("op", 0.995) > 0.1
+
+
+class TestConcurrency:
+    def test_storm_loses_nothing(self):
+        """8 threads × 2000 observations: exact count, exact sum — the
+        lock really guards the cells."""
+        hist = Histograms()
+        threads = 8
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def storm(lane: str) -> None:
+            barrier.wait()
+            for index in range(per_thread):
+                hist.observe("req", 0.001 * (index % 7), lane=lane)
+
+        pool = [
+            threading.Thread(target=storm, args=(f"lane{i % 2}",))
+            for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(30)
+        snap = hist.snapshot()
+        total = sum(cell["count"] for cell in snap.values())
+        assert total == threads * per_thread
+        for cell in snap.values():
+            assert sum(cell["buckets"]) == cell["count"]
+
+
+class TestTimed:
+    def test_timed_records_even_on_exception(self):
+        hist = Histograms()
+        with pytest.raises(RuntimeError):
+            with timed("op", registry=hist, kind="x"):
+                raise RuntimeError("boom")
+        cell = hist.snapshot()[("op", (("kind", "x"),))]
+        assert cell["count"] == 1

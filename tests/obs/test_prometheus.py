@@ -1,0 +1,88 @@
+"""Exposition golden output and the parse_text inverse."""
+
+import pytest
+
+from repro.obs.metrics import Histograms
+from repro.obs.prometheus import parse_text, render, sanitize
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize("store.busy-retries") == "store_busy_retries"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize("2phase") == "_2phase"
+
+
+class TestRenderGolden:
+    def test_golden(self):
+        """Byte-exact exposition for a fixed registry — the stable
+        spelling the /metrics contract promises scrapers."""
+        hist = Histograms(bounds=(0.001, 0.01))
+        hist.observe("service_request", 0.0004, lane="explicit")
+        hist.observe("service_request", 0.0050, lane="explicit")
+        hist.observe("service_request", 3.0, lane="explicit")
+        counters = {"engine.runs": 2, "store.hits": 1}
+        expected = "\n".join(
+            [
+                "# TYPE cuba_engine_runs_total counter",
+                "cuba_engine_runs_total 2",
+                "# TYPE cuba_store_hits_total counter",
+                "cuba_store_hits_total 1",
+                "# TYPE cuba_service_request_seconds histogram",
+                'cuba_service_request_seconds_bucket{lane="explicit",le="0.001"} 1',
+                'cuba_service_request_seconds_bucket{lane="explicit",le="0.01"} 2',
+                'cuba_service_request_seconds_bucket{lane="explicit",le="+Inf"} 3',
+                'cuba_service_request_seconds_sum{lane="explicit"} 3.0054',
+                'cuba_service_request_seconds_count{lane="explicit"} 3',
+            ]
+        ) + "\n"
+        assert render(counters=counters, histograms=hist) == expected
+
+    def test_buckets_are_cumulative_and_end_at_count(self):
+        hist = Histograms()
+        for value in (0.0001, 0.003, 0.02, 50.0):
+            hist.observe("op", value)
+        samples = parse_text(render(counters={}, histograms=hist))
+        buckets = samples["cuba_op_seconds_bucket"]
+        ordered = sorted(
+            buckets.items(),
+            key=lambda item: float(dict(item[0])["le"].replace("+Inf", "inf")),
+        )
+        values = [value for _, value in ordered]
+        assert values == sorted(values), "le buckets must be cumulative"
+        assert values[-1] == 4
+        assert samples["cuba_op_seconds_count"][()] == 4
+
+    def test_label_escaping_round_trips(self):
+        hist = Histograms(bounds=(1.0,))
+        hist.observe("odd", 0.5, path='a"b\\c')
+        samples = parse_text(render(counters={}, histograms=hist))
+        labels = dict(next(iter(samples["cuba_odd_seconds_count"])))
+        assert labels["path"] == 'a"b\\c'
+
+
+class TestParse:
+    def test_parses_counters_and_labels(self):
+        text = (
+            "# HELP something\n"
+            "\n"
+            "cuba_engine_runs_total 7\n"
+            'cuba_http_request_seconds_count{route="/submit",status="200"} 3\n'
+        )
+        samples = parse_text(text)
+        assert samples["cuba_engine_runs_total"][()] == 7
+        key = (("route", "/submit"), ("status", "200"))
+        assert samples["cuba_http_request_seconds_count"][key] == 3
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_text("this is not { a metric\n")
+
+    def test_non_numeric_value_raises(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_text("cuba_engine_runs_total banana\n")
+
+    def test_inf_value_parses(self):
+        samples = parse_text("cuba_weird_total +Inf\n")
+        assert samples["cuba_weird_total"][()] == float("inf")

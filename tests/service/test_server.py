@@ -99,7 +99,7 @@ class TestEndpoints:
         a 404."""
         from repro.errors import CubaError
 
-        def boom(request, prepared=None):
+        def boom(request, prepared=None, enqueued_at=None):
             raise CubaError("engine exploded mid-run")
 
         monkeypatch.setattr(server.service, "run", boom)
